@@ -1,0 +1,55 @@
+"""Per-method detection latency on one representative test series.
+
+Complements the table benches (which run mostly one-shot workloads) with
+honest repeated-round timings of each detector on a single Trace test
+series — the per-series cost a user pays for each method in Tables 4–6.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchlib import corpus_for
+from repro.core.detector import GrammarAnomalyDetector
+from repro.core.ensemble import EnsembleGrammarDetector
+from repro.discord.discords import DiscordDetector
+from repro.discord.hotsax import hotsax_discords
+from repro.evaluation.baselines import GISelectDetector
+
+
+@pytest.fixture(scope="module")
+def trace_case():
+    return corpus_for("Trace", 1)[0]
+
+
+def bench_latency_single_gi(benchmark, trace_case):
+    detector = GrammarAnomalyDetector(trace_case.gt_length, 4, 4)
+    benchmark(lambda: detector.detect(trace_case.series, 3))
+
+
+def bench_latency_ensemble_n50(benchmark, trace_case):
+    detector = EnsembleGrammarDetector(trace_case.gt_length, seed=0)
+    benchmark(lambda: detector.detect(trace_case.series, 3))
+
+
+def bench_latency_ensemble_n10(benchmark, trace_case):
+    detector = EnsembleGrammarDetector(trace_case.gt_length, ensemble_size=10, seed=0)
+    benchmark(lambda: detector.detect(trace_case.series, 3))
+
+
+def bench_latency_gi_select(benchmark, trace_case):
+    detector = GISelectDetector(trace_case.gt_length)
+    benchmark(lambda: detector.detect(trace_case.series, 3))
+
+
+def bench_latency_discord_stomp(benchmark, trace_case):
+    detector = DiscordDetector(trace_case.gt_length)
+    benchmark(lambda: detector.detect(trace_case.series, 3))
+
+
+def bench_latency_hotsax(benchmark, trace_case):
+    benchmark.pedantic(
+        lambda: hotsax_discords(trace_case.series, trace_case.gt_length, k=1),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,70 @@
+"""Section 7.5 — detecting multiple anomalies.
+
+The paper plants two StarLightCurve anomalies (length 1024) into 43,008-
+point series and counts how many of the ten series have both anomalies
+overlapped by the top-3 candidates. This bench reproduces the protocol
+(series count reduced by default) and prints the per-series detection
+counts.
+
+Shape check: the ensemble detects both anomalies in most series and at
+least one anomaly in every series (paper: 9/10 both, 10/10 at least one).
+"""
+
+from __future__ import annotations
+
+from benchlib import FULL, scale_note
+from repro.core.ensemble import EnsembleGrammarDetector
+from repro.datasets.planting import make_multi_anomaly_case
+from repro.datasets.ucr_like import DATASETS
+from repro.evaluation.tables import format_table
+
+N_SERIES = 10 if FULL else 4
+WINDOW = 1024
+
+
+def bench_sec75_multiple_anomalies(benchmark, report):
+    def run():
+        outcomes = []
+        for index in range(N_SERIES):
+            case = make_multi_anomaly_case(
+                DATASETS["StarLightCurve"], seed=100 + index, n_normal=40, n_anomalies=2
+            )
+            detector = EnsembleGrammarDetector(WINDOW, seed=index)
+            candidates = detector.detect(case.series, k=3)
+            detected = 0
+            for location in case.gt_locations:
+                if any(
+                    candidate.position < location + case.gt_length
+                    and location < candidate.position + candidate.length
+                    for candidate in candidates
+                ):
+                    detected += 1
+            outcomes.append((case, detected))
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [
+            f"series {i}",
+            str(len(case.series)),
+            ", ".join(str(p) for p in case.gt_locations),
+            f"{detected}/2",
+        ]
+        for i, (case, detected) in enumerate(outcomes)
+    ]
+    both = sum(1 for _, detected in outcomes if detected == 2)
+    at_least_one = sum(1 for _, detected in outcomes if detected >= 1)
+    table = format_table(
+        ["Series", "Length", "GT locations", "Detected"],
+        rows,
+        title="Section 7.5: multiple planted anomalies (StarLightCurve)",
+    )
+    summary = (
+        f"both detected: {both}/{N_SERIES}; at least one: {at_least_one}/{N_SERIES} "
+        f"(paper: 9/10 both, 10/10 at least one)"
+    )
+    report(table + "\n" + summary + "\n" + scale_note(), "sec75.txt")
+
+    assert at_least_one == N_SERIES
+    assert both >= N_SERIES - 1

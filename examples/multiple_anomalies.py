@@ -1,0 +1,67 @@
+"""Detecting multiple anomalies in one series (paper Section 7.5).
+
+Run with:  python examples/multiple_anomalies.py
+
+Builds a long StarLightCurve-style series containing two planted anomalies
+of length 1024 (series length 43,008, as in the paper) and checks that the
+ensemble's top-3 candidates overlap both. Also contrasts with the Discord
+baseline, whose single fixed length must suit both anomalies at once.
+"""
+
+from __future__ import annotations
+
+from repro.core.ensemble import EnsembleGrammarDetector
+from repro.datasets.planting import make_multi_anomaly_case
+from repro.datasets.ucr_like import DATASETS
+from repro.discord.discords import DiscordDetector
+from repro.utils.timing import Timer
+
+
+def overlaps(candidate, location: int, length: int) -> bool:
+    return candidate.position < location + length and location < candidate.position + candidate.length
+
+
+def main() -> None:
+    case = make_multi_anomaly_case(
+        DATASETS["StarLightCurve"], seed=0, n_normal=40, n_anomalies=2
+    )
+    print(
+        f"series: {len(case.series):,} points; planted anomalies at "
+        f"{case.gt_locations} (length {case.gt_length})\n"
+    )
+
+    detector = EnsembleGrammarDetector(window=1024, seed=0)
+    with Timer() as ensemble_timer:
+        candidates = detector.detect(case.series, k=3)
+    print(f"ensemble ({ensemble_timer.elapsed:.1f}s):")
+    for candidate in candidates:
+        hits = [loc for loc in case.gt_locations if overlaps(candidate, loc, case.gt_length)]
+        label = f"  overlaps anomaly at {hits[0]}" if hits else ""
+        print(f"  top-{candidate.rank}: {candidate.position:6d}{label}")
+    found = sum(
+        any(overlaps(c, loc, case.gt_length) for c in candidates)
+        for loc in case.gt_locations
+    )
+    print(f"  -> detected {found}/2 planted anomalies\n")
+
+    discord = DiscordDetector(window=1024)
+    with Timer() as discord_timer:
+        discord_candidates = discord.detect(case.series, k=3)
+    print(f"discord/STOMP ({discord_timer.elapsed:.1f}s):")
+    for candidate in discord_candidates:
+        hits = [loc for loc in case.gt_locations if overlaps(candidate, loc, case.gt_length)]
+        label = f"  overlaps anomaly at {hits[0]}" if hits else ""
+        print(f"  top-{candidate.rank}: {candidate.position:6d}{label}")
+    found = sum(
+        any(overlaps(c, loc, case.gt_length) for c in discord_candidates)
+        for loc in case.gt_locations
+    )
+    print(f"  -> detected {found}/2 planted anomalies")
+    print(
+        f"\nwall-clock: ensemble {ensemble_timer.elapsed:.1f}s vs "
+        f"STOMP {discord_timer.elapsed:.1f}s on {len(case.series):,} points"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""The parameter-selection problem (paper Figure 1), in the terminal.
+
+Run with:  python examples/parameter_sensitivity.py
+
+Scores the single-run grammar-induction detector at every (w, a) in the
+2..10 grid on a dishwasher power trace with one anomalous cycle, printing
+a heat-grid of Scores. The takeaway mirrors the paper's Figure 1: good
+combinations are isolated and hard to guess, neighbouring combinations can
+be terrible — and the ensemble sidesteps the choice entirely.
+"""
+
+from __future__ import annotations
+
+from repro.core.detector import GrammarAnomalyDetector
+from repro.core.ensemble import EnsembleGrammarDetector
+from repro.datasets.power import dishwasher_series
+from repro.evaluation.metrics import best_score
+
+
+def main() -> None:
+    series, anomaly = dishwasher_series(n_cycles=20, seed=0)
+    window = anomaly.length
+    print(
+        f"dishwasher trace: {len(series)} points, anomalous cycle at "
+        f"{anomaly.position} (length {anomaly.length})\n"
+    )
+
+    grid: dict[tuple[int, int], float] = {}
+    print("single-run GI Score per (w, a):   (higher is better)")
+    header = "      " + "".join(f"a={a:<5d}" for a in range(2, 11))
+    print(header)
+    for w in range(2, 11):
+        cells = []
+        for a in range(2, 11):
+            detector = GrammarAnomalyDetector(window, w, a)
+            candidates = detector.detect(series, k=3)
+            value = best_score(candidates, anomaly.position, anomaly.length)
+            grid[(w, a)] = value
+            cells.append(f"{value:.2f} ")
+        print(f"w={w:<3d} " + " ".join(cells))
+
+    best_combo = max(grid, key=grid.get)
+    values = list(grid.values())
+    print(
+        f"\nbest combination: w={best_combo[0]}, a={best_combo[1]} "
+        f"(Score {grid[best_combo]:.2f}); grid mean "
+        f"{sum(values) / len(values):.2f}; grid min {min(values):.2f}"
+    )
+
+    ensemble = EnsembleGrammarDetector(window, seed=0)
+    ensemble_score = best_score(
+        ensemble.detect(series, k=3), anomaly.position, anomaly.length
+    )
+    print(
+        f"ensemble Score (no parameter choice needed): {ensemble_score:.2f} — "
+        "vs the grid-mean expectation of picking (w, a) blindly"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Fridge-freezer power-usage case study (paper Section 7.4 / Figure 9).
+
+Run with:  python examples/power_case_study.py [length]
+
+Simulates a long fridge-freezer power trace (compressor duty cycles with
+two injected anomalies — a distorted cycle and a spiky event), runs the
+ensemble with a one-cycle sliding window, and reports the top-ranked
+anomalies with timing. The paper runs 600,000 points in about a minute;
+the default here is 120,000 for a quick demonstration (pass 600000 to
+reproduce the paper's scale).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.ensemble import EnsembleGrammarDetector
+from repro.datasets.power import fridge_freezer_series
+from repro.utils.timing import Timer
+
+
+def main() -> None:
+    length = int(sys.argv[1]) if len(sys.argv) > 1 else 120_000
+    window = 900  # about one compressor cycle, as in the paper
+
+    series, truths = fridge_freezer_series(length=length, seed=0)
+    print(f"fridge-freezer trace: {length:,} points, window {window}")
+    print("injected ground truth:")
+    for truth in truths:
+        print(f"  {truth.kind:16s} at {truth.position:7d} (length {truth.length})")
+
+    detector = EnsembleGrammarDetector(window, seed=0)
+    with Timer() as timer:
+        candidates = detector.detect(series, k=3)
+    print(f"\nensemble detection time: {timer.elapsed:.1f}s")
+
+    print("top-ranked anomaly candidates:")
+    for candidate in candidates:
+        matches = [
+            truth.kind
+            for truth in truths
+            if candidate.position < truth.position + truth.length
+            and truth.position < candidate.position + candidate.length
+        ]
+        label = f"  matches injected {matches[0]}" if matches else ""
+        print(
+            f"  top-{candidate.rank}: position {candidate.position:7d}, "
+            f"score {candidate.score:+.3f}{label}"
+        )
+
+
+if __name__ == "__main__":
+    main()

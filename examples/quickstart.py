@@ -1,0 +1,59 @@
+"""Quickstart: detect an anomaly in a periodic signal with the ensemble.
+
+Run with:  python examples/quickstart.py
+
+Builds a simple periodic series with one planted shape anomaly, runs the
+paper's ensemble grammar-induction detector (Algorithm 1) with default
+parameters, and prints the ranked candidates next to the ground truth —
+plus the single-run detector for contrast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import EnsembleGrammarDetector, GrammarAnomalyDetector
+
+RNG = np.random.default_rng(7)
+
+
+def make_series() -> tuple[np.ndarray, int, int]:
+    """40 noisy sine cycles; one cycle is replaced by a double-frequency one."""
+    series = np.sin(np.linspace(0.0, 80.0 * np.pi, 4000))
+    series += 0.05 * RNG.standard_normal(len(series))
+    anomaly_position, anomaly_length = 2400, 100
+    series[anomaly_position : anomaly_position + anomaly_length] = np.sin(
+        np.linspace(0.0, 8.0 * np.pi, anomaly_length)
+    )
+    return series, anomaly_position, anomaly_length
+
+
+def main() -> None:
+    series, gt_position, gt_length = make_series()
+    print(f"series: {len(series)} points, planted anomaly at {gt_position} "
+          f"(length {gt_length})\n")
+
+    # The ensemble detector needs only the sliding-window length; the
+    # discretization parameters are sampled internally (Algorithm 1).
+    ensemble = EnsembleGrammarDetector(window=gt_length, seed=0)
+    print("Ensemble grammar induction (N=50, wmax=amax=10, tau=40%):")
+    for anomaly in ensemble.detect(series, k=3):
+        marker = "  <-- planted" if abs(anomaly.position - gt_position) <= gt_length else ""
+        print(
+            f"  top-{anomaly.rank}: position {anomaly.position:5d}, "
+            f"score {anomaly.score:+.3f}{marker}"
+        )
+
+    # A single fixed-parameter run (the GI-Fix baseline) for contrast.
+    single = GrammarAnomalyDetector(window=gt_length, paa_size=4, alphabet_size=4)
+    print("\nSingle-run grammar induction (w=4, a=4):")
+    for anomaly in single.detect(series, k=3):
+        marker = "  <-- planted" if abs(anomaly.position - gt_position) <= gt_length else ""
+        print(
+            f"  top-{anomaly.rank}: position {anomaly.position:5d}, "
+            f"score {anomaly.score:+.3f}{marker}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Running the paper's evaluation protocol on real UCR archive files.
+
+Run with:  python examples/real_ucr_data.py /path/to/Dataset_TRAIN.tsv
+
+The offline benches use synthetic stand-ins for the UCR archive; this
+example shows that the identical harness runs on genuine archive files:
+it loads the file, builds the paper's planted-anomaly corpus (20 normal
+instances + 1 planted anomalous instance per series), and compares the
+ensemble against GI-Fix and Discord.
+
+Without an argument it demonstrates the flow on a synthetic file written
+in UCR format, so it is runnable offline end to end.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.loaders import load_ucr_file
+from repro.datasets.planting import make_corpus
+from repro.datasets.ucr_like import DATASETS
+from repro.evaluation.baselines import gi_fix_detector
+from repro.core.ensemble import EnsembleGrammarDetector
+from repro.discord.discords import DiscordDetector
+from repro.evaluation.harness import evaluate_methods_on_corpus
+
+
+def write_demo_file() -> Path:
+    """Write a small UCR-format file from the synthetic GunPoint generator."""
+    dataset = DATASETS["GunPoint"]
+    rng = np.random.default_rng(0)
+    rows = []
+    for class_id in (1, 2):
+        for _ in range(15):
+            instance = dataset.generate_instance(class_id, rng)
+            rows.append(f"{class_id}\t" + "\t".join(f"{x:.6f}" for x in instance))
+    path = Path(tempfile.gettempdir()) / "GunPointDemo_TRAIN.tsv"
+    path.write_text("\n".join(rows) + "\n")
+    return path
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        path = Path(sys.argv[1])
+        print(f"loading real UCR file: {path}")
+    else:
+        path = write_demo_file()
+        print(f"no file given — wrote a demo UCR-format file to {path}")
+
+    dataset = load_ucr_file(path)
+    print(
+        f"dataset {dataset.spec.name}: instance length "
+        f"{dataset.spec.instance_length}, {dataset.spec.n_classes} classes, "
+        f"per-class counts {dataset.class_counts()}\n"
+    )
+
+    corpus = make_corpus(dataset, n_cases=5, seed=0)
+    factories = {
+        "Proposed": lambda window: EnsembleGrammarDetector(window, seed=0),
+        "GI-Fix": lambda window: gi_fix_detector(window),
+        "Discord": lambda window: DiscordDetector(window),
+    }
+    results = evaluate_methods_on_corpus(corpus, factories)
+    print(f"{'method':10s}  {'avg Score':>9s}  {'HitRate':>7s}")
+    for name, scores in results.items():
+        print(f"{name:10s}  {scores.average:9.4f}  {scores.hit_rate:7.2f}")
+
+
+if __name__ == "__main__":
+    main()

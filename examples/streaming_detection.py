@@ -1,0 +1,56 @@
+"""Streaming anomaly detection — Sequitur's incrementality put to work.
+
+Run with:  python examples/streaming_detection.py
+
+Feeds a sensor stream point-by-point into a live streaming ensemble
+(each member keeps a growing Sequitur grammar) and snapshots the detector
+at several points in time, showing how the planted anomaly surfaces as soon
+as enough context has streamed past — no batch reprocessing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.streaming import StreamingEnsembleDetector
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    series = np.sin(np.linspace(0.0, 120.0 * np.pi, 6000))
+    series += 0.03 * rng.standard_normal(len(series))
+    anomaly_position, anomaly_length = 3500, 100
+    series[anomaly_position : anomaly_position + anomaly_length] = np.sin(
+        np.linspace(0.0, 8.0 * np.pi, anomaly_length)
+    )
+    print(
+        f"stream of {len(series)} points; anomaly enters at t={anomaly_position} "
+        f"(length {anomaly_length})\n"
+    )
+
+    detector = StreamingEnsembleDetector(window=100, ensemble_size=10, seed=1)
+    checkpoints = [2000, 3400, 3700, 5000, 6000]
+    consumed = 0
+    for checkpoint in checkpoints:
+        detector.extend(series[consumed:checkpoint])
+        consumed = checkpoint
+        top = detector.detect(k=1)[0]
+        seen_anomaly = checkpoint >= anomaly_position + anomaly_length
+        flag = (
+            "  <-- anomaly localized"
+            if abs(top.position - anomaly_position) <= 2 * anomaly_length
+            else ""
+        )
+        print(
+            f"t={checkpoint:5d}  (anomaly {'in' if seen_anomaly else 'not yet in'} stream)  "
+            f"top-1 candidate at {top.position:5d}{flag}"
+        )
+
+    print(
+        "\nthe candidate settles on the planted anomaly once the stream has "
+        "passed it, and stays there as normal data keeps arriving."
+    )
+
+
+if __name__ == "__main__":
+    main()

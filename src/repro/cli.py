@@ -1,0 +1,271 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the library's main workflows:
+
+- ``detect`` — run a detector over a series file and print/save the ranked
+  anomalies::
+
+      python -m repro detect --input series.csv --window 100 \\
+          --method ensemble --top 3 --json out.json
+
+- ``generate`` — produce the paper's synthetic workloads (planted UCR-like
+  test series, appliance traces, scalability series) as CSV plus a ground
+  truth sidecar::
+
+      python -m repro generate --dataset Trace --seed 7 --out case.csv
+      python -m repro generate --kind fridge --length 120000 --out trace.csv
+
+- ``evaluate`` — run the paper's protocol (Table 4/5 row) on one dataset::
+
+      python -m repro evaluate --dataset Wafer --cases 5 --methods ensemble gi-fix
+
+Series files are one value per line (CSV with a single column; a header
+line is tolerated). All commands are deterministic under ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import __version__
+from repro.core.detector import GrammarAnomalyDetector
+from repro.core.ensemble import EnsembleGrammarDetector
+from repro.datasets.generators import random_walk, synthetic_ecg, synthetic_eeg
+from repro.datasets.planting import make_corpus, make_test_case
+from repro.datasets.power import dishwasher_series, fridge_freezer_series
+from repro.datasets.ucr_like import DATASETS, dataset_by_name
+from repro.discord.discords import DiscordDetector
+from repro.evaluation.baselines import GIRandomDetector, GISelectDetector, gi_fix_detector
+from repro.evaluation.harness import evaluate_methods_on_corpus
+from repro.evaluation.reporting import write_detections_csv, write_detections_json
+from repro.evaluation.tables import format_table
+from repro.grammar.rra import RRADetector
+
+#: Methods available to ``detect`` and ``evaluate``.
+METHODS = ("ensemble", "gi", "gi-fix", "gi-random", "gi-select", "discord", "rra")
+
+
+def load_series(path: str | Path) -> np.ndarray:
+    """Read a one-column series file (values separated by newlines/commas)."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"series file not found: {path}")
+    values: list[float] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            token = line.strip().split(",")[0]
+            if not token:
+                continue
+            try:
+                values.append(float(token))
+            except ValueError:
+                if line_number == 1:
+                    continue  # tolerate a header line
+                raise ValueError(f"{path}:{line_number}: not a number: {token!r}") from None
+    if len(values) < 2:
+        raise ValueError(f"{path}: need at least 2 observations, got {len(values)}")
+    return np.asarray(values, dtype=np.float64)
+
+
+def save_series(path: str | Path, series: np.ndarray) -> None:
+    """Write a one-column series file."""
+    Path(path).write_text("\n".join(f"{x:.8g}" for x in series) + "\n")
+
+
+def build_detector(method: str, window: int, args: argparse.Namespace):
+    """Instantiate the requested detector with the CLI's parameters."""
+    if method == "ensemble":
+        return EnsembleGrammarDetector(
+            window,
+            max_paa_size=args.wmax,
+            max_alphabet_size=args.amax,
+            ensemble_size=args.ensemble_size,
+            selectivity=args.selectivity,
+            seed=args.seed,
+        )
+    if method == "gi":
+        return GrammarAnomalyDetector(window, args.paa_size, args.alphabet_size)
+    if method == "gi-fix":
+        return gi_fix_detector(window)
+    if method == "gi-random":
+        return GIRandomDetector(
+            window, max_paa_size=args.wmax, max_alphabet_size=args.amax, seed=args.seed
+        )
+    if method == "gi-select":
+        return GISelectDetector(window, max_paa_size=args.wmax, max_alphabet_size=args.amax)
+    if method == "discord":
+        return DiscordDetector(window)
+    if method == "rra":
+        return RRADetector(window, args.paa_size, args.alphabet_size)
+    raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    series = load_series(args.input)
+    detector = build_detector(args.method, args.window, args)
+    anomalies = detector.detect(series, args.top)
+    rows = [
+        [str(a.rank), str(a.position), str(a.length), f"{a.score:.4f}"]
+        for a in anomalies
+    ]
+    print(
+        format_table(
+            ["rank", "position", "length", "score"],
+            rows,
+            title=f"{args.method} anomalies in {args.input} (window {args.window})",
+        )
+    )
+    metadata = {
+        "input": str(args.input),
+        "method": args.method,
+        "window": args.window,
+        "series_length": len(series),
+    }
+    if args.json:
+        write_detections_json(args.json, anomalies, metadata=metadata)
+        print(f"wrote {args.json}")
+    if args.csv:
+        write_detections_csv(args.csv, anomalies)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    ground_truth: list[dict] = []
+    if args.dataset:
+        dataset = dataset_by_name(args.dataset)
+        case = make_test_case(dataset, seed=args.seed)
+        series = case.series
+        ground_truth.append(
+            {
+                "position": case.gt_location,
+                "length": case.gt_length,
+                "kind": f"{args.dataset}-class-{case.anomaly_class}",
+            }
+        )
+    elif args.kind == "fridge":
+        series, truths = fridge_freezer_series(length=args.length, seed=args.seed)
+        ground_truth = [
+            {"position": t.position, "length": t.length, "kind": t.kind} for t in truths
+        ]
+    elif args.kind == "dishwasher":
+        n_cycles = max(3, args.length // 400)
+        series, truth = dishwasher_series(n_cycles=n_cycles, seed=args.seed)
+        ground_truth = [
+            {"position": truth.position, "length": truth.length, "kind": truth.kind}
+        ]
+    elif args.kind == "rw":
+        series = random_walk(args.length, seed=args.seed)
+    elif args.kind == "ecg":
+        series = synthetic_ecg(args.length, seed=args.seed)
+    elif args.kind == "eeg":
+        series = synthetic_eeg(args.length, seed=args.seed)
+    else:
+        raise ValueError("generate needs --dataset or --kind")
+    save_series(args.out, series)
+    print(f"wrote {args.out} ({len(series)} points)")
+    if ground_truth:
+        sidecar = Path(args.out).with_suffix(".truth.json")
+        sidecar.write_text(json.dumps(ground_truth, indent=2) + "\n")
+        print(f"wrote {sidecar}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = dataset_by_name(args.dataset)
+    corpus = make_corpus(dataset, n_cases=args.cases, seed=args.seed)
+    factories = {
+        method: (lambda window, m=method: build_detector(m, window, args))
+        for method in args.methods
+    }
+    results = evaluate_methods_on_corpus(corpus, factories, k=args.top)
+    rows = [
+        [name, f"{scores.average:.4f}", f"{scores.hit_rate:.2f}"]
+        for name, scores in results.items()
+    ]
+    print(
+        format_table(
+            ["method", "avg Score", "HitRate"],
+            rows,
+            title=f"{args.dataset}: {args.cases} series, top-{args.top} candidates",
+        )
+    )
+    if args.json:
+        from repro.evaluation.reporting import write_evaluation_json
+
+        write_evaluation_json(args.json, results)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _add_detector_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+    parser.add_argument("--top", type=int, default=3, help="candidates to report (default 3)")
+    parser.add_argument("--wmax", type=int, default=10, help="max PAA size for sampling")
+    parser.add_argument("--amax", type=int, default=10, help="max alphabet size for sampling")
+    parser.add_argument("--ensemble-size", type=int, default=50, help="ensemble members N")
+    parser.add_argument("--selectivity", type=float, default=0.4, help="member keep fraction tau")
+    parser.add_argument("--paa-size", type=int, default=4, help="w for gi/rra methods")
+    parser.add_argument("--alphabet-size", type=int, default=4, help="a for gi/rra methods")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with the detect/generate/evaluate commands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ensemble grammar induction for time series anomaly detection (EDBT 2020)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    detect = commands.add_parser("detect", help="detect anomalies in a series file")
+    detect.add_argument("--input", required=True, help="one-column series file")
+    detect.add_argument("--window", type=int, required=True, help="sliding window length n")
+    detect.add_argument("--method", choices=METHODS, default="ensemble")
+    detect.add_argument("--json", help="write detections to this JSON file")
+    detect.add_argument("--csv", help="write detections to this CSV file")
+    _add_detector_options(detect)
+    detect.set_defaults(handler=_cmd_detect)
+
+    generate = commands.add_parser("generate", help="generate synthetic workloads")
+    generate.add_argument("--dataset", choices=sorted(DATASETS), help="planted UCR-like test series")
+    generate.add_argument(
+        "--kind",
+        choices=["rw", "ecg", "eeg", "fridge", "dishwasher"],
+        help="raw series generator (alternative to --dataset)",
+    )
+    generate.add_argument("--length", type=int, default=20_000, help="series length for --kind")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True, help="output series file")
+    generate.set_defaults(handler=_cmd_generate)
+
+    evaluate = commands.add_parser("evaluate", help="run the paper's protocol on one dataset")
+    evaluate.add_argument("--dataset", required=True, choices=sorted(DATASETS))
+    evaluate.add_argument("--cases", type=int, default=5, help="test series to generate")
+    evaluate.add_argument(
+        "--methods", nargs="+", choices=METHODS, default=["ensemble", "gi-fix", "discord"]
+    )
+    evaluate.add_argument("--json", help="write the evaluation to this JSON file")
+    _add_detector_options(evaluate)
+    evaluate.set_defaults(handler=_cmd_evaluate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ValueError, FileNotFoundError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""The paper's core contribution: grammar-induction anomaly detection and
+its ensemble variant (Sections 5–6).
+
+- :mod:`repro.core.anomaly` — anomaly records, candidate extraction from a
+  density curve, and the detector protocol shared by all methods.
+- :mod:`repro.core.detector` — single-run grammar-induction detector
+  (discretize → Sequitur → rule density → rank minima).
+- :mod:`repro.core.multiresolution` — shared-prefix-sum multi-resolution
+  discretizer (Section 6.2) that the ensemble's members reuse.
+- :mod:`repro.core.selection` — std-based member filtering and max
+  normalization (Sections 6.1.1–6.1.2).
+- :mod:`repro.core.combiners` — median/mean/max point-wise combination
+  (Section 6.1.3).
+- :mod:`repro.core.ensemble` — Algorithm 1, the ensemble rule density curve
+  detector.
+"""
+
+from repro.core.anomaly import Anomaly, AnomalyDetector, extract_candidates
+from repro.core.combiners import combine_curves
+from repro.core.detector import GrammarAnomalyDetector
+from repro.core.ensemble import EnsembleGrammarDetector, EnsembleReport, combine_and_detect
+from repro.core.multiresolution import MultiResolutionDiscretizer
+from repro.core.selection import normalize_curve, select_by_std
+from repro.core.streaming import StreamingEnsembleDetector, StreamingGrammarDetector
+
+__all__ = [
+    "Anomaly",
+    "AnomalyDetector",
+    "EnsembleGrammarDetector",
+    "EnsembleReport",
+    "GrammarAnomalyDetector",
+    "MultiResolutionDiscretizer",
+    "StreamingEnsembleDetector",
+    "StreamingGrammarDetector",
+    "combine_and_detect",
+    "combine_curves",
+    "extract_candidates",
+    "normalize_curve",
+    "select_by_std",
+]

@@ -1,0 +1,135 @@
+"""Anomaly records, the common detector protocol, and candidate extraction
+from a rule density curve (paper Section 5.2, last step).
+
+All detection methods in the library — single-run grammar induction, the
+ensemble, and the discord comparators — return ranked lists of
+:class:`Anomaly` so the evaluation harness can treat them uniformly.
+
+Candidate extraction implements "find the local minima of the curve and rank
+them by their rule density values" robustly on plateaus: every full window
+start is scored by the mean curve value over the window, and the top-k
+non-overlapping minima are returned in rank order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.utils.validation import ensure_time_series, validate_window
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One ranked anomaly candidate.
+
+    Attributes
+    ----------
+    position:
+        Start index of the candidate subsequence in the series.
+    length:
+        Candidate subsequence length (the sliding-window length ``n``).
+    score:
+        Anomalousness score — **higher is more anomalous**. Density-based
+        detectors report the negated windowed mean density; distance-based
+        detectors report the 1-NN distance.
+    rank:
+        1-based rank among the returned candidates (1 = most anomalous).
+    """
+
+    position: int
+    length: int
+    score: float
+    rank: int
+
+    def __post_init__(self) -> None:
+        if self.position < 0:
+            raise ValueError(f"position must be non-negative, got {self.position}")
+        if self.length < 1:
+            raise ValueError(f"length must be positive, got {self.length}")
+        if self.rank < 1:
+            raise ValueError(f"rank must be 1-based, got {self.rank}")
+
+    @property
+    def end(self) -> int:
+        """One past the last covered index."""
+        return self.position + self.length
+
+    def overlaps(self, other: "Anomaly") -> bool:
+        """Whether two candidate intervals share any point."""
+        return self.position < other.end and other.position < self.end
+
+
+@runtime_checkable
+class AnomalyDetector(Protocol):
+    """The protocol every detection method implements."""
+
+    def detect(self, series: np.ndarray, k: int = 3) -> list[Anomaly]:
+        """Return the top-``k`` non-overlapping anomaly candidates."""
+        ...
+
+
+def windowed_means(curve: np.ndarray, window: int) -> np.ndarray:
+    """Mean of ``curve[p:p+window]`` for every full window start ``p``.
+
+    O(N) via a prefix sum; used to score candidate windows on the density
+    curve.
+    """
+    curve = ensure_time_series(curve, name="curve")
+    window = validate_window(window, len(curve))
+    prefix = np.concatenate(([0.0], np.cumsum(curve)))
+    return (prefix[window:] - prefix[:-window]) / window
+
+
+def extract_candidates(
+    curve: np.ndarray,
+    window: int,
+    k: int = 3,
+    *,
+    minimize: bool = True,
+) -> list[Anomaly]:
+    """Top-``k`` non-overlapping windows ranked by mean curve value.
+
+    Parameters
+    ----------
+    curve:
+        A per-point score curve (rule density, or a matrix profile padded to
+        series length).
+    window:
+        Candidate subsequence length ``n``; candidates never overlap, which
+        matches the paper's requirement that the reported top-3 do not
+        overlap each other.
+    k:
+        Number of candidates to return (fewer if the series is too short to
+        fit ``k`` disjoint windows).
+    minimize:
+        True ranks by *smallest* windowed mean (density curves), False by
+        largest (distance profiles).
+
+    Returns
+    -------
+    list[Anomaly]
+        Candidates in rank order; ``score`` is the negated windowed mean when
+        minimizing so that higher always means more anomalous.
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    means = windowed_means(curve, window)
+    objective = means.copy() if minimize else -means
+    candidates: list[Anomaly] = []
+    for rank in range(1, k + 1):
+        position = int(np.argmin(objective))
+        if not np.isfinite(objective[position]):
+            break
+        value = float(means[position])
+        score = -value if minimize else value
+        candidates.append(Anomaly(position=position, length=window, score=score, rank=rank))
+        # Mask every start whose window would overlap the chosen one.
+        low = max(0, position - window + 1)
+        high = min(len(objective), position + window)
+        objective[low:high] = np.inf
+        if np.all(np.isinf(objective)):
+            break
+    return candidates

@@ -1,0 +1,141 @@
+"""Multi-resolution discretizer (Section 6.2): the ensemble's shared fast path.
+
+The ensemble needs token sequences for many ``(w, a)`` combinations of the
+*same* series and window. Recomputing SAX from scratch per member costs
+``O(N (n + w + log a))`` each; this class shares everything shareable:
+
+- the prefix sums (``ESum_x``, ``ESum_xx``) are built once per series
+  (FastPAA, Algorithm 2);
+- per distinct ``w``, the z-normalized PAA matrix is computed once and its
+  coefficients located in the merged breakpoint table of
+  :class:`repro.sax.breakpoints.MultiResolutionAlphabet` with one binary
+  search — yielding the *interval index matrix*;
+- per ``(w, a)``, words are a constant-time table lookup into the symbol
+  matrix (Figure 6), followed by numerosity reduction.
+
+So the marginal cost of an extra alphabet size for an already-seen ``w`` is
+one fancy-indexing pass — the speedup benchmarked in
+``benchmarks/bench_discretization_speedup.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sax.alphabet import index_matrix_to_words
+from repro.sax.breakpoints import MultiResolutionAlphabet
+from repro.sax.numerosity import TokenSequence, numerosity_reduction
+from repro.sax.paa import CumulativeStats
+from repro.sax.znorm import DEFAULT_ZNORM_THRESHOLD
+from repro.utils.validation import (
+    ensure_time_series,
+    validate_alphabet_size,
+    validate_paa_size,
+    validate_window,
+)
+
+
+class MultiResolutionDiscretizer:
+    """Produce numerosity-reduced token sequences for many ``(w, a)`` cheaply.
+
+    Parameters
+    ----------
+    series:
+        The time series to discretize.
+    window:
+        Sliding-window length ``n`` (fixed per discretizer).
+    max_paa_size, max_alphabet_size:
+        Upper bounds ``wmax``/``amax`` of the resolutions that will be
+        requested; the merged breakpoint table covers ``[2, amax]``.
+    znorm_threshold:
+        Constant-window guard forwarded to the PAA stage.
+    numerosity:
+        Reduction strategy (``"exact"`` or ``"none"``).
+    """
+
+    def __init__(
+        self,
+        series: np.ndarray,
+        window: int,
+        max_paa_size: int,
+        max_alphabet_size: int,
+        *,
+        znorm_threshold: float = DEFAULT_ZNORM_THRESHOLD,
+        numerosity: str = "exact",
+    ) -> None:
+        self.series = ensure_time_series(series, name="series", min_length=2)
+        self.window = validate_window(window, len(self.series))
+        self.max_paa_size = validate_paa_size(max_paa_size, self.window)
+        self.max_alphabet_size = validate_alphabet_size(max_alphabet_size)
+        self.znorm_threshold = float(znorm_threshold)
+        self.numerosity = numerosity
+        self.stats = CumulativeStats(self.series)
+        self.alphabet_table = MultiResolutionAlphabet(self.max_alphabet_size)
+        #: Cache: paa_size -> interval-index matrix (n_windows, paa_size).
+        self._interval_cache: dict[int, np.ndarray] = {}
+        #: Cache: (paa_size, alphabet_size) -> TokenSequence.
+        self._token_cache: dict[tuple[int, int], TokenSequence] = {}
+
+    @property
+    def n_windows(self) -> int:
+        """Number of sliding-window positions."""
+        return len(self.series) - self.window + 1
+
+    def interval_matrix(self, paa_size: int) -> np.ndarray:
+        """Merged-table interval indices of every window's PAA coefficients.
+
+        Computed once per distinct ``paa_size`` and cached; this is the
+        expensive half of discretization (PAA + binary search).
+        """
+        paa_size = validate_paa_size(paa_size, self.window)
+        if paa_size > self.max_paa_size:
+            raise ValueError(
+                f"paa_size={paa_size} exceeds the declared max_paa_size={self.max_paa_size}"
+            )
+        cached = self._interval_cache.get(paa_size)
+        if cached is None:
+            coefficients = self.stats.sliding_paa_matrix(
+                self.window, paa_size, self.znorm_threshold
+            )
+            cached = self.alphabet_table.interval_indices(coefficients)
+            self._interval_cache[paa_size] = cached
+        return cached
+
+    def words(self, paa_size: int, alphabet_size: int) -> list[str]:
+        """SAX words of every window under ``(paa_size, alphabet_size)``."""
+        intervals = self.interval_matrix(paa_size)
+        symbols = self.alphabet_table.symbols_for(intervals, alphabet_size)
+        return index_matrix_to_words(symbols)
+
+    def tokens(self, paa_size: int, alphabet_size: int) -> TokenSequence:
+        """Numerosity-reduced token sequence for ``(paa_size, alphabet_size)``.
+
+        Cached per combination — ensemble members with duplicate parameters
+        (not sampled by Algorithm 1, but possible via direct calls) are free.
+
+        The exact-reduction fast path finds run boundaries on the symbol
+        *index matrix* first and only materializes word strings for the kept
+        windows; two windows share a word exactly when their symbol rows are
+        equal, so this is equivalent to reducing the full word list (and is
+        what makes the shared discretizer markedly faster than per-(w, a)
+        SAX — most windows are dropped before any string is built).
+        """
+        key = (int(paa_size), int(alphabet_size))
+        cached = self._token_cache.get(key)
+        if cached is not None:
+            return cached
+        if self.numerosity == "exact":
+            intervals = self.interval_matrix(paa_size)
+            symbols = self.alphabet_table.symbols_for(intervals, alphabet_size)
+            keep = np.ones(len(symbols), dtype=bool)
+            keep[1:] = np.any(symbols[1:] != symbols[:-1], axis=1)
+            kept_offsets = np.flatnonzero(keep).astype(np.int64)
+            words = index_matrix_to_words(symbols[kept_offsets])
+            cached = TokenSequence(
+                tuple(words), kept_offsets, len(symbols), self.window
+            )
+        else:
+            words = self.words(*key)
+            cached = numerosity_reduction(words, self.window, self.numerosity)
+        self._token_cache[key] = cached
+        return cached

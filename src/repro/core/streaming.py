@@ -1,0 +1,241 @@
+"""Streaming grammar-induction anomaly detection (extension).
+
+The paper motivates grammar induction by its linear time complexity for
+large-scale data; Sequitur is naturally *incremental*, so the pipeline
+extends to streams: each arriving point completes at most one new sliding
+window, whose SAX word is computed in O(w) from running prefix sums
+(FastPAA), numerosity-reduced online, and fed to a live Sequitur builder.
+Snapshotting the grammar at any moment yields the rule density curve over
+everything seen so far.
+
+:class:`StreamingGrammarDetector` is one such live member;
+:class:`StreamingEnsembleDetector` maintains a fixed parameter bag of
+members over the same stream and combines their snapshot curves exactly as
+Algorithm 1 does (std filter -> max-normalize -> median).
+
+This is "future work" relative to the paper — nothing here changes the
+batch semantics: feeding a whole series point-by-point produces exactly
+the same density curve as the batch detector (covered by tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.anomaly import Anomaly, extract_candidates
+from repro.core.combiners import combine_curves
+from repro.core.selection import normalize_curve, select_by_std
+from repro.grammar.density import rule_density_curve
+from repro.grammar.sequitur import _SequiturBuilder
+from repro.sax.alphabet import indices_to_word
+from repro.sax.breakpoints import gaussian_breakpoints
+from repro.sax.numerosity import TokenSequence
+from repro.sax.znorm import DEFAULT_ZNORM_THRESHOLD, constancy_cutoff
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import (
+    validate_alphabet_size,
+    validate_paa_size,
+    validate_window,
+)
+
+
+class StreamingGrammarDetector:
+    """One live grammar-induction pipeline over a growing series.
+
+    Parameters
+    ----------
+    window, paa_size, alphabet_size:
+        The discretization of this member (fixed for the stream's life).
+    znorm_threshold:
+        Constant-window guard, as in the batch pipeline.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> detector = StreamingGrammarDetector(window=50, paa_size=4, alphabet_size=4)
+    >>> for value in np.sin(np.linspace(0, 40 * np.pi, 2000)):
+    ...     detector.append(float(value))
+    >>> len(detector.density_curve()) == 2000
+    True
+    """
+
+    def __init__(
+        self,
+        window: int,
+        paa_size: int = 4,
+        alphabet_size: int = 4,
+        *,
+        znorm_threshold: float = DEFAULT_ZNORM_THRESHOLD,
+    ) -> None:
+        if window < 2:
+            raise ValueError(f"window must be at least 2, got {window}")
+        self.window = int(window)
+        self.paa_size = validate_paa_size(paa_size, self.window)
+        self.alphabet_size = validate_alphabet_size(alphabet_size)
+        self.znorm_threshold = float(znorm_threshold)
+        self._breakpoints = gaussian_breakpoints(self.alphabet_size)
+        # Growing buffers (amortized append).
+        self._values: list[float] = []
+        self._prefix: list[float] = [0.0]
+        self._prefix_sq: list[float] = [0.0]
+        # Online numerosity reduction state.
+        self._last_word: str | None = None
+        self._kept_words: list[str] = []
+        self._kept_offsets: list[int] = []
+        self._builder = _SequiturBuilder()
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def n_windows(self) -> int:
+        """Completed sliding windows so far."""
+        return max(0, len(self._values) - self.window + 1)
+
+    @property
+    def n_tokens(self) -> int:
+        """Tokens fed to the live grammar so far (after reduction)."""
+        return len(self._kept_words)
+
+    def append(self, value: float) -> None:
+        """Consume one observation; O(w) amortized."""
+        value = float(value)
+        if not np.isfinite(value):
+            raise ValueError("stream values must be finite")
+        self._values.append(value)
+        self._prefix.append(self._prefix[-1] + value)
+        self._prefix_sq.append(self._prefix_sq[-1] + value * value)
+        if len(self._values) < self.window:
+            return
+        word = self._window_word(len(self._values) - self.window)
+        if word != self._last_word:
+            self._kept_words.append(word)
+            self._kept_offsets.append(len(self._values) - self.window)
+            self._last_word = word
+            self._builder.feed(word)
+
+    def extend(self, values) -> None:
+        """Consume a batch of observations."""
+        for value in np.asarray(values, dtype=np.float64):
+            self.append(float(value))
+
+    def _window_word(self, start: int) -> str:
+        """SAX word of the window starting at ``start`` via prefix sums."""
+        n = self.window
+        stop = start + n
+        total = self._prefix[stop] - self._prefix[start]
+        total_sq = self._prefix_sq[stop] - self._prefix_sq[start]
+        mean = total / n
+        variance = max((total_sq - total * total / n) / (n - 1), 0.0)
+        std = float(np.sqrt(variance))
+        boundaries = np.arange(self.paa_size + 1) * (n / self.paa_size) + start
+        floor = np.floor(boundaries).astype(np.int64)
+        frac = boundaries - floor
+        values = self._values
+        prefix = self._prefix
+        cumulative = np.array(
+            [
+                prefix[int(k)] + f * (values[int(k)] if int(k) < len(values) else 0.0)
+                for k, f in zip(floor, frac)
+            ]
+        )
+        coefficients = np.diff(cumulative) / (n / self.paa_size)
+        if std < constancy_cutoff(mean, self.znorm_threshold):
+            coefficients = np.zeros(self.paa_size)
+        else:
+            coefficients = (coefficients - mean) / std
+        indices = np.searchsorted(self._breakpoints, coefficients, side="right")
+        return indices_to_word(indices)
+
+    def tokens(self) -> TokenSequence:
+        """Snapshot of the numerosity-reduced token sequence so far."""
+        if not self._kept_words:
+            raise ValueError(
+                f"no complete window yet ({len(self._values)} of {self.window} points)"
+            )
+        return TokenSequence(
+            tuple(self._kept_words),
+            np.asarray(self._kept_offsets, dtype=np.int64),
+            self.n_windows,
+            self.window,
+        )
+
+    def density_curve(self) -> np.ndarray:
+        """Rule density curve over everything seen so far (snapshot)."""
+        tokens = self.tokens()
+        grammar = self._builder.freeze()
+        return rule_density_curve(grammar, tokens, len(self._values))
+
+    def detect(self, k: int = 3) -> list[Anomaly]:
+        """Top-``k`` anomalies over the stream so far."""
+        curve = self.density_curve()
+        return extract_candidates(curve, self.window, k, minimize=True)
+
+
+class StreamingEnsembleDetector:
+    """Algorithm 1 over a stream: N live members, combined at snapshot time.
+
+    Parameters mirror :class:`repro.core.ensemble.EnsembleGrammarDetector`;
+    the ``(w, a)`` bag is sampled once at construction (a stream has one
+    life, so the sample is fixed up front).
+    """
+
+    def __init__(
+        self,
+        window: int,
+        *,
+        max_paa_size: int = 10,
+        max_alphabet_size: int = 10,
+        ensemble_size: int = 20,
+        selectivity: float = 0.4,
+        combiner: str = "median",
+        seed: RandomState = None,
+    ) -> None:
+        if window < 2:
+            raise ValueError(f"window must be at least 2, got {window}")
+        window = int(window)
+        max_paa_size = validate_paa_size(max_paa_size, window)
+        max_alphabet_size = validate_alphabet_size(max_alphabet_size)
+        if ensemble_size < 1:
+            raise ValueError(f"ensemble_size must be positive, got {ensemble_size}")
+        if not 0.0 < selectivity <= 1.0:
+            raise ValueError(f"selectivity must be in (0, 1], got {selectivity}")
+        self.window = window
+        self.selectivity = float(selectivity)
+        self.combiner = combiner
+        rng = ensure_rng(seed)
+        pool = [
+            (int(w), int(a))
+            for w in range(2, max_paa_size + 1)
+            for a in range(2, max_alphabet_size + 1)
+        ]
+        count = min(int(ensemble_size), len(pool))
+        chosen = rng.choice(len(pool), size=count, replace=False)
+        self.parameters = [pool[int(i)] for i in chosen]
+        self.members = [
+            StreamingGrammarDetector(window, w, a) for w, a in self.parameters
+        ]
+
+    def __len__(self) -> int:
+        return len(self.members[0]) if self.members else 0
+
+    def append(self, value: float) -> None:
+        """Feed one observation to every member."""
+        for member in self.members:
+            member.append(value)
+
+    def extend(self, values) -> None:
+        for value in np.asarray(values, dtype=np.float64):
+            self.append(float(value))
+
+    def density_curve(self) -> np.ndarray:
+        """Ensemble rule density curve over the stream so far."""
+        curves = [member.density_curve() for member in self.members]
+        kept = select_by_std(curves, self.selectivity)
+        survivors = [normalize_curve(curves[i]) for i in kept]
+        return combine_curves(survivors, self.combiner)
+
+    def detect(self, k: int = 3) -> list[Anomaly]:
+        """Top-``k`` anomalies over the stream so far."""
+        validate_window(self.window, len(self))
+        return extract_candidates(self.density_curve(), self.window, k, minimize=True)

@@ -1,0 +1,54 @@
+"""Data substrate for the evaluation (paper Section 7).
+
+The paper evaluates on six UCR Classification Archive datasets, REFIT
+appliance power data, and ECG/EEG/random-walk scalability series. None of
+those are redistributable offline, so this package provides *synthetic
+stand-ins* that exercise the same code paths (see DESIGN.md, Substitutions):
+
+- :mod:`repro.datasets.base` — the instance-source interface and helpers.
+- :mod:`repro.datasets.ucr_like` — class-conditional shape generators for
+  TwoLeadECG, ECGFiveDay, GunPoint, Wafer, Trace, StarLightCurve.
+- :mod:`repro.datasets.planting` — the paper's test-series construction:
+  20 concatenated normal instances with one anomalous instance planted at a
+  random position between 40% and 80% of the series (Section 7.1.1).
+- :mod:`repro.datasets.generators` — random walk, synthetic ECG, synthetic
+  EEG (Section 7.3 scalability).
+- :mod:`repro.datasets.power` — fridge-freezer and dishwasher simulators
+  (Figure 1 and the Section 7.4 case study).
+- :mod:`repro.datasets.loaders` — loads genuine UCR ``.tsv`` files when
+  available, so the harness runs on the real archive unchanged.
+"""
+
+from repro.datasets.base import DatasetSpec, InstanceSource, SyntheticUCRDataset
+from repro.datasets.generators import noisy_sine, random_walk, synthetic_ecg, synthetic_eeg
+from repro.datasets.loaders import RealUCRDataset, load_ucr_file
+from repro.datasets.planting import (
+    AnomalyTestCase,
+    MultiAnomalyTestCase,
+    make_corpus,
+    make_multi_anomaly_case,
+    make_test_case,
+)
+from repro.datasets.power import dishwasher_series, fridge_freezer_series
+from repro.datasets.ucr_like import DATASETS, dataset_by_name
+
+__all__ = [
+    "DATASETS",
+    "AnomalyTestCase",
+    "DatasetSpec",
+    "InstanceSource",
+    "MultiAnomalyTestCase",
+    "RealUCRDataset",
+    "SyntheticUCRDataset",
+    "dataset_by_name",
+    "dishwasher_series",
+    "fridge_freezer_series",
+    "load_ucr_file",
+    "make_corpus",
+    "make_multi_anomaly_case",
+    "make_test_case",
+    "noisy_sine",
+    "random_walk",
+    "synthetic_ecg",
+    "synthetic_eeg",
+]

@@ -1,0 +1,147 @@
+"""Instance-source interface shared by synthetic and real datasets.
+
+The planting harness only needs two operations from a dataset: draw a
+"normal" instance (first class) and draw an "anomalous" instance (any other
+class), both of a fixed length. :class:`SyntheticUCRDataset` implements that
+interface on top of a class-conditional *shape function* plus shared
+intra-class variability (amplitude jitter, smooth time warping, additive
+noise), mimicking the within-class variation of the UCR archive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.sax.znorm import znorm
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static dataset properties (the columns of the paper's Table 3)."""
+
+    name: str
+    instance_length: int
+    n_classes: int
+    data_type: str
+
+    def __post_init__(self) -> None:
+        if self.instance_length < 8:
+            raise ValueError(f"instance_length must be >= 8, got {self.instance_length}")
+        if self.n_classes < 2:
+            raise ValueError(f"need at least 2 classes, got {self.n_classes}")
+
+    @property
+    def test_series_length(self) -> int:
+        """Length of a generated test series: 20 normal + 1 planted instance."""
+        return 21 * self.instance_length
+
+
+@runtime_checkable
+class InstanceSource(Protocol):
+    """What the planting harness requires of a dataset."""
+
+    spec: DatasetSpec
+
+    def generate_instance(self, class_id: int, rng: np.random.Generator) -> np.ndarray:
+        """One instance of the given class (1-based class ids, 1 = normal)."""
+        ...
+
+
+def smooth_time_warp(
+    values: np.ndarray,
+    rng: np.random.Generator,
+    strength: float,
+) -> np.ndarray:
+    """Resample ``values`` along a smooth monotone warp of the time axis.
+
+    The warp displaces the unit time axis by a low-frequency sinusoid of
+    random phase and amplitude up to ``strength``; the displacement is small
+    enough to keep the mapping monotone, so shapes stretch and squeeze
+    locally without folding.
+    """
+    n = len(values)
+    if n < 2 or strength <= 0:
+        return values.copy()
+    unit = np.linspace(0.0, 1.0, n)
+    cycles = rng.uniform(0.5, 2.0)
+    phase = rng.uniform(0.0, 2.0 * np.pi)
+    amplitude = rng.uniform(0.0, strength)
+    # Displacement vanishes at both endpoints so the warp maps [0,1]->[0,1].
+    displacement = amplitude * np.sin(2.0 * np.pi * cycles * unit + phase) * unit * (1.0 - unit)
+    warped = np.clip(unit + displacement, 0.0, 1.0)
+    return np.interp(warped, unit, values)
+
+
+class SyntheticUCRDataset:
+    """A UCR-archive-like dataset built from class-conditional shapes.
+
+    Parameters
+    ----------
+    spec:
+        Name, instance length, class count, and domain tag.
+    shape:
+        ``shape(class_id, unit_time, rng) -> waveform`` producing the noise-
+        free class template on a unit time grid. ``class_id`` is 1-based
+        with class 1 the "normal" class, following the paper's protocol.
+    noise:
+        Additive white-noise standard deviation (relative to the template's
+        ~unit amplitude).
+    warp:
+        Maximum smooth time-warp displacement (fraction of instance length).
+    amplitude_jitter:
+        Standard deviation of the per-instance multiplicative amplitude
+        factor (centred at 1).
+    normalize:
+        Whether to z-normalize each instance, as UCR archive data is.
+    """
+
+    def __init__(
+        self,
+        spec: DatasetSpec,
+        shape: Callable[[int, np.ndarray, np.random.Generator], np.ndarray],
+        *,
+        noise: float = 0.03,
+        warp: float = 0.02,
+        amplitude_jitter: float = 0.05,
+        normalize: bool = True,
+    ) -> None:
+        self.spec = spec
+        self._shape = shape
+        self.noise = float(noise)
+        self.warp = float(warp)
+        self.amplitude_jitter = float(amplitude_jitter)
+        self.normalize = bool(normalize)
+
+    def __repr__(self) -> str:
+        return f"SyntheticUCRDataset({self.spec.name!r}, n={self.spec.instance_length})"
+
+    def generate_instance(self, class_id: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw one instance: template -> warp -> amplitude -> noise -> znorm."""
+        if not 1 <= class_id <= self.spec.n_classes:
+            raise ValueError(
+                f"{self.spec.name} has classes 1..{self.spec.n_classes}, got {class_id}"
+            )
+        unit = np.linspace(0.0, 1.0, self.spec.instance_length)
+        template = np.asarray(self._shape(class_id, unit, rng), dtype=np.float64)
+        if template.shape != unit.shape:
+            raise ValueError(
+                f"shape function returned {template.shape}, expected {unit.shape}"
+            )
+        warped = smooth_time_warp(template, rng, self.warp)
+        scaled = warped * (1.0 + self.amplitude_jitter * rng.standard_normal())
+        noisy = scaled + self.noise * rng.standard_normal(len(scaled))
+        return znorm(noisy) if self.normalize else noisy
+
+    def normal_instance(self, rng: RandomState = None) -> np.ndarray:
+        """An instance of the normal class (class 1)."""
+        return self.generate_instance(1, ensure_rng(rng))
+
+    def anomalous_instance(self, rng: RandomState = None) -> tuple[np.ndarray, int]:
+        """An instance of a uniformly chosen non-normal class, with its id."""
+        generator = ensure_rng(rng)
+        class_id = int(generator.integers(2, self.spec.n_classes + 1))
+        return self.generate_instance(class_id, generator), class_id

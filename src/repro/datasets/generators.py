@@ -1,0 +1,129 @@
+"""Scalability-series generators (paper Section 7.3).
+
+The paper measures runtime versus series length on random walk, ECG, and
+EEG data up to 160,000 points. These generators produce arbitrarily long
+series with the same qualitative structure:
+
+- :func:`random_walk` — integrated white noise (least compressible);
+- :func:`synthetic_ecg` — concatenated PQRST beats with RR-interval and
+  amplitude variability plus baseline wander (highly repetitive);
+- :func:`synthetic_eeg` — 1/f background with band-limited alpha/theta/beta
+  oscillations (intermediate regularity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.fft import irfft, rfftfreq
+
+from repro.utils.rng import RandomState, ensure_rng
+
+
+def random_walk(length: int, seed: RandomState = None) -> np.ndarray:
+    """Standard Gaussian random walk of the given length."""
+    if length < 1:
+        raise ValueError(f"length must be positive, got {length}")
+    rng = ensure_rng(seed)
+    return np.cumsum(rng.standard_normal(length))
+
+
+def noisy_sine(
+    length: int,
+    period: float = 100.0,
+    noise: float = 0.05,
+    seed: RandomState = None,
+) -> np.ndarray:
+    """Sine wave with additive Gaussian noise — the simplest periodic workload."""
+    if length < 1:
+        raise ValueError(f"length must be positive, got {length}")
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    rng = ensure_rng(seed)
+    t = np.arange(length)
+    return np.sin(2.0 * np.pi * t / period) + noise * rng.standard_normal(length)
+
+
+def _ecg_beat(length: int, rng: np.random.Generator) -> np.ndarray:
+    """One PQRST beat on ``length`` samples with small morphological jitter."""
+    unit = np.linspace(0.0, 1.0, length)
+
+    def bump(center: float, width: float, amplitude: float) -> np.ndarray:
+        return amplitude * np.exp(-0.5 * ((unit - center) / width) ** 2)
+
+    return (
+        bump(0.18, 0.04, 0.15 * rng.uniform(0.9, 1.1))
+        + bump(0.36, 0.012, -0.20)
+        + bump(0.40, 0.014, 1.00 * rng.uniform(0.95, 1.05))
+        + bump(0.44, 0.012, -0.25)
+        + bump(0.62, 0.06, 0.30 * rng.uniform(0.9, 1.1))
+    )
+
+
+def synthetic_ecg(
+    length: int,
+    seed: RandomState = None,
+    *,
+    mean_beat_length: int = 160,
+    beat_length_std: float = 8.0,
+    noise: float = 0.03,
+    wander: float = 0.1,
+) -> np.ndarray:
+    """Synthetic ECG: concatenated beats with RR variability and wander.
+
+    Parameters
+    ----------
+    length:
+        Output length in samples.
+    mean_beat_length, beat_length_std:
+        RR interval distribution, in samples.
+    noise:
+        Additive white noise level.
+    wander:
+        Amplitude of the slow baseline-wander sinusoid.
+    """
+    if length < 1:
+        raise ValueError(f"length must be positive, got {length}")
+    rng = ensure_rng(seed)
+    pieces: list[np.ndarray] = []
+    total = 0
+    while total < length:
+        beat_length = max(32, int(rng.normal(mean_beat_length, beat_length_std)))
+        pieces.append(_ecg_beat(beat_length, rng))
+        total += beat_length
+    series = np.concatenate(pieces)[:length]
+    t = np.arange(length)
+    baseline = wander * np.sin(2.0 * np.pi * t / (mean_beat_length * 13.7))
+    return series + baseline + noise * rng.standard_normal(length)
+
+
+def synthetic_eeg(
+    length: int,
+    seed: RandomState = None,
+    *,
+    sampling_rate: float = 128.0,
+    pink_exponent: float = 1.0,
+) -> np.ndarray:
+    """Synthetic EEG: 1/f^k background plus alpha/theta/beta band activity.
+
+    Synthesized in the frequency domain: the background spectrum has
+    amplitude proportional to ``1 / f^(pink_exponent / 2)`` with random
+    phases, boosted in the theta (4–8 Hz), alpha (8–13 Hz), and beta
+    (13–30 Hz) bands, then inverse-transformed and standardized.
+    """
+    if length < 8:
+        raise ValueError(f"length must be at least 8, got {length}")
+    rng = ensure_rng(seed)
+    frequencies = rfftfreq(length, d=1.0 / sampling_rate)
+    amplitude = np.zeros_like(frequencies)
+    positive = frequencies > 0
+    amplitude[positive] = 1.0 / frequencies[positive] ** (pink_exponent / 2.0)
+    for low, high, gain in ((4.0, 8.0, 2.0), (8.0, 13.0, 4.0), (13.0, 30.0, 1.5)):
+        band = (frequencies >= low) & (frequencies <= high)
+        amplitude[band] *= gain
+    phases = rng.uniform(0.0, 2.0 * np.pi, size=len(frequencies))
+    spectrum = amplitude * np.exp(1j * phases)
+    series = irfft(spectrum, length)
+    std = series.std()
+    if std > 0:
+        series = series / std
+    return series

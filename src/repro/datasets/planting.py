@@ -1,0 +1,189 @@
+"""Test-series construction (paper Section 7.1.1 and Section 7.5).
+
+A test series is built by concatenating 20 randomly drawn *normal*
+instances, then splicing one randomly drawn *anomalous* instance into the
+result at a random position between 40% and 80% of the series. 25 such
+series per dataset form the evaluation corpus behind Tables 4–14.
+
+Section 7.5 extends this to multiple anomalies: 42 normal StarLightCurve
+instances (series length 43,008) with two anomalous instances planted at
+well-separated random positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.base import InstanceSource
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class AnomalyTestCase:
+    """One generated test series with its planted ground truth.
+
+    Attributes
+    ----------
+    series:
+        The full test series (normal background + planted instance).
+    gt_location:
+        Start index of the planted anomalous instance.
+    gt_length:
+        Length of the planted instance (``na`` in the paper).
+    dataset:
+        Source dataset name.
+    anomaly_class:
+        Class id of the planted instance (always >= 2).
+    """
+
+    series: np.ndarray
+    gt_location: int
+    gt_length: int
+    dataset: str
+    anomaly_class: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.gt_location <= len(self.series) - self.gt_length:
+            raise ValueError(
+                f"ground truth [{self.gt_location}, +{self.gt_length}) outside "
+                f"series of length {len(self.series)}"
+            )
+
+
+@dataclass(frozen=True)
+class MultiAnomalyTestCase:
+    """A test series containing several planted anomalies (Section 7.5)."""
+
+    series: np.ndarray
+    gt_locations: tuple[int, ...]
+    gt_length: int
+    dataset: str
+
+    def __post_init__(self) -> None:
+        for location in self.gt_locations:
+            if not 0 <= location <= len(self.series) - self.gt_length:
+                raise ValueError(f"ground truth at {location} outside series")
+
+
+def make_test_case(
+    dataset: InstanceSource,
+    seed: RandomState = None,
+    *,
+    n_normal: int = 20,
+    position_range: tuple[float, float] = (0.4, 0.8),
+) -> AnomalyTestCase:
+    """Generate one test series per the paper's protocol.
+
+    Parameters
+    ----------
+    dataset:
+        Any :class:`repro.datasets.base.InstanceSource`.
+    seed:
+        Seed or generator; a fixed seed reproduces the series exactly.
+    n_normal:
+        Number of normal instances concatenated (paper: 20).
+    position_range:
+        The planted instance is spliced in at a uniformly random position
+        within this fraction range of the normal series (paper: 40%–80%).
+    """
+    rng = ensure_rng(seed)
+    low, high = position_range
+    if not 0.0 <= low <= high <= 1.0:
+        raise ValueError(f"position_range must satisfy 0 <= low <= high <= 1, got {position_range}")
+    normal = np.concatenate(
+        [dataset.generate_instance(1, rng) for _ in range(n_normal)]
+    )
+    anomaly_class = int(rng.integers(2, dataset.spec.n_classes + 1))
+    planted = dataset.generate_instance(anomaly_class, rng)
+    position = int(rng.uniform(low, high) * len(normal))
+    series = np.concatenate([normal[:position], planted, normal[position:]])
+    return AnomalyTestCase(
+        series=series,
+        gt_location=position,
+        gt_length=len(planted),
+        dataset=dataset.spec.name,
+        anomaly_class=anomaly_class,
+    )
+
+
+def make_corpus(
+    dataset: InstanceSource,
+    n_cases: int = 25,
+    seed: RandomState = 0,
+    *,
+    n_normal: int = 20,
+    position_range: tuple[float, float] = (0.4, 0.8),
+) -> list[AnomalyTestCase]:
+    """The paper's per-dataset corpus: ``n_cases`` independent test series.
+
+    Each case gets an independent child generator spawned from ``seed``, so
+    corpora are reproducible and cases are statistically independent.
+    """
+    if n_cases < 1:
+        raise ValueError(f"n_cases must be positive, got {n_cases}")
+    children = spawn_rngs(seed, n_cases)
+    return [
+        make_test_case(dataset, child, n_normal=n_normal, position_range=position_range)
+        for child in children
+    ]
+
+
+def make_multi_anomaly_case(
+    dataset: InstanceSource,
+    seed: RandomState = None,
+    *,
+    n_normal: int = 40,
+    n_anomalies: int = 2,
+    min_separation: float = 2.0,
+) -> MultiAnomalyTestCase:
+    """A series with several planted anomalies (Section 7.5 protocol).
+
+    ``n_normal`` normal instances are concatenated and ``n_anomalies``
+    anomalous instances spliced in at random positions at least
+    ``min_separation * instance_length`` apart (and away from the edges).
+    With the paper's StarLightCurve numbers (40 normal + 2 anomalies of
+    length 1024) the resulting series has length 43,008.
+    """
+    if n_anomalies < 1:
+        raise ValueError(f"n_anomalies must be positive, got {n_anomalies}")
+    rng = ensure_rng(seed)
+    length = dataset.spec.instance_length
+    normal = np.concatenate(
+        [dataset.generate_instance(1, rng) for _ in range(n_normal)]
+    )
+    separation = int(min_separation * length)
+    margin = length  # keep anomalies off the series edges
+    positions: list[int] = []
+    attempts = 0
+    while len(positions) < n_anomalies:
+        attempts += 1
+        if attempts > 10_000:
+            raise RuntimeError(
+                "could not place anomalies with the requested separation; "
+                "reduce n_anomalies or min_separation"
+            )
+        candidate = int(rng.integers(margin, len(normal) - margin))
+        if all(abs(candidate - existing) >= separation for existing in positions):
+            positions.append(candidate)
+    # Splice from the right so earlier insertion points stay valid, then
+    # compute final locations accounting for the shifts of later splices.
+    order = np.argsort(positions)[::-1]
+    series = normal
+    for index in order:
+        planted = dataset.generate_instance(
+            int(rng.integers(2, dataset.spec.n_classes + 1)), rng
+        )
+        at = positions[index]
+        series = np.concatenate([series[:at], planted, series[at:]])
+    sorted_positions = sorted(positions)
+    final_locations = tuple(
+        position + rank * length for rank, position in enumerate(sorted_positions)
+    )
+    return MultiAnomalyTestCase(
+        series=series,
+        gt_locations=final_locations,
+        gt_length=length,
+        dataset=dataset.spec.name,
+    )

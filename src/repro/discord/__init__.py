@@ -1,0 +1,32 @@
+"""Distance-based discord discovery — the paper's state-of-the-art comparator.
+
+- :mod:`repro.discord.matrix_profile` — z-normalized all-subsequence 1-NN
+  distances: brute force (reference), MASS (FFT distance profile), STAMP and
+  STOMP [23] (the implementation the paper benchmarks against).
+- :mod:`repro.discord.discords` — top-k non-overlapping discord extraction
+  and the :class:`DiscordDetector` used as the "Discord" baseline.
+- :mod:`repro.discord.hotsax` — HOTSAX [9], the original heuristic discord
+  algorithm, included as the paper's historical comparator.
+"""
+
+from repro.discord.discords import Discord, DiscordDetector, top_discords
+from repro.discord.hotsax import hotsax_discords
+from repro.discord.matrix_profile import (
+    MatrixProfile,
+    mass,
+    matrix_profile_brute,
+    matrix_profile_stamp,
+    matrix_profile_stomp,
+)
+
+__all__ = [
+    "Discord",
+    "DiscordDetector",
+    "MatrixProfile",
+    "hotsax_discords",
+    "mass",
+    "matrix_profile_brute",
+    "matrix_profile_stamp",
+    "matrix_profile_stomp",
+    "top_discords",
+]

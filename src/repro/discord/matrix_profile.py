@@ -1,0 +1,280 @@
+"""Matrix profile computation: brute force, MASS, STAMP [21], STOMP [23].
+
+The matrix profile of a series ``T`` for subsequence length ``m`` stores, for
+every subsequence, the z-normalized Euclidean distance to its nearest
+non-trivial neighbour (1-NN). Discords — the paper's distance-based anomaly
+baseline — are the subsequences with the largest profile values.
+
+Conventions (matching the matrix-profile literature / STUMPY):
+
+- z-normalization uses the population standard deviation (``ddof=0``);
+- trivial matches are suppressed with an exclusion zone of ``ceil(m / 4)``
+  around the diagonal;
+- a pair of constant subsequences has distance 0; a constant vs non-constant
+  pair has distance ``sqrt(m)``.
+
+``matrix_profile_stomp`` is the O(N^2) dot-product-recurrence algorithm the
+paper uses for its "Discord" baseline and scalability comparison;
+``matrix_profile_brute`` is the O(N^2 m) reference used by the tests;
+``mass``/``matrix_profile_stamp`` provide the FFT-based variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.fft import irfft, rfft
+from scipy.ndimage import maximum_filter1d, minimum_filter1d
+
+from repro.utils.validation import ensure_time_series, validate_window
+
+#: Subsequences whose std is below this fraction of their magnitude scale
+#: are treated as constant (the prefix-sum variance is ill-conditioned past
+#: this point, and the z-normalized distance is undefined for true constants).
+_RELATIVE_STD_EPSILON = 1e-7
+
+
+@dataclass(frozen=True)
+class MatrixProfile:
+    """A computed matrix profile.
+
+    Attributes
+    ----------
+    profile:
+        1-NN z-normalized Euclidean distance per subsequence start.
+    indices:
+        Position of each subsequence's nearest neighbour (-1 when the series
+        is too short for any non-trivial neighbour).
+    window:
+        Subsequence length ``m``.
+    exclusion:
+        Half-width of the trivial-match exclusion zone used.
+    """
+
+    profile: np.ndarray
+    indices: np.ndarray
+    window: int
+    exclusion: int
+
+    def __len__(self) -> int:
+        return len(self.profile)
+
+
+def default_exclusion(window: int) -> int:
+    """STUMPY-convention exclusion zone: ``ceil(m / 4)``."""
+    return int(np.ceil(window / 4))
+
+
+def _sliding_stats(
+    series: np.ndarray, window: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rolling mean, population std, and constancy mask of every subsequence.
+
+    The constancy mask combines an *exact* rolling-range test (O(N) via
+    scipy's running min/max filters) with a relative std threshold, so
+    exactly-flat windows are flagged regardless of magnitude and
+    near-constant windows are flagged before the prefix-sum variance becomes
+    ill-conditioned. All matrix-profile variants share this mask, which is
+    part of the distance definition.
+    """
+    prefix = np.concatenate(([0.0], np.cumsum(series)))
+    prefix_sq = np.concatenate(([0.0], np.cumsum(series**2)))
+    totals = prefix[window:] - prefix[:-window]
+    totals_sq = prefix_sq[window:] - prefix_sq[:-window]
+    means = totals / window
+    variances = np.maximum(totals_sq / window - means**2, 0.0)
+    stds = np.sqrt(variances)
+    n_subs = len(series) - window + 1
+    shift = window // 2
+    highs = maximum_filter1d(series, window, mode="nearest")[shift : shift + n_subs]
+    lows = minimum_filter1d(series, window, mode="nearest")[shift : shift + n_subs]
+    scale = np.maximum(np.abs(means), 1.0)
+    constant = (highs - lows <= 0.0) | (stds <= _RELATIVE_STD_EPSILON * scale)
+    return means, stds, constant
+
+
+def _is_constant(values: np.ndarray) -> bool:
+    """Single-subsequence constancy test, consistent with the rolling mask."""
+    if np.ptp(values) <= 0.0:
+        return True
+    scale = max(abs(float(values.mean())), 1.0)
+    return float(values.std()) <= _RELATIVE_STD_EPSILON * scale
+
+
+def _pair_distances(
+    dots: np.ndarray,
+    mean_i: float,
+    std_i: float,
+    i_constant: bool,
+    means: np.ndarray,
+    stds: np.ndarray,
+    constant: np.ndarray,
+    window: int,
+) -> np.ndarray:
+    """Distances of one subsequence to all others, from raw dot products.
+
+    ``d^2 = 2m (1 - (QT - m mu_i mu_j) / (m sigma_i sigma_j))`` with the
+    constant-subsequence conventions described in the module docstring.
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        correlations = (dots - window * mean_i * means) / (window * std_i * stds)
+    squared = 2.0 * window * (1.0 - correlations)
+    distances = np.sqrt(np.maximum(squared, 0.0))
+    if i_constant:
+        distances = np.where(constant, 0.0, np.sqrt(window))
+    else:
+        distances = np.where(constant, np.sqrt(window), distances)
+    return distances
+
+
+def sliding_dot_products(query: np.ndarray, series: np.ndarray) -> np.ndarray:
+    """Dot product of ``query`` with every same-length window of ``series``.
+
+    FFT convolution, O(N log N) — the core of MASS.
+    """
+    query = ensure_time_series(query, name="query")
+    series = ensure_time_series(series, name="series")
+    m = len(query)
+    n = len(series)
+    if m > n:
+        raise ValueError(f"query (len {m}) longer than series (len {n})")
+    size = n + m - 1
+    transform = rfft(series, size) * rfft(query[::-1], size)
+    correlation = irfft(transform, size)
+    return correlation[m - 1 : n]
+
+
+def mass(query: np.ndarray, series: np.ndarray) -> np.ndarray:
+    """MASS: z-normalized Euclidean distance profile of ``query`` vs ``series``.
+
+    Mueen's Algorithm for Similarity Search — one FFT convolution plus O(N)
+    arithmetic (Rakthanmanon et al. 2012). No exclusion zone is applied; use
+    :func:`matrix_profile_stamp` for self-joins.
+    """
+    query = ensure_time_series(query, name="query")
+    series = ensure_time_series(series, name="series")
+    m = len(query)
+    dots = sliding_dot_products(query, series)
+    means, stds, constant = _sliding_stats(series, m)
+    query_mean = float(query.mean())
+    query_std = float(query.std())
+    return _pair_distances(
+        dots, query_mean, query_std, _is_constant(query), means, stds, constant, m
+    )
+
+
+def _apply_exclusion(distances: np.ndarray, center: int, exclusion: int) -> None:
+    low = max(0, center - exclusion)
+    high = min(len(distances), center + exclusion + 1)
+    distances[low:high] = np.inf
+
+
+def matrix_profile_brute(
+    series: np.ndarray,
+    window: int,
+    exclusion: int | None = None,
+) -> MatrixProfile:
+    """Reference O(N^2 m) matrix profile; use only on small inputs (tests)."""
+    series = ensure_time_series(series, name="series", min_length=2)
+    window = validate_window(window, len(series))
+    exclusion = default_exclusion(window) if exclusion is None else int(exclusion)
+    n_subs = len(series) - window + 1
+    constant = np.array([_is_constant(series[i : i + window]) for i in range(n_subs)])
+    normalized = np.empty((n_subs, window))
+    for i in range(n_subs):
+        sub = series[i : i + window]
+        if constant[i]:
+            normalized[i] = 0.0
+        else:
+            normalized[i] = (sub - sub.mean()) / sub.std()
+    profile = np.full(n_subs, np.inf)
+    indices = np.full(n_subs, -1, dtype=np.int64)
+    for i in range(n_subs):
+        distances = np.sqrt(np.sum((normalized - normalized[i]) ** 2, axis=1))
+        # Constant-subsequence conventions (shared with the fast variants).
+        if constant[i]:
+            distances = np.where(constant, 0.0, np.sqrt(window))
+        else:
+            distances = np.where(constant, np.sqrt(window), distances)
+        _apply_exclusion(distances, i, exclusion)
+        best = int(np.argmin(distances))
+        if np.isfinite(distances[best]):
+            profile[i] = distances[best]
+            indices[i] = best
+    return MatrixProfile(profile, indices, window, exclusion)
+
+
+def matrix_profile_stamp(
+    series: np.ndarray,
+    window: int,
+    exclusion: int | None = None,
+) -> MatrixProfile:
+    """STAMP [21]: one MASS distance profile per subsequence, O(N^2 log N)."""
+    series = ensure_time_series(series, name="series", min_length=2)
+    window = validate_window(window, len(series))
+    exclusion = default_exclusion(window) if exclusion is None else int(exclusion)
+    n_subs = len(series) - window + 1
+    profile = np.full(n_subs, np.inf)
+    indices = np.full(n_subs, -1, dtype=np.int64)
+    for i in range(n_subs):
+        distances = mass(series[i : i + window], series)
+        _apply_exclusion(distances, i, exclusion)
+        best = int(np.argmin(distances))
+        if np.isfinite(distances[best]):
+            profile[i] = distances[best]
+            indices[i] = best
+    return MatrixProfile(profile, indices, window, exclusion)
+
+
+def matrix_profile_stomp(
+    series: np.ndarray,
+    window: int,
+    exclusion: int | None = None,
+) -> MatrixProfile:
+    """STOMP [23]: O(N^2) matrix profile via the QT dot-product recurrence.
+
+    ``QT_i[j] = QT_{i-1}[j-1] - T[i-1] T[j-1] + T[i+m-1] T[j+m-1]`` lets each
+    row of the (never materialized) distance matrix be derived from the
+    previous one with O(N) arithmetic. This is the implementation behind the
+    "Discord" baseline in Tables 4–6 and the scalability curves of Figure 8.
+    """
+    series = ensure_time_series(series, name="series", min_length=2)
+    window = validate_window(window, len(series))
+    exclusion = default_exclusion(window) if exclusion is None else int(exclusion)
+    m = window
+    n_subs = len(series) - m + 1
+    means, stds, constant = _sliding_stats(series, m)
+    # First row exactly; every later row by the recurrence.
+    first_row = sliding_dot_products(series[:m], series)
+    dots = first_row.copy()
+    profile = np.full(n_subs, np.inf)
+    indices = np.full(n_subs, -1, dtype=np.int64)
+
+    def _update(i: int, row_dots: np.ndarray) -> None:
+        distances = _pair_distances(
+            row_dots,
+            float(means[i]),
+            float(stds[i]),
+            bool(constant[i]),
+            means,
+            stds,
+            constant,
+            m,
+        )
+        _apply_exclusion(distances, i, exclusion)
+        best = int(np.argmin(distances))
+        if np.isfinite(distances[best]):
+            if distances[best] < profile[i]:
+                profile[i] = distances[best]
+                indices[i] = best
+
+    _update(0, dots)
+    head = series[: n_subs - 1]  # T[i-1] terms, aligned for the shifted row
+    tail = series[m : m + n_subs - 1]  # T[i+m-1] terms
+    for i in range(1, n_subs):
+        # Shift right: entry j derives from entry j-1 of the previous row.
+        dots[1:] = dots[:-1] - series[i - 1] * head + series[i + m - 1] * tail
+        dots[0] = first_row[i]
+        _update(i, dots)
+    return MatrixProfile(profile, indices, window, exclusion)

@@ -1,0 +1,48 @@
+"""Evaluation harness (paper Section 7).
+
+- :mod:`repro.evaluation.metrics` — Score (Eq. 5), HitRate, per-case best.
+- :mod:`repro.evaluation.comparison` — wins/ties/losses between methods.
+- :mod:`repro.evaluation.baselines` — GI-Random, GI-Fix, GI-Select and the
+  Discord baseline, all behind the common detector protocol.
+- :mod:`repro.evaluation.harness` — corpus runners and aggregation used by
+  every accuracy bench.
+- :mod:`repro.evaluation.tables` — ASCII table rendering for the benches.
+"""
+
+from repro.evaluation.baselines import (
+    GIRandomDetector,
+    GISelectDetector,
+    gi_fix_detector,
+    make_baseline_factories,
+    select_parameters,
+)
+from repro.evaluation.comparison import WinsTiesLosses, wins_ties_losses
+from repro.evaluation.harness import (
+    DetectorFactory,
+    MethodScores,
+    evaluate_detector,
+    evaluate_methods,
+    evaluate_methods_on_corpus,
+)
+from repro.evaluation.metrics import best_score, hit_rate, score
+from repro.evaluation.tables import format_float, format_table
+
+__all__ = [
+    "DetectorFactory",
+    "GIRandomDetector",
+    "GISelectDetector",
+    "MethodScores",
+    "WinsTiesLosses",
+    "best_score",
+    "evaluate_detector",
+    "evaluate_methods",
+    "evaluate_methods_on_corpus",
+    "format_float",
+    "format_table",
+    "gi_fix_detector",
+    "hit_rate",
+    "make_baseline_factories",
+    "score",
+    "select_parameters",
+    "wins_ties_losses",
+]

@@ -1,0 +1,59 @@
+"""Per-series win/tie/loss comparison (paper Tables 6–9, Figure 10).
+
+The paper compares the ensemble against each baseline per test series: a
+*win* is a strictly higher Score, a *tie* an equal Score, a *loss* a
+strictly lower one. Scores are real-valued, so equality uses a tolerance
+(most ties in practice are exact 0-vs-0 or 1-vs-1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+#: Two scores within this distance count as a tie.
+DEFAULT_TIE_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class WinsTiesLosses:
+    """Win/tie/loss counts of method A against method B."""
+
+    wins: int
+    ties: int
+    losses: int
+
+    def __post_init__(self) -> None:
+        if min(self.wins, self.ties, self.losses) < 0:
+            raise ValueError("counts must be non-negative")
+
+    @property
+    def total(self) -> int:
+        return self.wins + self.ties + self.losses
+
+    def __str__(self) -> str:
+        """The paper's ``wins/ties/losses`` cell format, e.g. ``12/5/8``."""
+        return f"{self.wins}/{self.ties}/{self.losses}"
+
+
+def wins_ties_losses(
+    scores_a: Sequence[float] | np.ndarray,
+    scores_b: Sequence[float] | np.ndarray,
+    tolerance: float = DEFAULT_TIE_TOLERANCE,
+) -> WinsTiesLosses:
+    """Count per-case wins/ties/losses of ``scores_a`` against ``scores_b``."""
+    a = np.asarray(scores_a, dtype=np.float64)
+    b = np.asarray(scores_b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError(
+            f"score arrays must be 1-D and aligned, got shapes {a.shape} and {b.shape}"
+        )
+    if a.size == 0:
+        raise ValueError("cannot compare empty score arrays")
+    differences = a - b
+    ties = int(np.sum(np.abs(differences) <= tolerance))
+    wins = int(np.sum(differences > tolerance))
+    losses = int(np.sum(differences < -tolerance))
+    return WinsTiesLosses(wins=wins, ties=ties, losses=losses)

@@ -1,0 +1,121 @@
+"""Corpus evaluation runners (the engine behind every accuracy bench).
+
+The flow mirrors Section 7.1: per dataset, generate a corpus of planted
+test series, run each method's detector (window = planted instance length
+unless overridden), collect each case's best top-3 Score, and aggregate
+into average Score / HitRate / win-tie-loss records.
+
+Detectors are created per *corpus* via a factory (``window -> detector``)
+so stateful baselines (GI-Random's parameter stream) behave as in the
+paper: fresh randomness per series, reproducible per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Protocol, Sequence
+
+import numpy as np
+
+from repro.datasets.planting import AnomalyTestCase
+from repro.evaluation.metrics import average_score, best_score, hit_rate
+
+
+class _Detector(Protocol):
+    def detect(self, series: np.ndarray, k: int = 3) -> list:
+        ...
+
+
+#: A factory mapping a window length to a ready detector.
+DetectorFactory = Callable[[int], _Detector]
+
+
+@dataclass(frozen=True)
+class MethodScores:
+    """Per-case best Scores of one method on one corpus."""
+
+    method: str
+    scores: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.scores:
+            raise ValueError("a MethodScores needs at least one case")
+
+    @property
+    def average(self) -> float:
+        """The paper's "average Score" (Table 4 cells)."""
+        return average_score(self.scores)
+
+    @property
+    def hit_rate(self) -> float:
+        """The paper's HitRate (Table 5 cells)."""
+        return hit_rate(self.scores)
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.scores, dtype=np.float64)
+
+
+def evaluate_detector(
+    detector: _Detector,
+    cases: Sequence[AnomalyTestCase],
+    k: int = 3,
+) -> list[float]:
+    """Best top-``k`` Score of one detector on each case."""
+    results: list[float] = []
+    for case in cases:
+        anomalies = detector.detect(case.series, k)
+        results.append(best_score(anomalies, case.gt_location, case.gt_length))
+    return results
+
+
+def evaluate_methods_on_corpus(
+    cases: Sequence[AnomalyTestCase],
+    factories: Mapping[str, DetectorFactory],
+    *,
+    k: int = 3,
+    window: int | None = None,
+) -> dict[str, MethodScores]:
+    """Run every method on a corpus and collect per-case Scores.
+
+    Parameters
+    ----------
+    cases:
+        The corpus (all cases must share one ground-truth length unless an
+        explicit ``window`` is given).
+    factories:
+        Method name -> detector factory.
+    k:
+        Candidates per method (paper: top-3, non-overlapping).
+    window:
+        Sliding-window length; defaults to the corpus ground-truth length
+        (the paper's ``n = na`` setting). Tables 13/14 pass fractions of it.
+    """
+    if not cases:
+        raise ValueError("empty corpus")
+    if window is None:
+        lengths = {case.gt_length for case in cases}
+        if len(lengths) != 1:
+            raise ValueError(
+                f"corpus has mixed ground-truth lengths {sorted(lengths)}; "
+                "pass an explicit window"
+            )
+        window = lengths.pop()
+    results: dict[str, MethodScores] = {}
+    for name, factory in factories.items():
+        detector = factory(window)
+        scores = evaluate_detector(detector, cases, k)
+        results[name] = MethodScores(name, tuple(scores))
+    return results
+
+
+def evaluate_methods(
+    corpora: Mapping[str, Sequence[AnomalyTestCase]],
+    factories: Mapping[str, DetectorFactory],
+    *,
+    k: int = 3,
+) -> dict[str, dict[str, MethodScores]]:
+    """Run every method on every dataset corpus: ``{dataset: {method: scores}}``."""
+    return {
+        dataset: evaluate_methods_on_corpus(cases, factories, k=k)
+        for dataset, cases in corpora.items()
+    }

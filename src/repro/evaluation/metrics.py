@@ -1,0 +1,59 @@
+"""Evaluation metrics (paper Section 7.1.2).
+
+The paper scores a predicted anomaly location against the planted ground
+truth with Eq. (5):
+
+``Score = 1 - min(1, |PredictLocation - GTLocation| / GTLength)``
+
+Score is 1 for an exact location match, decays linearly with the offset,
+and is 0 once the candidate no longer overlaps the ground truth. Each
+method reports its top-3 non-overlapping candidates and is credited with
+the best of their scores; HitRate is the fraction of test series where that
+best score is positive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.anomaly import Anomaly
+
+
+def score(predict_location: int, gt_location: int, gt_length: int) -> float:
+    """Eq. (5): linear-decay location score in [0, 1]."""
+    if gt_length < 1:
+        raise ValueError(f"gt_length must be positive, got {gt_length}")
+    offset = abs(int(predict_location) - int(gt_location))
+    return 1.0 - min(1.0, offset / gt_length)
+
+
+def best_score(
+    anomalies: Iterable[Anomaly],
+    gt_location: int,
+    gt_length: int,
+) -> float:
+    """Best Eq. (5) score over a method's reported candidates (0 if none)."""
+    best = 0.0
+    for anomaly in anomalies:
+        best = max(best, score(anomaly.position, gt_location, gt_length))
+    return best
+
+
+def hit_rate(scores: Sequence[float] | np.ndarray) -> float:
+    """Fraction of cases with Score > 0 (candidate overlapped ground truth)."""
+    values = np.asarray(scores, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("hit_rate of an empty score list is undefined")
+    if np.any((values < 0) | (values > 1)):
+        raise ValueError("scores must lie in [0, 1]")
+    return float(np.mean(values > 0.0))
+
+
+def average_score(scores: Sequence[float] | np.ndarray) -> float:
+    """Mean Score over a corpus (the paper's per-dataset headline number)."""
+    values = np.asarray(scores, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("average_score of an empty score list is undefined")
+    return float(values.mean())

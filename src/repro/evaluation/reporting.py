@@ -1,0 +1,112 @@
+"""Result serialization: JSON/CSV exports of detections and evaluations.
+
+Backs the command-line interface and gives downstream users a stable
+on-disk format for detections (positions, lengths, scores) and evaluation
+summaries (per-method average Score / HitRate / per-case scores).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.core.anomaly import Anomaly
+from repro.evaluation.harness import MethodScores
+
+#: Format version written into every JSON document.
+FORMAT_VERSION = 1
+
+
+def anomalies_to_dicts(anomalies: Sequence[Anomaly]) -> list[dict]:
+    """Plain-dict form of a detection result (JSON-ready)."""
+    return [
+        {
+            "rank": anomaly.rank,
+            "position": anomaly.position,
+            "length": anomaly.length,
+            "score": float(anomaly.score),
+        }
+        for anomaly in anomalies
+    ]
+
+
+def anomalies_from_dicts(records: Sequence[Mapping]) -> list[Anomaly]:
+    """Inverse of :func:`anomalies_to_dicts`."""
+    return [
+        Anomaly(
+            position=int(record["position"]),
+            length=int(record["length"]),
+            score=float(record["score"]),
+            rank=int(record["rank"]),
+        )
+        for record in records
+    ]
+
+
+def write_detections_json(
+    path: str | Path,
+    anomalies: Sequence[Anomaly],
+    *,
+    metadata: Mapping[str, object] | None = None,
+) -> None:
+    """Write a detection result with optional run metadata."""
+    document = {
+        "format_version": FORMAT_VERSION,
+        "metadata": dict(metadata or {}),
+        "anomalies": anomalies_to_dicts(anomalies),
+    }
+    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+
+
+def read_detections_json(path: str | Path) -> tuple[list[Anomaly], dict]:
+    """Read a detection result written by :func:`write_detections_json`."""
+    document = json.loads(Path(path).read_text())
+    if document.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported detections format version {document.get('format_version')!r}"
+        )
+    return anomalies_from_dicts(document["anomalies"]), dict(document.get("metadata", {}))
+
+
+def write_detections_csv(path: str | Path, anomalies: Sequence[Anomaly]) -> None:
+    """CSV export: one candidate per row (rank, position, length, score)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["rank", "position", "length", "score"])
+        for anomaly in anomalies:
+            writer.writerow([anomaly.rank, anomaly.position, anomaly.length, anomaly.score])
+
+
+def evaluation_to_dict(results: Mapping[str, MethodScores]) -> dict:
+    """JSON-ready form of one corpus evaluation (method -> scores)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "methods": {
+            name: {
+                "average_score": scores.average,
+                "hit_rate": scores.hit_rate,
+                "scores": list(scores.scores),
+            }
+            for name, scores in results.items()
+        },
+    }
+
+
+def write_evaluation_json(path: str | Path, results: Mapping[str, MethodScores]) -> None:
+    """Persist a corpus evaluation."""
+    Path(path).write_text(json.dumps(evaluation_to_dict(results), indent=2) + "\n")
+
+
+def read_evaluation_json(path: str | Path) -> dict[str, MethodScores]:
+    """Load a corpus evaluation back into :class:`MethodScores` records."""
+    document = json.loads(Path(path).read_text())
+    if document.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported evaluation format version {document.get('format_version')!r}"
+        )
+    return {
+        name: MethodScores(name, tuple(float(s) for s in payload["scores"]))
+        for name, payload in document["methods"].items()
+    }

@@ -1,0 +1,52 @@
+"""ASCII table rendering for the benches and examples.
+
+The benchmark harness prints each reproduced table in the same row/column
+layout as the paper, with paper-reported values alongside measured ones;
+this module handles the alignment so every bench stays declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Fixed-precision float formatting used in all reproduced tables."""
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are stringified with ``str``; column widths adapt to content.
+    """
+    if not headers:
+        raise ValueError("a table needs headers")
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for index, row in enumerate(text_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {index} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def _line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    separator = "  ".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(separator)))
+    lines.append(_line(list(headers)))
+    lines.append(separator)
+    lines.extend(_line(row) for row in text_rows)
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Frozen grammar produced by Sequitur: rules, expansions, occurrences.
+
+A :class:`Grammar` is the immutable result of :func:`repro.grammar.sequitur.
+induce_grammar`. Rule right-hand sides mix two element types:
+
+- ``str`` — a terminal (a SAX word);
+- ``int`` — a reference to ``rules[i]`` (a non-terminal), always ``>= 1``.
+
+``rules[0]`` is R0, the compressed token sequence; by the rule-utility
+invariant every other rule is referenced at least twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Grammar", "GrammarRule", "RuleOccurrence"]
+
+
+@dataclass(frozen=True)
+class GrammarRule:
+    """One grammar rule: ``R<index> -> rhs``."""
+
+    index: int
+    rhs: tuple[str | int, ...]
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"rule index must be non-negative, got {self.index}")
+        for element in self.rhs:
+            if isinstance(element, int) and element < 1:
+                raise ValueError(f"rule references must be >= 1, got {element}")
+
+    def references(self) -> Iterator[int]:
+        """Indices of the rules this rule's body references."""
+        for element in self.rhs:
+            if isinstance(element, int):
+                yield element
+
+    def __str__(self) -> str:
+        body = " ".join(f"R{e}" if isinstance(e, int) else e for e in self.rhs)
+        return f"R{self.index} -> {body}"
+
+
+@dataclass(frozen=True)
+class RuleOccurrence:
+    """One occurrence of a rule in the expanded token sequence.
+
+    ``first_token``/``last_token`` are inclusive indices into the
+    (numerosity-reduced) token sequence the grammar was induced from.
+    Nested occurrences (a rule used inside another rule's expansion) are
+    enumerated too, matching GrammarViz's rule-density accounting.
+    """
+
+    rule_index: int
+    first_token: int
+    last_token: int
+
+    def __post_init__(self) -> None:
+        if self.first_token > self.last_token:
+            raise ValueError(
+                f"occurrence spans [{self.first_token}, {self.last_token}] — empty"
+            )
+
+    @property
+    def token_length(self) -> int:
+        return self.last_token - self.first_token + 1
+
+
+class Grammar:
+    """An immutable context-free grammar over SAX-word terminals.
+
+    Parameters
+    ----------
+    rules:
+        ``rules[0]`` is R0; every ``int`` element of a rule body indexes into
+        this tuple.
+    """
+
+    def __init__(self, rules: tuple[GrammarRule, ...]) -> None:
+        if not rules:
+            raise ValueError("a grammar needs at least R0")
+        for position, rule in enumerate(rules):
+            if rule.index != position:
+                raise ValueError(
+                    f"rules must be stored in index order; rules[{position}] "
+                    f"has index {rule.index}"
+                )
+            for reference in rule.references():
+                if reference >= len(rules):
+                    raise ValueError(
+                        f"R{rule.index} references undefined rule R{reference}"
+                    )
+        self.rules = rules
+        self._expanded_lengths: list[int] | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def n_rules(self) -> int:
+        """Number of rules including R0."""
+        return len(self.rules)
+
+    def grammar_size(self) -> int:
+        """Description-length proxy: total RHS symbols plus one per rule.
+
+        Used by the GI-Select baseline as the MDL criterion — smaller means
+        the discretization exposed more structure to compress.
+        """
+        return sum(len(rule.rhs) + 1 for rule in self.rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Grammar):
+            return NotImplemented
+        return self.rules == other.rules
+
+    def __hash__(self) -> int:
+        return hash(self.rules)
+
+    # ------------------------------------------------------------------
+    # Expansion.
+    # ------------------------------------------------------------------
+
+    def expanded_lengths(self) -> list[int]:
+        """Number of terminals each rule expands to (memoized, iterative)."""
+        if self._expanded_lengths is not None:
+            return self._expanded_lengths
+        lengths: list[int | None] = [None] * len(self.rules)
+
+        for start in range(len(self.rules) - 1, -1, -1):
+            if lengths[start] is not None:
+                continue
+            # Iterative post-order over the rule DAG.
+            stack: list[int] = [start]
+            while stack:
+                index = stack[-1]
+                if lengths[index] is not None:
+                    stack.pop()
+                    continue
+                pending = [
+                    ref for ref in self.rules[index].references() if lengths[ref] is None
+                ]
+                if pending:
+                    stack.extend(pending)
+                    continue
+                total = 0
+                for element in self.rules[index].rhs:
+                    if isinstance(element, int):
+                        total += lengths[element]  # type: ignore[operator]
+                    else:
+                        total += 1
+                lengths[index] = total
+                stack.pop()
+        self._expanded_lengths = [int(length) for length in lengths]  # type: ignore[arg-type]
+        return self._expanded_lengths
+
+    def expand(self, rule_index: int = 0) -> list[str]:
+        """Fully expand a rule into its terminal sequence (iterative)."""
+        if not 0 <= rule_index < len(self.rules):
+            raise IndexError(f"rule index {rule_index} out of range")
+        terminals: list[str] = []
+        stack: list[str | int] = list(reversed(self.rules[rule_index].rhs))
+        while stack:
+            element = stack.pop()
+            if isinstance(element, int):
+                stack.extend(reversed(self.rules[element].rhs))
+            else:
+                terminals.append(element)
+        return terminals
+
+    # ------------------------------------------------------------------
+    # Occurrence enumeration (feeds the rule density curve).
+    # ------------------------------------------------------------------
+
+    def rule_occurrences(self) -> list[RuleOccurrence]:
+        """Every occurrence of every rule except R0, nested ones included.
+
+        A full in-order walk of R0's parse tree: the k-th terminal visited
+        corresponds to token k of the induced sequence, and each non-terminal
+        node contributes one :class:`RuleOccurrence` spanning the tokens of
+        its subtree. Runs in O(parse-tree size) = O(#tokens).
+        """
+        lengths = self.expanded_lengths()
+        occurrences: list[RuleOccurrence] = []
+        position = 0
+        # Stack of (rule_index, next_element_position) frames.
+        stack: list[tuple[int, int]] = [(0, 0)]
+        while stack:
+            rule_index, cursor = stack.pop()
+            rhs = self.rules[rule_index].rhs
+            while cursor < len(rhs):
+                element = rhs[cursor]
+                cursor += 1
+                if isinstance(element, int):
+                    occurrences.append(
+                        RuleOccurrence(element, position, position + lengths[element] - 1)
+                    )
+                    stack.append((rule_index, cursor))
+                    rule_index, cursor, rhs = element, 0, self.rules[element].rhs
+                else:
+                    position += 1
+        return occurrences

@@ -1,0 +1,44 @@
+"""SAX alphabet helpers: symbol set and word <-> index conversions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The SAX symbol set, ordered by breakpoint region (lowest region = 'a').
+ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+#: Code point of the first symbol; symbol index ``i`` maps to ``chr(_BASE + i)``.
+_BASE = ord("a")
+
+
+def indices_to_word(indices: np.ndarray) -> str:
+    """Convert an array of symbol indices (0-based) into a SAX word string."""
+    codes = np.asarray(indices)
+    if codes.size and (codes.min() < 0 or codes.max() >= len(ALPHABET)):
+        raise ValueError(f"symbol indices must be in [0, {len(ALPHABET) - 1}]")
+    return (codes.astype(np.uint8) + _BASE).tobytes().decode("ascii")
+
+
+def word_to_indices(word: str) -> np.ndarray:
+    """Convert a SAX word string back into an array of 0-based symbol indices."""
+    codes = np.frombuffer(word.encode("ascii"), dtype=np.uint8).astype(np.int64) - _BASE
+    if codes.size and (codes.min() < 0 or codes.max() >= len(ALPHABET)):
+        raise ValueError(f"word {word!r} contains characters outside the SAX alphabet")
+    return codes
+
+
+def index_matrix_to_words(indices: np.ndarray) -> list[str]:
+    """Convert a 2-D matrix of symbol indices into one word string per row.
+
+    This is the hot path of sliding-window discretization, so it converts the
+    whole matrix to bytes once and slices per row.
+    """
+    matrix = np.asarray(indices)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D index matrix, got shape {matrix.shape}")
+    byte_matrix = (matrix.astype(np.uint8) + _BASE).tobytes()
+    width = matrix.shape[1]
+    return [
+        byte_matrix[row * width : (row + 1) * width].decode("ascii")
+        for row in range(matrix.shape[0])
+    ]

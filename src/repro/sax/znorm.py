@@ -1,0 +1,58 @@
+"""z-normalization (paper Section 3.1).
+
+Anomaly discovery should be offset- and amplitude-invariant, so every
+subsequence is normalized to zero mean and unit standard deviation before
+discretization or distance computation.
+
+Following Algorithm 2 in the paper, the *sample* standard deviation
+(``ddof=1``) is used throughout the library so the prefix-sum fast path and
+this reference implementation agree exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Subsequences whose standard deviation falls below this threshold —
+#: *relative to their magnitude scale* ``max(1, |mean|)`` — are treated as
+#: constant: they are centred but not scaled, which keeps flat regions from
+#: amplifying numerical noise into spurious shapes. The relative form makes
+#: the constancy decision scale-invariant (a constant array stays constant
+#: after multiplication by any factor, despite float rounding).
+DEFAULT_ZNORM_THRESHOLD = 1e-8
+
+
+def constancy_cutoff(mean: float, threshold: float = DEFAULT_ZNORM_THRESHOLD) -> float:
+    """The std below which a subsequence of this mean counts as constant."""
+    return threshold * max(1.0, abs(mean))
+
+
+def znorm(values: np.ndarray, threshold: float = DEFAULT_ZNORM_THRESHOLD) -> np.ndarray:
+    """Return a z-normalized copy of ``values``.
+
+    Parameters
+    ----------
+    values:
+        1-D numeric array.
+    threshold:
+        Relative constancy threshold; standard deviations below
+        ``threshold * max(1, |mean|)`` are treated as zero (constant input).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(values - mean) / std`` with sample std (``ddof=1``); when the
+        input is (numerically) constant, only the mean is removed.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise ValueError(f"znorm expects a 1-D array, got shape {array.shape}")
+    if array.size == 0:
+        return array.copy()
+    mean = array.mean()
+    if array.size == 1:
+        return array - mean
+    std = array.std(ddof=1)
+    if std < constancy_cutoff(mean, threshold):
+        return array - mean
+    return (array - mean) / std

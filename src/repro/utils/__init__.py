@@ -1,0 +1,23 @@
+"""Shared utilities: input validation, RNG handling, timing helpers."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.sparkline import labelled_sparkline, sparkline
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    ensure_time_series,
+    validate_alphabet_size,
+    validate_paa_size,
+    validate_window,
+)
+
+__all__ = [
+    "Timer",
+    "ensure_rng",
+    "ensure_time_series",
+    "labelled_sparkline",
+    "spawn_rngs",
+    "sparkline",
+    "validate_alphabet_size",
+    "validate_paa_size",
+    "validate_window",
+]

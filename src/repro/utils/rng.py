@@ -1,0 +1,53 @@
+"""Deterministic random-number-generator plumbing.
+
+All stochastic components in the library (ensemble parameter sampling,
+dataset generators, corpus planting) accept either a seed or a ready
+``numpy.random.Generator`` and normalize it through :func:`ensure_rng`, so a
+single integer reproduces an entire experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+RandomState = int | np.random.Generator | None
+
+
+def ensure_rng(seed: RandomState = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed``.
+
+    ``None`` yields a freshly seeded generator, an ``int`` a deterministic
+    one, and an existing ``Generator`` is passed through unchanged (so
+    callers can share a stream).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RandomState, count: int) -> list[np.random.Generator]:
+    """Split one seed into ``count`` independent child generators.
+
+    Uses ``SeedSequence.spawn`` so children are statistically independent and
+    stable across NumPy versions for a fixed integer seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's own stream.
+        seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+def iter_param_combinations(
+    w_range: tuple[int, int],
+    a_range: tuple[int, int],
+) -> Iterator[tuple[int, int]]:
+    """Yield every ``(w, a)`` combination in the inclusive ranges, row-major."""
+    for w in range(w_range[0], w_range[1] + 1):
+        for a in range(a_range[0], a_range[1] + 1):
+            yield w, a

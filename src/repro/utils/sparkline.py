@@ -1,0 +1,45 @@
+"""Terminal sparklines — how this library "plots" curves in text.
+
+The examples and benches render time series and rule density curves as
+density sparklines so a reader can see the troughs the detector ranks,
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Glyphs from lightest to densest; index ~ relative level.
+_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(values, width: int = 72) -> str:
+    """Render a 1-D array as a fixed-width character strip.
+
+    The array is split into ``width`` equal chunks; each chunk's mean is
+    mapped onto a density glyph. Constant input renders as the lightest
+    glyph repeated.
+
+    Example
+    -------
+    >>> sparkline([0, 0, 1, 1], width=4)
+    '  @@'
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1 or array.size == 0:
+        raise ValueError("sparkline needs a non-empty 1-D array")
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    width = min(width, array.size)
+    chunks = np.array_split(array, width)
+    means = np.array([float(np.mean(chunk)) for chunk in chunks])
+    span = means.max() - means.min()
+    if span <= 0:
+        return _BLOCKS[0] * width
+    levels = ((means - means.min()) / span * (len(_BLOCKS) - 1)).round().astype(int)
+    return "".join(_BLOCKS[level] for level in levels)
+
+
+def labelled_sparkline(label: str, values, width: int = 60) -> str:
+    """``label  <sparkline>`` — the one-liner format the examples print."""
+    return f"{label:14s}{sparkline(values, width)}"

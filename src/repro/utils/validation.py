@@ -1,0 +1,87 @@
+"""Input validation helpers shared across the library.
+
+Every public entry point funnels its array/parameter checks through these
+functions so error messages are consistent and the numeric core can assume
+well-formed inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Alphabet sizes are limited by the symbol set (``a``–``z``); the paper never
+#: uses more than 20.
+MAX_ALPHABET_SIZE = 26
+
+
+def ensure_time_series(values, *, name: str = "series", min_length: int = 1) -> np.ndarray:
+    """Coerce ``values`` to a contiguous 1-D ``float64`` array.
+
+    Parameters
+    ----------
+    values:
+        Any sequence convertible to a numeric NumPy array.
+    name:
+        Parameter name used in error messages.
+    min_length:
+        Minimum number of observations required.
+
+    Returns
+    -------
+    numpy.ndarray
+        A C-contiguous ``float64`` copy (or view when already conforming).
+
+    Raises
+    ------
+    TypeError
+        If the input cannot be interpreted as a numeric array.
+    ValueError
+        If the input is not 1-D, too short, or contains NaN/inf.
+    """
+    try:
+        array = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a numeric sequence, got {type(values).__name__}") from exc
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {array.shape}")
+    if array.size < min_length:
+        raise ValueError(f"{name} must contain at least {min_length} observations, got {array.size}")
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} must not contain NaN or infinite values")
+    return np.ascontiguousarray(array)
+
+
+def validate_window(window: int, series_length: int, *, name: str = "window") -> int:
+    """Check that a sliding-window length fits inside the series."""
+    window = int(window)
+    if window < 2:
+        raise ValueError(f"{name} must be at least 2, got {window}")
+    if window > series_length:
+        raise ValueError(f"{name}={window} exceeds the series length {series_length}")
+    return window
+
+
+def validate_paa_size(paa_size: int, window: int) -> int:
+    """Check the PAA size ``w`` against the subsequence length ``n``.
+
+    SAX requires ``1 <= w <= n``; the paper always uses ``w >= 2`` because a
+    single-segment word carries no shape information.
+    """
+    paa_size = int(paa_size)
+    if paa_size < 1:
+        raise ValueError(f"paa_size must be positive, got {paa_size}")
+    if paa_size > window:
+        raise ValueError(f"paa_size={paa_size} exceeds the window length {window}")
+    return paa_size
+
+
+def validate_alphabet_size(alphabet_size: int) -> int:
+    """Check the SAX alphabet size ``a`` (2..26)."""
+    alphabet_size = int(alphabet_size)
+    if alphabet_size < 2:
+        raise ValueError(f"alphabet_size must be at least 2, got {alphabet_size}")
+    if alphabet_size > MAX_ALPHABET_SIZE:
+        raise ValueError(
+            f"alphabet_size must be at most {MAX_ALPHABET_SIZE} (latin letters), got {alphabet_size}"
+        )
+    return alphabet_size

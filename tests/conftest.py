@@ -1,0 +1,44 @@
+"""Shared fixtures and hypothesis profiles for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# A moderate example budget keeps the property suite fast but meaningful;
+# data generation dominates, so suppress the too-slow health check.
+settings.register_profile(
+    "repro",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sine_series() -> np.ndarray:
+    """A clean periodic series: 40 cycles of 100 samples each."""
+    t = np.linspace(0.0, 80.0 * np.pi, 4000)
+    return np.sin(t)
+
+
+@pytest.fixture
+def anomalous_sine(sine_series: np.ndarray) -> tuple[np.ndarray, int, int]:
+    """Periodic series with one damped cycle; returns (series, gt_pos, gt_len)."""
+    series = sine_series.copy()
+    series[2000:2100] *= 0.1
+    return series, 2000, 100
+
+
+@pytest.fixture
+def random_walk_series(rng: np.random.Generator) -> np.ndarray:
+    """A length-500 random walk."""
+    return np.cumsum(rng.standard_normal(500))

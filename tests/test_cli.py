@@ -1,0 +1,190 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_detector, build_parser, load_series, main, save_series
+from repro.core.ensemble import EnsembleGrammarDetector
+from repro.discord.discords import DiscordDetector
+from repro.grammar.rra import RRADetector
+
+
+@pytest.fixture
+def series_file(tmp_path):
+    series = np.sin(np.linspace(0, 40 * np.pi, 2000))
+    series[1000:1100] = np.sin(np.linspace(0, 8 * np.pi, 100))
+    path = tmp_path / "series.csv"
+    save_series(path, series)
+    return path
+
+
+class TestSeriesIO:
+    def test_round_trip(self, tmp_path):
+        series = np.array([1.5, -2.25, 3.0])
+        path = tmp_path / "x.csv"
+        save_series(path, series)
+        assert np.allclose(load_series(path), series)
+
+    def test_header_tolerated(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("value\n1.0\n2.0\n")
+        assert load_series(path).tolist() == [1.0, 2.0]
+
+    def test_comma_rows_take_first_column(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("1.0,99\n2.0,98\n")
+        assert load_series(path).tolist() == [1.0, 2.0]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_series(tmp_path / "absent.csv")
+
+    def test_bad_value_mid_file(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("1.0\nnot-a-number\n")
+        with pytest.raises(ValueError, match="not a number"):
+            load_series(path)
+
+    def test_too_short(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("1.0\n")
+        with pytest.raises(ValueError, match="at least 2"):
+            load_series(path)
+
+
+class TestBuildDetector:
+    def _args(self, **overrides):
+        parser = build_parser()
+        base = [
+            "detect", "--input", "x", "--window", "100", "--method", "ensemble",
+        ]
+        args = parser.parse_args(base)
+        for key, value in overrides.items():
+            setattr(args, key, value)
+        return args
+
+    def test_ensemble(self):
+        detector = build_detector("ensemble", 100, self._args())
+        assert isinstance(detector, EnsembleGrammarDetector)
+
+    def test_discord(self):
+        assert isinstance(build_detector("discord", 100, self._args()), DiscordDetector)
+
+    def test_rra(self):
+        assert isinstance(build_detector("rra", 100, self._args()), RRADetector)
+
+    def test_parameters_forwarded(self):
+        args = self._args(wmax=12, amax=8, ensemble_size=7, selectivity=0.2)
+        detector = build_detector("ensemble", 100, args)
+        assert detector.max_paa_size == 12
+        assert detector.max_alphabet_size == 8
+        assert detector.ensemble_size == 7
+        assert detector.selectivity == 0.2
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            build_detector("nope", 100, self._args())
+
+
+class TestDetectCommand:
+    def test_detect_prints_table_and_writes_json(self, series_file, tmp_path, capsys):
+        out = tmp_path / "detections.json"
+        code = main(
+            [
+                "detect", "--input", str(series_file), "--window", "100",
+                "--method", "gi", "--paa-size", "5", "--alphabet-size", "5",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "rank" in captured and "position" in captured
+        document = json.loads(out.read_text())
+        assert document["metadata"]["window"] == 100
+        assert len(document["anomalies"]) >= 1
+        positions = [a["position"] for a in document["anomalies"]]
+        assert any(900 <= p <= 1100 for p in positions)
+
+    def test_detect_csv_output(self, series_file, tmp_path):
+        out = tmp_path / "detections.csv"
+        code = main(
+            [
+                "detect", "--input", str(series_file), "--window", "100",
+                "--method", "gi-fix", "--csv", str(out),
+            ]
+        )
+        assert code == 0
+        lines = out.read_text().strip().splitlines()
+        assert lines[0] == "rank,position,length,score"
+        assert len(lines) >= 2
+
+    def test_missing_input_is_clean_error(self, tmp_path, capsys):
+        code = main(
+            ["detect", "--input", str(tmp_path / "nope.csv"), "--window", "10"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestGenerateCommand:
+    def test_generate_dataset_with_truth(self, tmp_path, capsys):
+        out = tmp_path / "case.csv"
+        code = main(["generate", "--dataset", "Wafer", "--seed", "3", "--out", str(out)])
+        assert code == 0
+        series = load_series(out)
+        assert len(series) == 21 * 150
+        truth = json.loads((tmp_path / "case.truth.json").read_text())
+        assert truth[0]["length"] == 150
+
+    @pytest.mark.parametrize("kind", ["rw", "ecg", "eeg"])
+    def test_generate_kinds(self, tmp_path, kind):
+        out = tmp_path / f"{kind}.csv"
+        code = main(["generate", "--kind", kind, "--length", "3000", "--out", str(out)])
+        assert code == 0
+        assert len(load_series(out)) == 3000
+
+    def test_generate_fridge_has_truth(self, tmp_path):
+        out = tmp_path / "fridge.csv"
+        code = main(
+            ["generate", "--kind", "fridge", "--length", "20000", "--out", str(out)]
+        )
+        assert code == 0
+        truth = json.loads((tmp_path / "fridge.truth.json").read_text())
+        assert {t["kind"] for t in truth} == {"distorted-cycle", "spiky-event"}
+
+    def test_generate_without_source_errors(self, tmp_path, capsys):
+        code = main(["generate", "--out", str(tmp_path / "x.csv")])
+        assert code == 2
+        assert "needs --dataset or --kind" in capsys.readouterr().err
+
+
+class TestEvaluateCommand:
+    def test_evaluate_prints_methods(self, capsys, tmp_path):
+        out = tmp_path / "eval.json"
+        code = main(
+            [
+                "evaluate", "--dataset", "TwoLeadECG", "--cases", "2",
+                "--methods", "gi-fix", "--json", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "gi-fix" in captured
+        document = json.loads(out.read_text())
+        assert "gi-fix" in document["methods"]
+        assert len(document["methods"]["gi-fix"]["scores"]) == 2
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,119 @@
+"""Unit tests for repro.core.anomaly (records + candidate extraction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.anomaly import Anomaly, extract_candidates, windowed_means
+
+
+class TestAnomalyRecord:
+    def test_end(self):
+        assert Anomaly(position=10, length=5, score=1.0, rank=1).end == 15
+
+    def test_overlap_detection(self):
+        a = Anomaly(position=0, length=10, score=1.0, rank=1)
+        b = Anomaly(position=9, length=10, score=0.5, rank=2)
+        c = Anomaly(position=10, length=10, score=0.2, rank=3)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_invalid_fields(self):
+        with pytest.raises(ValueError):
+            Anomaly(position=-1, length=5, score=0.0, rank=1)
+        with pytest.raises(ValueError):
+            Anomaly(position=0, length=0, score=0.0, rank=1)
+        with pytest.raises(ValueError):
+            Anomaly(position=0, length=5, score=0.0, rank=0)
+
+
+class TestWindowedMeans:
+    def test_matches_naive(self, rng):
+        curve = rng.standard_normal(40)
+        means = windowed_means(curve, 7)
+        assert len(means) == 34
+        for p in [0, 15, 33]:
+            assert means[p] == pytest.approx(curve[p : p + 7].mean(), abs=1e-9)
+
+    def test_window_equal_length(self):
+        curve = np.array([1.0, 2.0, 3.0])
+        assert windowed_means(curve, 3) == pytest.approx([2.0])
+
+    @given(arrays(np.float64, st.integers(10, 60), elements=st.floats(-10, 10, allow_nan=False)))
+    def test_bounds(self, curve):
+        means = windowed_means(curve, 5)
+        assert means.min() >= curve.min() - 1e-9
+        assert means.max() <= curve.max() + 1e-9
+
+
+class TestExtractCandidates:
+    def test_finds_global_minimum_plateau(self):
+        curve = np.full(100, 10.0)
+        curve[40:50] = 0.0
+        candidates = extract_candidates(curve, window=10, k=1)
+        assert candidates[0].position == 40
+
+    def test_candidates_non_overlapping(self):
+        curve = np.full(200, 10.0)
+        curve[20:30] = 0.0
+        curve[100:110] = 1.0
+        candidates = extract_candidates(curve, window=10, k=3)
+        for i, a in enumerate(candidates):
+            for b in candidates[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_ranks_by_ascending_density(self):
+        curve = np.full(200, 10.0)
+        curve[20:30] = 0.0
+        curve[100:110] = 2.0
+        candidates = extract_candidates(curve, window=10, k=2)
+        assert candidates[0].position == 20
+        assert candidates[1].position == 100
+        assert candidates[0].rank == 1
+        assert candidates[1].rank == 2
+
+    def test_score_is_negated_mean_when_minimizing(self):
+        curve = np.full(50, 4.0)
+        candidates = extract_candidates(curve, window=10, k=1)
+        assert candidates[0].score == pytest.approx(-4.0)
+
+    def test_maximize_mode(self):
+        curve = np.zeros(100)
+        curve[60:70] = 5.0
+        candidates = extract_candidates(curve, window=10, k=1, minimize=False)
+        assert 51 <= candidates[0].position <= 69
+        assert candidates[0].score > 0
+
+    def test_fewer_candidates_when_series_short(self):
+        curve = np.arange(25.0)
+        candidates = extract_candidates(curve, window=10, k=5)
+        # Only two disjoint windows of length 10 fit in 25 points.
+        assert len(candidates) == 2
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError, match="positive"):
+            extract_candidates(np.zeros(20), window=5, k=0)
+
+    def test_window_exceeds_curve(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            extract_candidates(np.zeros(5), window=10, k=1)
+
+    @given(
+        arrays(np.float64, st.integers(30, 120), elements=st.floats(0, 100, allow_nan=False)),
+        st.integers(2, 15),
+        st.integers(1, 5),
+    )
+    def test_rank_order_and_disjointness_properties(self, curve, window, k):
+        window = min(window, len(curve))
+        candidates = extract_candidates(curve, window, k)
+        assert 1 <= len(candidates) <= k
+        scores = [c.score for c in candidates]
+        assert scores == sorted(scores, reverse=True)
+        for i, a in enumerate(candidates):
+            for b in candidates[i + 1 :]:
+                assert not a.overlaps(b)

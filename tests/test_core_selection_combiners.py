@@ -1,0 +1,155 @@
+"""Unit tests for repro.core.selection and repro.core.combiners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.combiners import COMBINERS, combine_curves
+from repro.core.selection import curve_std, normalize_curve, select_by_std
+
+non_negative = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+class TestSelectByStd:
+    def test_keeps_highest_std_curves(self):
+        flat = np.ones(10)
+        spiky = np.zeros(10)
+        spiky[5] = 10.0
+        medium = np.arange(10.0)
+        kept = select_by_std([flat, spiky, medium], selectivity=0.67)
+        assert kept[0] == 1  # spiky has the highest std
+        assert len(kept) == 2
+        assert 0 not in kept  # the flat curve is dropped
+
+    def test_keeps_at_least_one(self):
+        kept = select_by_std([np.ones(5), np.ones(5)], selectivity=0.01)
+        assert len(kept) == 1
+
+    def test_selectivity_one_keeps_all(self):
+        curves = [np.arange(5.0), np.ones(5), np.zeros(5)]
+        kept = select_by_std(curves, selectivity=1.0)
+        assert sorted(kept) == [0, 1, 2]
+
+    def test_paper_default_forty_percent(self):
+        """tau = 40% of N = 50 members keeps 20 (Algorithm 1 defaults)."""
+        curves = [np.full(4, float(i)) + (np.arange(4.0) * i) for i in range(50)]
+        kept = select_by_std(curves, selectivity=0.4)
+        assert len(kept) == 20
+
+    def test_ties_broken_by_index(self):
+        same = np.arange(6.0)
+        kept = select_by_std([same.copy(), same.copy(), same.copy()], selectivity=0.67)
+        assert kept == [0, 1]
+
+    def test_rounding_of_keep_count(self):
+        curves = [np.arange(4.0) * (i + 1) for i in range(3)]
+        # 0.5 * 3 = 1.5 -> rounds to 2 (banker's rounding yields 2 here).
+        assert len(select_by_std(curves, selectivity=0.5)) == 2
+
+    def test_invalid_selectivity(self):
+        with pytest.raises(ValueError, match="selectivity"):
+            select_by_std([np.ones(3)], selectivity=0.0)
+        with pytest.raises(ValueError, match="selectivity"):
+            select_by_std([np.ones(3)], selectivity=1.5)
+
+    def test_empty_curves_rejected(self):
+        with pytest.raises(ValueError, match="no curves"):
+            select_by_std([], selectivity=0.5)
+
+    @given(
+        st.lists(arrays(np.float64, 16, elements=non_negative), min_size=1, max_size=12),
+        st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_kept_stds_dominate_dropped(self, curves, selectivity):
+        kept = select_by_std(curves, selectivity)
+        dropped = [i for i in range(len(curves)) if i not in kept]
+        if dropped:
+            min_kept = min(curve_std(curves[i]) for i in kept)
+            max_dropped = max(curve_std(curves[i]) for i in dropped)
+            assert min_kept >= max_dropped - 1e-12
+
+
+class TestNormalizeCurve:
+    def test_scales_to_unit_max(self):
+        out = normalize_curve(np.array([0.0, 2.0, 4.0]))
+        assert out.tolist() == [0.0, 0.5, 1.0]
+
+    def test_zeros_stay_exactly_zero(self):
+        """Section 6.1.2: zero density must remain significant."""
+        out = normalize_curve(np.array([0.0, 5.0, 0.0, 10.0]))
+        assert out[0] == 0.0
+        assert out[2] == 0.0
+
+    def test_not_minmax(self):
+        """A curve with minimum 2 keeps a positive floor (no min subtraction)."""
+        out = normalize_curve(np.array([2.0, 4.0]))
+        assert out.tolist() == [0.5, 1.0]
+
+    def test_all_zero_curve(self):
+        out = normalize_curve(np.zeros(5))
+        assert np.allclose(out, 0.0)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            normalize_curve(np.array([-1.0, 2.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            normalize_curve(np.array([]))
+
+    @given(arrays(np.float64, st.integers(1, 64), elements=non_negative))
+    def test_range_property(self, curve):
+        out = normalize_curve(curve)
+        assert out.min() >= 0.0
+        assert out.max() <= 1.0 + 1e-12
+        # Exact zeros stay exactly zero (the Section 6.1.2 guarantee). The
+        # converse can fail only for denormal inputs underflowing to zero.
+        assert np.all(out[curve == 0.0] == 0.0)
+
+
+class TestCombineCurves:
+    def test_median_of_three(self):
+        curves = [np.array([0.0, 1.0]), np.array([1.0, 3.0]), np.array([2.0, 2.0])]
+        assert combine_curves(curves, "median").tolist() == [1.0, 2.0]
+
+    def test_mean(self):
+        curves = [np.array([0.0, 2.0]), np.array([2.0, 4.0])]
+        assert combine_curves(curves, "mean").tolist() == [1.0, 3.0]
+
+    def test_min_max(self):
+        curves = [np.array([0.0, 5.0]), np.array([3.0, 1.0])]
+        assert combine_curves(curves, "min").tolist() == [0.0, 1.0]
+        assert combine_curves(curves, "max").tolist() == [3.0, 5.0]
+
+    def test_single_curve_identity(self):
+        curve = np.array([1.0, 2.0, 3.0])
+        for method in COMBINERS:
+            assert np.allclose(combine_curves([curve], method), curve)
+
+    def test_median_robust_to_outlier_member(self):
+        """The design rationale of Section 6.1.3."""
+        good = [np.array([1.0, 0.0, 1.0]) for _ in range(4)]
+        outlier = np.array([0.0, 1.0, 0.0])
+        combined = combine_curves(good + [outlier], "median")
+        assert combined.tolist() == [1.0, 0.0, 1.0]
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown combiner"):
+            combine_curves([np.ones(3)], "average")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            combine_curves(np.empty((0, 5)))
+
+    @given(
+        st.lists(arrays(np.float64, 8, elements=non_negative), min_size=1, max_size=9)
+    )
+    def test_median_bounded_by_min_max(self, curves):
+        combined = combine_curves(curves, "median")
+        stack = np.stack(curves)
+        assert np.all(combined >= stack.min(axis=0) - 1e-12)
+        assert np.all(combined <= stack.max(axis=0) + 1e-12)

@@ -1,0 +1,139 @@
+"""Unit tests for repro.core.streaming (incremental detection extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.detector import GrammarAnomalyDetector
+from repro.core.ensemble import EnsembleGrammarDetector
+from repro.core.streaming import StreamingEnsembleDetector, StreamingGrammarDetector
+
+
+@pytest.fixture
+def stream_series() -> tuple[np.ndarray, int, int]:
+    series = np.sin(np.linspace(0, 60 * np.pi, 3000))
+    series[1500:1600] = np.sin(np.linspace(0, 8 * np.pi, 100))
+    return series, 1500, 100
+
+
+class TestStreamingMatchesBatch:
+    def test_density_curve_equals_batch(self, stream_series):
+        """Feeding point-by-point reproduces the batch density curve."""
+        series, _, _ = stream_series
+        streaming = StreamingGrammarDetector(window=100, paa_size=5, alphabet_size=5)
+        streaming.extend(series)
+        batch = GrammarAnomalyDetector(window=100, paa_size=5, alphabet_size=5)
+        assert np.array_equal(streaming.density_curve(), batch.density_curve(series))
+
+    def test_tokens_equal_batch(self, stream_series):
+        series, _, _ = stream_series
+        streaming = StreamingGrammarDetector(window=100, paa_size=4, alphabet_size=4)
+        streaming.extend(series)
+        batch_tokens = GrammarAnomalyDetector(
+            window=100, paa_size=4, alphabet_size=4
+        ).tokenize(series)
+        stream_tokens = streaming.tokens()
+        assert stream_tokens.words == batch_tokens.words
+        assert np.array_equal(stream_tokens.offsets, batch_tokens.offsets)
+
+    def test_detection_matches_batch(self, stream_series):
+        series, _, _ = stream_series
+        streaming = StreamingGrammarDetector(window=100, paa_size=5, alphabet_size=5)
+        streaming.extend(series)
+        batch = GrammarAnomalyDetector(window=100, paa_size=5, alphabet_size=5)
+        assert streaming.detect(3) == batch.detect(series, 3)
+
+    def test_noisy_random_walk_equivalence(self, rng):
+        series = np.cumsum(rng.standard_normal(800))
+        streaming = StreamingGrammarDetector(window=50, paa_size=6, alphabet_size=6)
+        streaming.extend(series)
+        batch = GrammarAnomalyDetector(window=50, paa_size=6, alphabet_size=6)
+        assert np.array_equal(streaming.density_curve(), batch.density_curve(series))
+
+
+class TestStreamingBehaviour:
+    def test_incremental_growth(self, stream_series):
+        series, _, _ = stream_series
+        detector = StreamingGrammarDetector(window=100)
+        detector.extend(series[:500])
+        early_tokens = detector.n_tokens
+        detector.extend(series[500:])
+        assert detector.n_tokens >= early_tokens
+        assert len(detector) == len(series)
+
+    def test_snapshot_mid_stream_then_continue(self, stream_series):
+        """Snapshotting must not perturb the live grammar."""
+        series, _, _ = stream_series
+        continuous = StreamingGrammarDetector(window=100, paa_size=5, alphabet_size=5)
+        continuous.extend(series)
+        interrupted = StreamingGrammarDetector(window=100, paa_size=5, alphabet_size=5)
+        interrupted.extend(series[:1200])
+        interrupted.density_curve()  # snapshot mid-stream
+        interrupted.extend(series[1200:])
+        assert np.array_equal(
+            continuous.density_curve(), interrupted.density_curve()
+        )
+
+    def test_no_window_yet_raises(self):
+        detector = StreamingGrammarDetector(window=100)
+        detector.extend(np.zeros(50))
+        with pytest.raises(ValueError, match="no complete window"):
+            detector.tokens()
+
+    def test_non_finite_rejected(self):
+        detector = StreamingGrammarDetector(window=10)
+        with pytest.raises(ValueError, match="finite"):
+            detector.append(float("nan"))
+
+    def test_anomaly_found_online(self, stream_series):
+        series, position, length = stream_series
+        detector = StreamingGrammarDetector(window=100, paa_size=5, alphabet_size=5)
+        detector.extend(series)
+        anomalies = detector.detect(3)
+        assert any(abs(a.position - position) <= 2 * length for a in anomalies)
+
+
+class TestStreamingEnsemble:
+    def test_parameter_bag_sampled_once(self):
+        detector = StreamingEnsembleDetector(window=100, ensemble_size=8, seed=0)
+        assert len(detector.parameters) == 8
+        assert len(set(detector.parameters)) == 8
+
+    def test_detects_planted_anomaly(self, stream_series):
+        series, position, length = stream_series
+        detector = StreamingEnsembleDetector(window=100, ensemble_size=10, seed=1)
+        detector.extend(series)
+        anomalies = detector.detect(3)
+        assert any(abs(a.position - position) <= 2 * length for a in anomalies)
+
+    def test_matches_batch_ensemble_semantics(self, stream_series):
+        """With the same member parameters, streaming ensemble == batch
+        Algorithm 1 combination."""
+        series, _, _ = stream_series
+        streaming = StreamingEnsembleDetector(window=100, ensemble_size=6, seed=3)
+        streaming.extend(series)
+        stream_curve = streaming.density_curve()
+
+        from repro.core.combiners import combine_curves
+        from repro.core.selection import normalize_curve, select_by_std
+
+        member_curves = [
+            GrammarAnomalyDetector(100, w, a).density_curve(series)
+            for w, a in streaming.parameters
+        ]
+        kept = select_by_std(member_curves, 0.4)
+        expected = combine_curves([normalize_curve(member_curves[i]) for i in kept])
+        assert np.allclose(stream_curve, expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ensemble_size"):
+            StreamingEnsembleDetector(window=100, ensemble_size=0)
+        with pytest.raises(ValueError, match="selectivity"):
+            StreamingEnsembleDetector(window=100, selectivity=0.0)
+
+    def test_detect_before_full_window_raises(self):
+        detector = StreamingEnsembleDetector(window=100, ensemble_size=4, seed=0)
+        detector.extend(np.zeros(50))
+        with pytest.raises(ValueError, match="exceeds"):
+            detector.detect()

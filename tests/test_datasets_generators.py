@@ -1,0 +1,154 @@
+"""Unit tests for repro.datasets.generators and repro.datasets.power."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import noisy_sine, random_walk, synthetic_ecg, synthetic_eeg
+from repro.datasets.power import dishwasher_series, fridge_freezer_series
+
+
+class TestRandomWalk:
+    def test_length(self):
+        assert len(random_walk(500, seed=0)) == 500
+
+    def test_deterministic(self):
+        assert np.array_equal(random_walk(100, seed=1), random_walk(100, seed=1))
+
+    def test_is_cumulative(self):
+        walk = random_walk(1000, seed=2)
+        steps = np.diff(walk)
+        # Steps are standard normal: mean ~0, std ~1.
+        assert abs(steps.mean()) < 0.15
+        assert abs(steps.std() - 1.0) < 0.15
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError, match="positive"):
+            random_walk(0)
+
+
+class TestNoisySine:
+    def test_periodicity(self):
+        series = noisy_sine(1000, period=100, noise=0.0)
+        assert np.allclose(series[:100], series[100:200], atol=1e-9)
+
+    def test_noise_level(self):
+        clean = noisy_sine(5000, period=100, noise=0.0, seed=0)
+        noisy = noisy_sine(5000, period=100, noise=0.2, seed=0)
+        residual = noisy - clean
+        assert 0.15 < residual.std() < 0.25
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError, match="period"):
+            noisy_sine(100, period=0)
+
+
+class TestSyntheticEcg:
+    def test_length_and_finiteness(self):
+        ecg = synthetic_ecg(5000, seed=0)
+        assert len(ecg) == 5000
+        assert np.all(np.isfinite(ecg))
+
+    def test_contains_beats(self):
+        """R peaks recur roughly every mean_beat_length samples."""
+        ecg = synthetic_ecg(4000, seed=1, noise=0.0, wander=0.0)
+        threshold = 0.6 * ecg.max()
+        peaks = np.where(
+            (ecg[1:-1] > threshold) & (ecg[1:-1] >= ecg[:-2]) & (ecg[1:-1] >= ecg[2:])
+        )[0]
+        assert 15 <= len(peaks) <= 35  # ~25 beats at 160 samples/beat
+
+    def test_rr_variability(self):
+        ecg = synthetic_ecg(8000, seed=2, noise=0.0, wander=0.0)
+        threshold = 0.6 * ecg.max()
+        peaks = np.where(
+            (ecg[1:-1] > threshold) & (ecg[1:-1] >= ecg[:-2]) & (ecg[1:-1] >= ecg[2:])
+        )[0]
+        intervals = np.diff(peaks)
+        intervals = intervals[intervals > 50]  # drop double-detections
+        assert intervals.std() > 1.0  # RR intervals vary
+
+    def test_deterministic(self):
+        assert np.array_equal(synthetic_ecg(1000, seed=5), synthetic_ecg(1000, seed=5))
+
+
+class TestSyntheticEeg:
+    def test_length_and_standardization(self):
+        eeg = synthetic_eeg(4096, seed=0)
+        assert len(eeg) == 4096
+        assert eeg.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_alpha_band_dominates(self):
+        """The alpha band (8-13 Hz) is boosted over 30+ Hz activity."""
+        eeg = synthetic_eeg(8192, seed=1, sampling_rate=128.0)
+        spectrum = np.abs(np.fft.rfft(eeg))
+        freqs = np.fft.rfftfreq(8192, d=1.0 / 128.0)
+        alpha = spectrum[(freqs >= 8) & (freqs <= 13)].mean()
+        high = spectrum[(freqs >= 35) & (freqs <= 60)].mean()
+        assert alpha > 3.0 * high
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="at least 8"):
+            synthetic_eeg(4)
+
+
+class TestFridgeFreezer:
+    def test_shape_and_ground_truth(self):
+        series, anomalies = fridge_freezer_series(length=30_000, seed=0)
+        assert len(series) == 30_000
+        assert len(anomalies) == 2
+        kinds = {a.kind for a in anomalies}
+        assert kinds == {"distorted-cycle", "spiky-event"}
+
+    def test_cyclic_structure(self):
+        series, _ = fridge_freezer_series(length=30_000, seed=0)
+        # Power alternates between ~0 (off) and ~85 (on).
+        off_fraction = np.mean(series < 20)
+        on_fraction = np.mean(series > 60)
+        assert 0.3 < off_fraction < 0.8
+        assert 0.2 < on_fraction < 0.7
+
+    def test_spiky_event_has_high_peaks(self):
+        series, anomalies = fridge_freezer_series(length=30_000, seed=0)
+        spiky = next(a for a in anomalies if a.kind == "spiky-event")
+        segment = series[spiky.position : spiky.position + spiky.length]
+        assert segment.max() > 150.0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="too short"):
+            fridge_freezer_series(length=1000, mean_period=900)
+
+    def test_deterministic(self):
+        a, _ = fridge_freezer_series(length=20_000, seed=3)
+        b, _ = fridge_freezer_series(length=20_000, seed=3)
+        assert np.array_equal(a, b)
+
+
+class TestDishwasher:
+    def test_shape_and_anomaly_position(self):
+        series, anomaly = dishwasher_series(n_cycles=10, seed=0, cycle_length=300)
+        assert len(series) == 3000
+        assert anomaly.position == 5 * 300  # middle cycle by default
+
+    def test_anomalous_cycle_has_less_energy(self):
+        """The anomalous cycle misses its second heating plateau."""
+        series, anomaly = dishwasher_series(n_cycles=10, seed=0)
+        cycle_length = anomaly.length
+        energies = [
+            series[i * cycle_length : (i + 1) * cycle_length].sum() for i in range(10)
+        ]
+        anomalous_index = anomaly.position // cycle_length
+        assert energies[anomalous_index] == min(energies)
+
+    def test_explicit_anomalous_cycle(self):
+        _, anomaly = dishwasher_series(n_cycles=8, seed=0, anomalous_cycle=2)
+        assert anomaly.position == 2 * 400
+
+    def test_invalid_cycle_count(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            dishwasher_series(n_cycles=2)
+
+    def test_invalid_anomalous_index(self):
+        with pytest.raises(ValueError, match="anomalous_cycle"):
+            dishwasher_series(n_cycles=5, anomalous_cycle=7)

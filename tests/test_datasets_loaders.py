@@ -1,0 +1,99 @@
+"""Unit tests for repro.datasets.loaders (real UCR file support)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import RealUCRDataset, load_ucr_file
+from repro.datasets.planting import make_test_case
+
+
+@pytest.fixture
+def ucr_file(tmp_path):
+    """A small UCR-format file: 3 instances of class 1, 2 of class 2."""
+    rows = [
+        "1\t" + "\t".join(str(0.1 * i) for i in range(16)),
+        "1\t" + "\t".join(str(0.2 * i) for i in range(16)),
+        "1\t" + "\t".join(str(0.3 * i) for i in range(16)),
+        "2\t" + "\t".join(str(np.sin(i)) for i in range(16)),
+        "2\t" + "\t".join(str(np.cos(i)) for i in range(16)),
+    ]
+    path = tmp_path / "Toy_TRAIN.tsv"
+    path.write_text("\n".join(rows) + "\n")
+    return path
+
+
+class TestLoadUcrFile:
+    def test_loads_shapes(self, ucr_file):
+        dataset = load_ucr_file(ucr_file)
+        assert dataset.spec.instance_length == 16
+        assert dataset.spec.n_classes == 2
+        assert dataset.spec.name == "Toy_TRAIN"
+
+    def test_class_counts(self, ucr_file):
+        dataset = load_ucr_file(ucr_file)
+        assert dataset.class_counts() == {1: 3, 2: 2}
+
+    def test_explicit_name(self, ucr_file):
+        dataset = load_ucr_file(ucr_file, name="Toy")
+        assert dataset.spec.name == "Toy"
+
+    def test_comma_separated_accepted(self, tmp_path):
+        path = tmp_path / "commas.csv"
+        path.write_text("1,0.0,1.0,2.0,3.0,4.0,5.0,6.0,7.0\n2,7.0,6.0,5.0,4.0,3.0,2.0,1.0,0.0\n")
+        dataset = load_ucr_file(path)
+        assert dataset.spec.instance_length == 8
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_ucr_file(tmp_path / "absent.tsv")
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "ragged.tsv"
+        path.write_text("1\t1.0\t2.0\n2\t1.0\n")
+        with pytest.raises(ValueError, match="differing lengths"):
+            load_ucr_file(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1\tfoo\tbar\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            load_ucr_file(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("\n")
+        with pytest.raises(ValueError, match="no data"):
+            load_ucr_file(path)
+
+
+class TestRealUCRDataset:
+    def test_generate_instance_draws_from_class(self, ucr_file):
+        dataset = load_ucr_file(ucr_file)
+        rng = np.random.default_rng(0)
+        instance = dataset.generate_instance(2, rng)
+        assert instance.shape == (16,)
+
+    def test_invalid_class(self, ucr_file):
+        dataset = load_ucr_file(ucr_file)
+        with pytest.raises(ValueError, match="classes"):
+            dataset.generate_instance(3, np.random.default_rng(0))
+
+    def test_labels_reindexed_from_arbitrary_values(self):
+        instances = np.arange(40.0).reshape(4, 10)
+        labels = np.array([7, 7, -1, 3])
+        dataset = RealUCRDataset("X", instances, labels)
+        # Sorted unique labels (-1, 3, 7) -> classes 1, 2, 3.
+        assert dataset.class_counts() == {1: 1, 2: 1, 3: 2}
+
+    def test_works_with_planting_harness(self, ucr_file):
+        """The real-data loader satisfies the InstanceSource protocol."""
+        dataset = load_ucr_file(ucr_file)
+        case = make_test_case(dataset, seed=0)
+        assert len(case.series) == 21 * 16
+        assert case.gt_length == 16
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="2 classes"):
+            RealUCRDataset("X", np.zeros((3, 10)), np.array([1, 1, 1]))

@@ -1,0 +1,130 @@
+"""Unit tests for repro.datasets.planting (Section 7.1.1 / 7.5 protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.planting import (
+    AnomalyTestCase,
+    make_corpus,
+    make_multi_anomaly_case,
+    make_test_case,
+)
+from repro.datasets.ucr_like import DATASETS
+
+
+class TestMakeTestCase:
+    def test_series_length_is_21_instances(self):
+        dataset = DATASETS["GunPoint"]
+        case = make_test_case(dataset, seed=0)
+        assert len(case.series) == 21 * 150
+
+    def test_gt_length_is_instance_length(self):
+        case = make_test_case(DATASETS["Wafer"], seed=0)
+        assert case.gt_length == 150
+
+    def test_position_within_40_80_percent(self):
+        dataset = DATASETS["TwoLeadECG"]
+        normal_length = 20 * 82
+        for seed in range(10):
+            case = make_test_case(dataset, seed=seed)
+            assert 0.4 * normal_length <= case.gt_location <= 0.8 * normal_length
+
+    def test_planted_segment_is_the_anomalous_instance(self):
+        """Splicing must place the anomaly exactly at gt_location."""
+        dataset = DATASETS["Trace"]
+        rng = np.random.default_rng(5)
+        case = make_test_case(dataset, rng)
+        segment = case.series[case.gt_location : case.gt_location + case.gt_length]
+        # The planted instance is z-normalized like all instances.
+        assert abs(segment.mean()) < 1e-6
+        assert segment.std(ddof=1) == pytest.approx(1.0, abs=1e-6)
+
+    def test_anomaly_class_is_not_normal(self):
+        for seed in range(5):
+            case = make_test_case(DATASETS["StarLightCurve"], seed=seed)
+            assert case.anomaly_class >= 2
+
+    def test_deterministic_for_seed(self):
+        a = make_test_case(DATASETS["Wafer"], seed=9)
+        b = make_test_case(DATASETS["Wafer"], seed=9)
+        assert np.array_equal(a.series, b.series)
+        assert a.gt_location == b.gt_location
+
+    def test_custom_position_range(self):
+        case = make_test_case(
+            DATASETS["GunPoint"], seed=0, position_range=(0.5, 0.5)
+        )
+        assert case.gt_location == int(0.5 * 20 * 150)
+
+    def test_invalid_position_range(self):
+        with pytest.raises(ValueError, match="position_range"):
+            make_test_case(DATASETS["GunPoint"], seed=0, position_range=(0.8, 0.4))
+
+    def test_ground_truth_validation(self):
+        with pytest.raises(ValueError, match="outside"):
+            AnomalyTestCase(np.zeros(10), 8, 5, "X", 2)
+
+
+class TestMakeCorpus:
+    def test_paper_corpus_size(self):
+        corpus = make_corpus(DATASETS["TwoLeadECG"], n_cases=25, seed=0)
+        assert len(corpus) == 25
+
+    def test_cases_differ(self):
+        corpus = make_corpus(DATASETS["TwoLeadECG"], n_cases=3, seed=0)
+        assert not np.array_equal(corpus[0].series, corpus[1].series)
+        assert len({case.gt_location for case in corpus}) > 1
+
+    def test_reproducible(self):
+        a = make_corpus(DATASETS["Trace"], n_cases=3, seed=4)
+        b = make_corpus(DATASETS["Trace"], n_cases=3, seed=4)
+        for case_a, case_b in zip(a, b):
+            assert np.array_equal(case_a.series, case_b.series)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError, match="positive"):
+            make_corpus(DATASETS["Trace"], n_cases=0)
+
+
+class TestMultiAnomalyCase:
+    def test_paper_section_75_dimensions(self):
+        """40 normal + 2 anomalies of length 1024 -> series of 43,008."""
+        case = make_multi_anomaly_case(
+            DATASETS["StarLightCurve"], seed=0, n_normal=40, n_anomalies=2
+        )
+        assert len(case.series) == 43008
+        assert len(case.gt_locations) == 2
+
+    def test_anomalies_separated(self):
+        case = make_multi_anomaly_case(
+            DATASETS["StarLightCurve"], seed=1, n_normal=40, n_anomalies=2
+        )
+        a, b = case.gt_locations
+        assert abs(a - b) >= 2 * 1024
+
+    def test_planted_segments_are_normalized_instances(self):
+        case = make_multi_anomaly_case(
+            DATASETS["Trace"], seed=2, n_normal=10, n_anomalies=2
+        )
+        for location in case.gt_locations:
+            segment = case.series[location : location + case.gt_length]
+            assert abs(segment.mean()) < 1e-6
+            assert segment.std(ddof=1) == pytest.approx(1.0, abs=1e-6)
+
+    def test_locations_sorted_ascending(self):
+        case = make_multi_anomaly_case(
+            DATASETS["Trace"], seed=3, n_normal=12, n_anomalies=3, min_separation=1.5
+        )
+        assert list(case.gt_locations) == sorted(case.gt_locations)
+
+    def test_impossible_separation_raises(self):
+        with pytest.raises(RuntimeError, match="could not place"):
+            make_multi_anomaly_case(
+                DATASETS["Trace"], seed=0, n_normal=4, n_anomalies=5, min_separation=10.0
+            )
+
+    def test_invalid_anomaly_count(self):
+        with pytest.raises(ValueError, match="positive"):
+            make_multi_anomaly_case(DATASETS["Trace"], seed=0, n_anomalies=0)

@@ -1,0 +1,141 @@
+"""Unit tests for repro.datasets.base and repro.datasets.ucr_like."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import DatasetSpec, SyntheticUCRDataset, smooth_time_warp
+from repro.datasets.ucr_like import DATASETS, dataset_by_name
+
+#: The paper's Table 3 rows (name, length, data type).
+PAPER_TABLE_3 = {
+    "TwoLeadECG": (82, "ECG"),
+    "ECGFiveDay": (132, "ECG"),
+    "GunPoint": (150, "Motion"),
+    "Wafer": (150, "Sensor"),
+    "Trace": (275, "Sensor"),
+    "StarLightCurve": (1024, "Sensor"),
+}
+
+
+class TestDatasetSpec:
+    def test_test_series_length_is_21_instances(self):
+        spec = DatasetSpec("X", 100, 2, "Sensor")
+        assert spec.test_series_length == 2100
+
+    def test_too_short_instance_rejected(self):
+        with pytest.raises(ValueError, match=">= 8"):
+            DatasetSpec("X", 4, 2, "Sensor")
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="2 classes"):
+            DatasetSpec("X", 100, 1, "Sensor")
+
+
+class TestSmoothTimeWarp:
+    def test_preserves_length_and_endpoints(self, rng):
+        values = np.sin(np.linspace(0, 3, 50))
+        warped = smooth_time_warp(values, rng, strength=0.05)
+        assert len(warped) == 50
+        assert warped[0] == pytest.approx(values[0])
+        assert warped[-1] == pytest.approx(values[-1])
+
+    def test_zero_strength_identity(self, rng):
+        values = np.arange(20.0)
+        assert np.array_equal(smooth_time_warp(values, rng, 0.0), values)
+
+    def test_preserves_value_range(self, rng):
+        values = np.sin(np.linspace(0, 6, 80))
+        warped = smooth_time_warp(values, rng, strength=0.05)
+        assert warped.min() >= values.min() - 1e-9
+        assert warped.max() <= values.max() + 1e-9
+
+
+class TestRegistry:
+    def test_contains_the_six_paper_datasets(self):
+        assert set(DATASETS) == set(PAPER_TABLE_3)
+
+    @pytest.mark.parametrize("name", sorted(PAPER_TABLE_3))
+    def test_table_3_properties(self, name):
+        dataset = DATASETS[name]
+        length, data_type = PAPER_TABLE_3[name]
+        assert dataset.spec.instance_length == length
+        assert dataset.spec.data_type == data_type
+        assert dataset.spec.n_classes >= 2
+
+    def test_lookup_by_name(self):
+        assert dataset_by_name("Wafer").spec.name == "Wafer"
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="available"):
+            dataset_by_name("NoSuchDataset")
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_TABLE_3))
+class TestInstanceGeneration:
+    def test_instance_shape_and_finiteness(self, name, rng):
+        dataset = DATASETS[name]
+        for class_id in range(1, dataset.spec.n_classes + 1):
+            instance = dataset.generate_instance(class_id, rng)
+            assert instance.shape == (dataset.spec.instance_length,)
+            assert np.all(np.isfinite(instance))
+
+    def test_instances_z_normalized(self, name, rng):
+        instance = DATASETS[name].generate_instance(1, rng)
+        assert abs(instance.mean()) < 1e-9
+        assert instance.std(ddof=1) == pytest.approx(1.0, abs=1e-9)
+
+    def test_intra_class_variability(self, name, rng):
+        dataset = DATASETS[name]
+        a = dataset.generate_instance(1, rng)
+        b = dataset.generate_instance(1, rng)
+        assert not np.allclose(a, b)  # instances vary within a class
+
+    def test_classes_structurally_distinct(self, name):
+        """Anomalous classes must differ in shape from the normal class —
+        averaged over noise realizations, the class means must disagree."""
+        dataset = DATASETS[name]
+        rng = np.random.default_rng(0)
+        normal = np.mean(
+            [dataset.generate_instance(1, rng) for _ in range(10)], axis=0
+        )
+        for class_id in range(2, dataset.spec.n_classes + 1):
+            other = np.mean(
+                [dataset.generate_instance(class_id, rng) for _ in range(10)], axis=0
+            )
+            distance = np.linalg.norm(normal - other) / np.sqrt(len(normal))
+            assert distance > 0.1, f"class {class_id} too similar to normal"
+
+    def test_invalid_class_rejected(self, name, rng):
+        dataset = DATASETS[name]
+        with pytest.raises(ValueError, match="classes"):
+            dataset.generate_instance(0, rng)
+        with pytest.raises(ValueError, match="classes"):
+            dataset.generate_instance(dataset.spec.n_classes + 1, rng)
+
+    def test_deterministic_given_rng(self, name):
+        dataset = DATASETS[name]
+        a = dataset.generate_instance(1, np.random.default_rng(3))
+        b = dataset.generate_instance(1, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+
+class TestInstanceSourceHelpers:
+    def test_normal_instance_is_class_one(self):
+        dataset = DATASETS["GunPoint"]
+        instance = dataset.normal_instance(0)
+        assert instance.shape == (150,)
+
+    def test_anomalous_instance_class_id(self):
+        dataset = DATASETS["Trace"]
+        _, class_id = dataset.anomalous_instance(0)
+        assert 2 <= class_id <= 4
+
+    def test_shape_function_contract_enforced(self, rng):
+        bad = SyntheticUCRDataset(
+            DatasetSpec("Bad", 16, 2, "Sensor"),
+            lambda class_id, unit, generator: np.zeros(3),  # wrong length
+        )
+        with pytest.raises(ValueError, match="shape function"):
+            bad.generate_instance(1, rng)

@@ -1,0 +1,143 @@
+"""Unit tests for repro.discord.discords and repro.discord.hotsax."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.anomaly import Anomaly
+from repro.discord.discords import Discord, DiscordDetector, top_discords
+from repro.discord.hotsax import hotsax_discords
+from repro.discord.matrix_profile import matrix_profile_brute, matrix_profile_stomp
+
+
+@pytest.fixture
+def spiky_series() -> np.ndarray:
+    """Periodic series with two distinct planted *shape* anomalies.
+
+    Both anomalies change the shape, not just the amplitude — z-normalized
+    distances are amplitude-invariant, so a pure rescaling would be
+    (correctly) invisible to discord discovery.
+    """
+    series = np.sin(np.linspace(0, 60 * np.pi, 3000))
+    series[800:850] += 2.0  # level shift inside a cycle
+    series[2000:2050] = np.sin(np.linspace(0, 8 * np.pi, 50))  # frequency x4
+    return series
+
+
+class TestDiscordRecord:
+    def test_valid(self):
+        discord = Discord(position=5, length=10, distance=1.5, neighbour=50)
+        assert discord.position == 5
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Discord(position=0, length=4, distance=-1.0, neighbour=0)
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(ValueError):
+            Discord(position=-1, length=4, distance=1.0, neighbour=0)
+
+
+class TestTopDiscords:
+    def test_returns_descending_distances(self, spiky_series):
+        profile = matrix_profile_stomp(spiky_series, 50)
+        discords = top_discords(profile, k=3)
+        distances = [d.distance for d in discords]
+        assert distances == sorted(distances, reverse=True)
+
+    def test_non_overlapping(self, spiky_series):
+        profile = matrix_profile_stomp(spiky_series, 50)
+        discords = top_discords(profile, k=3)
+        for i, a in enumerate(discords):
+            for b in discords[i + 1 :]:
+                assert abs(a.position - b.position) >= 50
+
+    def test_first_discord_is_profile_argmax(self, spiky_series):
+        profile = matrix_profile_stomp(spiky_series, 50)
+        discords = top_discords(profile, k=1)
+        assert discords[0].position == int(np.argmax(profile.profile))
+
+    def test_finds_both_planted_anomalies(self, spiky_series):
+        # k=3 because the strong frequency anomaly can claim two
+        # non-overlapping slots (one per flank) before the bump anomaly.
+        profile = matrix_profile_stomp(spiky_series, 50)
+        positions = [d.position for d in top_discords(profile, k=3)]
+        assert any(750 <= p <= 860 for p in positions)
+        assert any(1950 <= p <= 2060 for p in positions)
+
+    def test_k_larger_than_possible(self):
+        series = np.sin(np.linspace(0, 8 * np.pi, 100))
+        profile = matrix_profile_stomp(series, 40)
+        discords = top_discords(profile, k=10)
+        assert 1 <= len(discords) <= 2  # only ~2 disjoint windows fit
+
+    def test_invalid_k(self, spiky_series):
+        profile = matrix_profile_stomp(spiky_series[:200], 20)
+        with pytest.raises(ValueError, match="positive"):
+            top_discords(profile, k=0)
+
+
+class TestDiscordDetector:
+    def test_detect_returns_anomalies(self, spiky_series):
+        detector = DiscordDetector(window=50)
+        anomalies = detector.detect(spiky_series, k=3)
+        assert all(isinstance(a, Anomaly) for a in anomalies)
+        assert [a.rank for a in anomalies] == [1, 2, 3]
+
+    def test_scores_are_distances_descending(self, spiky_series):
+        detector = DiscordDetector(window=50)
+        anomalies = detector.detect(spiky_series, k=3)
+        scores = [a.score for a in anomalies]
+        assert scores == sorted(scores, reverse=True)
+        assert all(score >= 0 for score in scores)
+
+    def test_window_too_small_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            DiscordDetector(window=1)
+
+    def test_window_larger_than_series_rejected(self, spiky_series):
+        detector = DiscordDetector(window=5000)
+        with pytest.raises(ValueError, match="exceeds"):
+            detector.detect(spiky_series)
+
+    def test_anomaly_length_equals_window(self, spiky_series):
+        detector = DiscordDetector(window=64)
+        anomalies = detector.detect(spiky_series, k=2)
+        assert all(a.length == 64 for a in anomalies)
+
+
+class TestHotsax:
+    def test_matches_brute_force_top_discord(self, rng):
+        series = np.cumsum(rng.standard_normal(300))
+        brute = matrix_profile_brute(series, 25)
+        finite = np.where(np.isfinite(brute.profile), brute.profile, -np.inf)
+        expected = float(np.max(finite))
+        found = hotsax_discords(series, 25, k=1, seed=3)[0]
+        assert found.distance == pytest.approx(expected, abs=1e-6)
+
+    def test_seed_invariance_of_result(self, spiky_series):
+        series = spiky_series[:600]
+        a = hotsax_discords(series, 40, k=1, seed=0)[0]
+        b = hotsax_discords(series, 40, k=1, seed=99)[0]
+        assert a.distance == pytest.approx(b.distance, abs=1e-9)
+
+    def test_top_k_non_overlapping(self, spiky_series):
+        discords = hotsax_discords(spiky_series[:1200], 50, k=3)
+        for i, a in enumerate(discords):
+            for b in discords[i + 1 :]:
+                assert abs(a.position - b.position) >= 50
+
+    def test_finds_planted_anomaly(self, spiky_series):
+        found = hotsax_discords(spiky_series[:1200], 50, k=1)[0]
+        assert 750 <= found.position <= 860
+
+    def test_invalid_k_rejected(self, spiky_series):
+        with pytest.raises(ValueError, match="positive"):
+            hotsax_discords(spiky_series[:200], 20, k=0)
+
+    def test_custom_sax_parameters(self, spiky_series):
+        found = hotsax_discords(
+            spiky_series[:800], 50, k=1, paa_size=4, alphabet_size=4
+        )[0]
+        assert found.distance > 0

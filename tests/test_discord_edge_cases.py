@@ -1,0 +1,120 @@
+"""Edge-case and failure-injection tests for the discord subsystem.
+
+These push the matrix-profile and discord machinery into the corners the
+equivalence property tests rarely reach: degenerate windows, short series,
+flat segments abutting structure, and adversarial exclusion settings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.discord.discords import DiscordDetector, top_discords
+from repro.discord.hotsax import hotsax_discords
+from repro.discord.matrix_profile import (
+    MatrixProfile,
+    mass,
+    matrix_profile_brute,
+    matrix_profile_stomp,
+)
+
+
+class TestShortSeries:
+    def test_two_subsequences_only(self):
+        series = np.array([0.0, 1.0, 0.0, 1.0, 2.0, 0.0])
+        profile = matrix_profile_stomp(series, 5, exclusion=0)
+        assert len(profile) == 2
+        assert np.all(np.isfinite(profile.profile))
+
+    def test_window_equals_series_length_minus_one(self, rng):
+        series = rng.standard_normal(30)
+        profile = matrix_profile_stomp(series, 29, exclusion=0)
+        assert len(profile) == 2
+        # The two subsequences are each other's only neighbours.
+        assert profile.indices.tolist() == [1, 0]
+
+    def test_exclusion_swallows_everything(self, rng):
+        """When the exclusion zone covers all neighbours, no 1-NN exists."""
+        series = rng.standard_normal(20)
+        profile = matrix_profile_stomp(series, 10, exclusion=50)
+        assert np.all(np.isinf(profile.profile))
+        assert np.all(profile.indices == -1)
+        assert top_discords(profile, k=3) == []
+
+
+class TestFlatSegments:
+    def test_flat_region_within_structure(self):
+        """Flat stretches must not poison neighbouring distances."""
+        series = np.concatenate(
+            [np.sin(np.linspace(0, 8 * np.pi, 400)), np.zeros(100),
+             np.sin(np.linspace(0, 8 * np.pi, 400))]
+        )
+        stomp = matrix_profile_stomp(series, 50)
+        brute = matrix_profile_brute(series, 50)
+        assert np.allclose(stomp.profile, brute.profile, atol=5e-4)
+
+    def test_all_flat_with_single_blip(self):
+        series = np.zeros(200)
+        series[100] = 5.0
+        profile = matrix_profile_stomp(series, 20)
+        top = top_discords(profile, k=1)
+        assert top, "blip not detected"
+        # The discord window contains the blip.
+        assert top[0].position <= 100 <= top[0].position + 19
+
+    def test_mass_against_flat_series(self):
+        distances = mass(np.sin(np.linspace(0, 2 * np.pi, 16)), np.zeros(64))
+        assert np.allclose(distances, 4.0)  # sqrt(m) = sqrt(16)
+
+
+class TestDiscordExtraction:
+    def test_all_equal_profile_returns_first_positions(self):
+        profile = MatrixProfile(
+            profile=np.full(30, 2.0),
+            indices=np.zeros(30, dtype=np.int64),
+            window=5,
+            exclusion=1,
+        )
+        discords = top_discords(profile, k=3)
+        assert len(discords) == 3
+        positions = [d.position for d in discords]
+        assert positions[0] == 0  # argmax ties resolve to first index
+
+    def test_negative_infinite_profile_entries_skipped(self):
+        values = np.full(20, -np.inf)
+        values[7] = 1.5
+        profile = MatrixProfile(
+            profile=values, indices=np.zeros(20, dtype=np.int64), window=4, exclusion=1
+        )
+        discords = top_discords(profile, k=3)
+        assert [d.position for d in discords] == [7]
+
+    def test_detector_k_one(self, rng):
+        series = np.cumsum(rng.standard_normal(300))
+        anomalies = DiscordDetector(window=30).detect(series, k=1)
+        assert len(anomalies) == 1
+        assert anomalies[0].rank == 1
+
+
+class TestHotsaxEdgeCases:
+    def test_series_of_two_windows(self):
+        series = np.array([0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.0, 3.0])
+        discords = hotsax_discords(series, 4, k=1, exclusion=0)
+        assert len(discords) == 1
+
+    def test_k_exceeding_space_returns_fewer(self, rng):
+        series = np.cumsum(rng.standard_normal(60))
+        discords = hotsax_discords(series, 25, k=5)
+        assert 1 <= len(discords) <= 2
+
+    def test_flat_series_zero_distances(self):
+        discords = hotsax_discords(np.zeros(80), 10, k=1)
+        assert discords[0].distance == pytest.approx(0.0)
+
+    def test_matches_brute_force_with_larger_alphabet(self, rng):
+        series = np.cumsum(rng.standard_normal(200))
+        found = hotsax_discords(series, 20, k=1, paa_size=5, alphabet_size=6)[0]
+        brute = matrix_profile_brute(series, 20)
+        finite = np.where(np.isfinite(brute.profile), brute.profile, -np.inf)
+        assert found.distance == pytest.approx(float(np.max(finite)), abs=1e-6)

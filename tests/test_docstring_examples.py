@@ -1,0 +1,33 @@
+"""Run the doctest examples embedded in the public API docstrings.
+
+Every module whose docstrings carry executable examples is checked here,
+so the documentation can never drift from the implementation.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES_WITH_EXAMPLES = [
+    "repro",
+    "repro.core.detector",
+    "repro.core.ensemble",
+    "repro.core.streaming",
+    "repro.discord.discords",
+    "repro.grammar.motifs",
+    "repro.grammar.rra",
+    "repro.grammar.sequitur",
+    "repro.sax.sax",
+    "repro.utils.timing",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES_WITH_EXAMPLES)
+def test_doctests_pass(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module_name}"
+    assert results.attempted > 0, f"{module_name} lost its doctest examples"

@@ -1,0 +1,147 @@
+"""Unit tests for repro.evaluation.harness and repro.evaluation.tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.anomaly import Anomaly
+from repro.datasets.planting import AnomalyTestCase, make_corpus
+from repro.datasets.ucr_like import DATASETS
+from repro.evaluation.harness import (
+    MethodScores,
+    evaluate_detector,
+    evaluate_methods,
+    evaluate_methods_on_corpus,
+)
+from repro.evaluation.tables import format_float, format_table
+
+
+class _OracleDetector:
+    """Reports the ground truth exactly (for harness plumbing tests)."""
+
+    def __init__(self, location: int, window: int) -> None:
+        self.location = location
+        self.window = window
+
+    def detect(self, series: np.ndarray, k: int = 3) -> list[Anomaly]:
+        return [Anomaly(position=self.location, length=self.window, score=1.0, rank=1)]
+
+
+class _BlindDetector:
+    """Always reports position 0 (misses every planted anomaly)."""
+
+    def __init__(self, window: int) -> None:
+        self.window = window
+
+    def detect(self, series: np.ndarray, k: int = 3) -> list[Anomaly]:
+        return [Anomaly(position=0, length=self.window, score=0.0, rank=1)]
+
+
+@pytest.fixture
+def small_corpus() -> list[AnomalyTestCase]:
+    return make_corpus(DATASETS["TwoLeadECG"], n_cases=3, seed=0)
+
+
+class TestMethodScores:
+    def test_aggregates(self):
+        scores = MethodScores("X", (0.0, 0.5, 1.0))
+        assert scores.average == pytest.approx(0.5)
+        assert scores.hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MethodScores("X", ())
+
+    def test_as_array(self):
+        scores = MethodScores("X", (0.25, 0.75))
+        assert scores.as_array().tolist() == [0.25, 0.75]
+
+
+class TestEvaluateDetector:
+    def test_oracle_scores_one(self, small_corpus):
+        for case in small_corpus:
+            detector = _OracleDetector(case.gt_location, case.gt_length)
+            assert evaluate_detector(detector, [case]) == [1.0]
+
+    def test_blind_scores_zero(self, small_corpus):
+        detector = _BlindDetector(82)
+        scores = evaluate_detector(detector, small_corpus)
+        assert all(s == 0.0 for s in scores)
+
+
+class TestEvaluateMethodsOnCorpus:
+    def test_window_defaults_to_gt_length(self, small_corpus):
+        captured: list[int] = []
+
+        def factory(window: int) -> _BlindDetector:
+            captured.append(window)
+            return _BlindDetector(window)
+
+        evaluate_methods_on_corpus(small_corpus, {"Blind": factory})
+        assert captured == [82]
+
+    def test_explicit_window_override(self, small_corpus):
+        captured: list[int] = []
+
+        def factory(window: int) -> _BlindDetector:
+            captured.append(window)
+            return _BlindDetector(window)
+
+        evaluate_methods_on_corpus(small_corpus, {"Blind": factory}, window=57)
+        assert captured == [57]
+
+    def test_mixed_lengths_require_explicit_window(self, small_corpus):
+        other = make_corpus(DATASETS["Wafer"], n_cases=1, seed=0)
+        with pytest.raises(ValueError, match="mixed ground-truth lengths"):
+            evaluate_methods_on_corpus(
+                small_corpus + other, {"Blind": lambda w: _BlindDetector(w)}
+            )
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            evaluate_methods_on_corpus([], {"X": lambda w: _BlindDetector(w)})
+
+    def test_results_keyed_by_method(self, small_corpus):
+        results = evaluate_methods_on_corpus(
+            small_corpus, {"Blind": lambda w: _BlindDetector(w)}
+        )
+        assert set(results) == {"Blind"}
+        assert len(results["Blind"].scores) == 3
+
+
+class TestEvaluateMethods:
+    def test_nested_structure(self, small_corpus):
+        corpora = {"TwoLeadECG": small_corpus}
+        results = evaluate_methods(corpora, {"Blind": lambda w: _BlindDetector(w)})
+        assert set(results) == {"TwoLeadECG"}
+        assert results["TwoLeadECG"]["Blind"].average == 0.0
+
+
+class TestTables:
+    def test_format_float(self):
+        assert format_float(0.39514, 4) == "0.3951"
+        assert format_float(1.0, 2) == "1.00"
+
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["Dataset", "Score"],
+            [["TwoLeadECG", "0.3951"], ["Trace", "0.5718"]],
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("Dataset")
+        assert "TwoLeadECG" in lines[2]
+        # All rows align on the second column.
+        assert lines[2].index("0.3951") == lines[3].index("0.5718")
+
+    def test_title_rendered(self):
+        table = format_table(["A"], [["1"]], title="Table 4")
+        assert table.splitlines()[0] == "Table 4"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["A", "B"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError, match="headers"):
+            format_table([], [])

@@ -1,0 +1,142 @@
+"""Unit tests for repro.evaluation.metrics and repro.evaluation.comparison."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.anomaly import Anomaly
+from repro.evaluation.comparison import WinsTiesLosses, wins_ties_losses
+from repro.evaluation.metrics import average_score, best_score, hit_rate, score
+
+
+class TestScoreEquation5:
+    def test_exact_match(self):
+        assert score(100, 100, 50) == 1.0
+
+    def test_linear_decay(self):
+        assert score(110, 100, 50) == pytest.approx(0.8)
+        assert score(90, 100, 50) == pytest.approx(0.8)
+
+    def test_zero_beyond_gt_length(self):
+        assert score(150, 100, 50) == 0.0
+        assert score(200, 100, 50) == 0.0
+
+    def test_symmetric_in_offset(self):
+        assert score(120, 100, 40) == score(80, 100, 40)
+
+    def test_invalid_gt_length(self):
+        with pytest.raises(ValueError, match="positive"):
+            score(0, 0, 0)
+
+    @given(st.integers(0, 10_000), st.integers(0, 10_000), st.integers(1, 2_000))
+    def test_bounds(self, predicted, actual, length):
+        value = score(predicted, actual, length)
+        assert 0.0 <= value <= 1.0
+
+
+class TestBestScore:
+    def _anomaly(self, position, rank):
+        return Anomaly(position=position, length=50, score=1.0, rank=rank)
+
+    def test_picks_maximum_of_candidates(self):
+        candidates = [self._anomaly(300, 1), self._anomaly(105, 2), self._anomaly(500, 3)]
+        assert best_score(candidates, 100, 50) == pytest.approx(0.9)
+
+    def test_empty_candidates_zero(self):
+        assert best_score([], 100, 50) == 0.0
+
+    def test_paper_protocol_top3_max(self):
+        """Only the best of the top-3 counts (Section 7.1.2)."""
+        candidates = [self._anomaly(100, 1), self._anomaly(101, 2)]
+        assert best_score(candidates, 100, 50) == 1.0
+
+
+class TestHitRate:
+    def test_fraction_positive(self):
+        assert hit_rate([0.0, 0.5, 1.0, 0.0]) == 0.5
+
+    def test_all_hits(self):
+        assert hit_rate([0.1, 0.9]) == 1.0
+
+    def test_no_hits(self):
+        assert hit_rate([0.0, 0.0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            hit_rate([])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            hit_rate([1.5])
+
+
+class TestAverageScore:
+    def test_mean(self):
+        assert average_score([0.0, 0.5, 1.0]) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            average_score([])
+
+
+class TestWinsTiesLosses:
+    def test_paper_cell_format(self):
+        assert str(WinsTiesLosses(12, 5, 8)) == "12/5/8"
+
+    def test_total(self):
+        assert WinsTiesLosses(12, 5, 8).total == 25
+
+    def test_counting(self):
+        a = [1.0, 0.5, 0.0, 0.7]
+        b = [0.5, 0.5, 0.5, 0.9]
+        result = wins_ties_losses(a, b)
+        assert (result.wins, result.ties, result.losses) == (1, 1, 2)
+
+    def test_tolerance_for_ties(self):
+        result = wins_ties_losses([0.5], [0.5 + 1e-9])
+        assert result.ties == 1
+
+    def test_custom_tolerance(self):
+        result = wins_ties_losses([0.5], [0.52], tolerance=0.05)
+        assert result.ties == 1
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError, match="aligned"):
+            wins_ties_losses([0.5, 0.5], [0.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            wins_ties_losses([], [])
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            WinsTiesLosses(-1, 0, 0)
+
+    @given(
+        st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=30),
+        st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=30),
+    )
+    def test_counts_partition_cases(self, a, b):
+        n = min(len(a), len(b))
+        result = wins_ties_losses(a[:n], b[:n])
+        assert result.total == n
+
+    @given(st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=30))
+    def test_self_comparison_all_ties(self, scores):
+        result = wins_ties_losses(scores, scores)
+        assert result.ties == len(scores)
+        assert result.wins == 0
+
+    @given(
+        st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=20),
+        st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=20),
+    )
+    def test_antisymmetric(self, a, b):
+        n = min(len(a), len(b))
+        forward = wins_ties_losses(a[:n], b[:n])
+        backward = wins_ties_losses(b[:n], a[:n])
+        assert forward.wins == backward.losses
+        assert forward.losses == backward.wins

@@ -1,0 +1,91 @@
+"""Unit tests for repro.evaluation.reporting (JSON/CSV persistence)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.anomaly import Anomaly
+from repro.evaluation.harness import MethodScores
+from repro.evaluation.reporting import (
+    anomalies_from_dicts,
+    anomalies_to_dicts,
+    read_detections_json,
+    read_evaluation_json,
+    write_detections_csv,
+    write_detections_json,
+    write_evaluation_json,
+)
+
+
+@pytest.fixture
+def anomalies() -> list[Anomaly]:
+    return [
+        Anomaly(position=120, length=50, score=0.9, rank=1),
+        Anomaly(position=400, length=50, score=0.4, rank=2),
+    ]
+
+
+class TestDetectionsRoundTrip:
+    def test_dict_round_trip(self, anomalies):
+        assert anomalies_from_dicts(anomalies_to_dicts(anomalies)) == anomalies
+
+    def test_json_round_trip_with_metadata(self, tmp_path, anomalies):
+        path = tmp_path / "detections.json"
+        write_detections_json(path, anomalies, metadata={"window": 50, "method": "gi"})
+        loaded, metadata = read_detections_json(path)
+        assert loaded == anomalies
+        assert metadata == {"window": 50, "method": "gi"}
+
+    def test_json_has_format_version(self, tmp_path, anomalies):
+        path = tmp_path / "detections.json"
+        write_detections_json(path, anomalies)
+        assert json.loads(path.read_text())["format_version"] == 1
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "anomalies": []}))
+        with pytest.raises(ValueError, match="format version"):
+            read_detections_json(path)
+
+    def test_csv_layout(self, tmp_path, anomalies):
+        path = tmp_path / "detections.csv"
+        write_detections_csv(path, anomalies)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "rank,position,length,score"
+        assert lines[1].startswith("1,120,50,")
+
+    def test_empty_detections(self, tmp_path):
+        path = tmp_path / "empty.json"
+        write_detections_json(path, [])
+        loaded, _ = read_detections_json(path)
+        assert loaded == []
+
+
+class TestEvaluationRoundTrip:
+    def test_json_round_trip(self, tmp_path):
+        results = {
+            "Proposed": MethodScores("Proposed", (0.5, 1.0, 0.0)),
+            "Discord": MethodScores("Discord", (0.25, 0.75, 0.5)),
+        }
+        path = tmp_path / "eval.json"
+        write_evaluation_json(path, results)
+        loaded = read_evaluation_json(path)
+        assert set(loaded) == {"Proposed", "Discord"}
+        assert loaded["Proposed"].scores == (0.5, 1.0, 0.0)
+        assert loaded["Discord"].average == pytest.approx(0.5)
+
+    def test_summary_fields_serialized(self, tmp_path):
+        results = {"X": MethodScores("X", (0.0, 1.0))}
+        path = tmp_path / "eval.json"
+        write_evaluation_json(path, results)
+        document = json.loads(path.read_text())
+        assert document["methods"]["X"]["average_score"] == pytest.approx(0.5)
+        assert document["methods"]["X"]["hit_rate"] == pytest.approx(0.5)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 0, "methods": {}}))
+        with pytest.raises(ValueError, match="format version"):
+            read_evaluation_json(path)

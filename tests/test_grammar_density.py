@@ -1,0 +1,134 @@
+"""Unit tests for repro.grammar.density (rule density curve, Section 5.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.grammar.density import density_from_intervals, rule_density_curve
+from repro.grammar.sequitur import induce_grammar
+from repro.sax.numerosity import numerosity_reduction
+
+
+class TestDensityFromIntervals:
+    def test_single_interval(self):
+        curve = density_from_intervals([(2, 4)], 8)
+        assert curve.tolist() == [0, 0, 1, 1, 1, 0, 0, 0]
+
+    def test_overlapping_intervals_sum(self):
+        curve = density_from_intervals([(0, 3), (2, 5)], 7)
+        assert curve.tolist() == [1, 1, 2, 2, 1, 1, 0]
+
+    def test_interval_clipped_to_length(self):
+        curve = density_from_intervals([(5, 100)], 8)
+        assert curve.tolist() == [0, 0, 0, 0, 0, 1, 1, 1]
+
+    def test_negative_start_clipped(self):
+        curve = density_from_intervals([(-3, 2)], 5)
+        assert curve.tolist() == [1, 1, 1, 0, 0]
+
+    def test_interval_outside_range_ignored(self):
+        curve = density_from_intervals([(10, 20)], 5)
+        assert curve.tolist() == [0, 0, 0, 0, 0]
+
+    def test_empty_interval_list(self):
+        assert density_from_intervals([], 4).tolist() == [0, 0, 0, 0]
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            density_from_intervals([(3, 2)], 5)
+
+    def test_non_positive_length_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            density_from_intervals([], 0)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 50)).map(
+                lambda pair: (min(pair), max(pair))
+            ),
+            max_size=30,
+        )
+    )
+    def test_total_mass_equals_interval_lengths(self, intervals):
+        length = 60
+        curve = density_from_intervals(intervals, length)
+        expected = sum(end - start + 1 for start, end in intervals)
+        assert curve.sum() == expected
+        assert np.all(curve >= 0)
+
+
+class TestRuleDensityCurve:
+    def _curve_for(self, words: list[str], window: int, series_length: int) -> np.ndarray:
+        tokens = numerosity_reduction(words, window)
+        grammar = induce_grammar(list(tokens.words))
+        return rule_density_curve(grammar, tokens, series_length)
+
+    def test_paper_toy_example_coverage(self):
+        """Eq. (1): the repeated aa bb cc spans are rule-covered; the xx
+        region gets no coverage of its own (its points are only reached by
+        the tails of the flanking rule spans)."""
+        words = ["aa", "bb", "cc", "xx", "aa", "bb", "cc"]
+        window = 2
+        curve = self._curve_for(words, window, series_length=8)
+        # R1 -> aa bb cc covers [offset 0, offset 2 + 1] and [4, 7].
+        assert curve.tolist() == [1, 1, 1, 1, 1, 1, 1, 1]
+
+    def test_incompressible_middle_has_zero_density(self):
+        """A longer version of the Eq. (1) toy: an incompressible stretch
+        strictly inside the series has exactly zero rule density."""
+        words = (
+            ["aa", "bb", "cc", "aa", "bb", "cc"]
+            + ["xx", "yy", "zz"]
+            + ["aa", "bb", "cc", "aa", "bb", "cc"]
+        )
+        window = 2
+        curve = self._curve_for(words, window, series_length=16)
+        # The repeated blocks cover [0, 6] and [9, 15]; points 7-8 are the
+        # interior of the incompressible stretch.
+        assert curve[7] == 0.0
+        assert curve[8] == 0.0
+        assert curve[:6].min() >= 1.0
+        assert curve[10:].min() >= 1.0
+
+    def test_incompressible_sequence_all_zero(self):
+        words = ["aa", "bb", "cc", "dd", "ee"]
+        curve = self._curve_for(words, 2, series_length=6)
+        assert np.allclose(curve, 0.0)
+
+    def test_repetitive_sequence_positive_everywhere_inside(self):
+        words = ["aa", "bb"] * 10
+        curve = self._curve_for(words, 2, series_length=21)
+        assert curve[:-1].min() >= 1.0
+
+    def test_curve_length_matches_series(self):
+        words = ["aa", "bb", "aa", "bb"]
+        curve = self._curve_for(words, 3, series_length=12)
+        assert len(curve) == 12
+
+    def test_nested_rules_increase_density(self):
+        """abab abab -> nested rules cover the repeated region multiple times."""
+        words = ["ab", "cd"] * 8
+        curve = self._curve_for(words, 2, series_length=17)
+        assert curve.max() >= 2.0
+
+    def test_mismatched_grammar_and_tokens_rejected(self):
+        tokens = numerosity_reduction(["aa", "bb", "aa", "bb"], window=2)
+        wrong_grammar = induce_grammar(["aa", "bb"])
+        with pytest.raises(ValueError, match="same discretization"):
+            rule_density_curve(wrong_grammar, tokens, 10)
+
+    def test_anomaly_sits_at_density_minimum(self, anomalous_sine):
+        """Integration: the planted anomaly is in the lowest-density region."""
+        from repro.sax.sax import discretize
+
+        series, gt_position, gt_length = anomalous_sine
+        words = discretize(series, 100, 5, 5)
+        tokens = numerosity_reduction(words, 100)
+        grammar = induce_grammar(list(tokens.words))
+        curve = rule_density_curve(grammar, tokens, len(series))
+        # The mean density over the anomalous window is below the global mean.
+        anomaly_region = curve[gt_position : gt_position + gt_length].mean()
+        assert anomaly_region < curve.mean()

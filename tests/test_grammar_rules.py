@@ -1,0 +1,156 @@
+"""Unit and property tests for repro.grammar.rules (Grammar introspection)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.grammar.rules import Grammar, GrammarRule, RuleOccurrence
+from repro.grammar.sequitur import induce_grammar
+
+token_sequences = st.lists(
+    st.sampled_from(["aa", "ab", "ba", "bb"]), min_size=1, max_size=100
+)
+
+
+def _expected_occurrences(grammar: Grammar) -> list[RuleOccurrence]:
+    """Reference occurrence enumeration via naive recursive expansion."""
+    occurrences: list[RuleOccurrence] = []
+
+    def walk(rule_index: int, start: int) -> int:
+        position = start
+        for element in grammar.rules[rule_index].rhs:
+            if isinstance(element, int):
+                end = walk(element, position)
+                occurrences.append(RuleOccurrence(element, position, end - 1))
+                position = end
+            else:
+                position += 1
+        return position
+
+    walk(0, 0)
+    return occurrences
+
+
+class TestGrammarRule:
+    def test_str_rendering(self):
+        rule = GrammarRule(1, ("ab", 2, "cd"))
+        assert str(rule) == "R1 -> ab R2 cd"
+
+    def test_references(self):
+        rule = GrammarRule(0, (1, "x", 2, 1))
+        assert list(rule.references()) == [1, 2, 1]
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            GrammarRule(-1, ("a",))
+
+    def test_reference_zero_rejected(self):
+        """R0 can never be referenced (it is the start rule)."""
+        with pytest.raises(ValueError, match=">= 1"):
+            GrammarRule(1, (0, "a"))
+
+
+class TestRuleOccurrence:
+    def test_token_length(self):
+        assert RuleOccurrence(1, 3, 7).token_length == 5
+
+    def test_empty_span_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            RuleOccurrence(1, 5, 4)
+
+
+class TestExpansion:
+    def test_expanded_lengths_paper_example(self):
+        grammar = induce_grammar(["ab", "bc", "aa", "cc", "ca", "ab", "bc", "aa"])
+        lengths = grammar.expanded_lengths()
+        assert lengths[0] == 8
+        assert lengths[1] == 3
+
+    def test_expand_subrule(self):
+        grammar = induce_grammar(["ab", "bc", "aa", "cc", "ca", "ab", "bc", "aa"])
+        assert grammar.expand(1) == ["ab", "bc", "aa"]
+
+    def test_expand_out_of_range(self):
+        grammar = induce_grammar(["a", "b"])
+        with pytest.raises(IndexError):
+            grammar.expand(5)
+
+    @given(token_sequences)
+    def test_lengths_consistent_with_expansion(self, tokens):
+        grammar = induce_grammar(tokens)
+        lengths = grammar.expanded_lengths()
+        for index in range(grammar.n_rules):
+            assert lengths[index] == len(grammar.expand(index))
+
+    def test_deep_hierarchy_expansion(self):
+        """2^10 tokens of one symbol build a deep rule chain; expansion must
+        not recurse (explicit-stack implementation)."""
+        tokens = ["x"] * 1024
+        grammar = induce_grammar(tokens)
+        assert grammar.expand(0) == tokens
+        assert grammar.expanded_lengths()[0] == 1024
+
+
+class TestOccurrences:
+    def test_paper_example_occurrences(self):
+        grammar = induce_grammar(["ab", "bc", "aa", "cc", "ca", "ab", "bc", "aa"])
+        occurrences = grammar.rule_occurrences()
+        spans = [(o.rule_index, o.first_token, o.last_token) for o in occurrences]
+        assert spans == [(1, 0, 2), (1, 5, 7)]
+
+    def test_nested_occurrences_counted(self):
+        """abcabcabcabc: the 'abc' rule occurs 4 times (all nested)."""
+        grammar = induce_grammar(list("abcabcabcabc"))
+        occurrences = grammar.rule_occurrences()
+        leaf_rule = grammar.n_rules - 1  # deepest rule is numbered last
+        leaf_spans = [
+            (o.first_token, o.last_token)
+            for o in occurrences
+            if o.rule_index == leaf_rule
+        ]
+        assert leaf_spans == [(0, 2), (3, 5), (6, 8), (9, 11)]
+
+    @given(token_sequences)
+    def test_occurrences_match_recursive_reference(self, tokens):
+        grammar = induce_grammar(tokens)
+        actual = sorted(
+            grammar.rule_occurrences(),
+            key=lambda o: (o.first_token, o.last_token, o.rule_index),
+        )
+        expected = sorted(
+            _expected_occurrences(grammar),
+            key=lambda o: (o.first_token, o.last_token, o.rule_index),
+        )
+        assert actual == expected
+
+    @given(token_sequences)
+    def test_occurrence_expansions_match_tokens(self, tokens):
+        """Each occurrence's span in the token sequence spells the rule."""
+        grammar = induce_grammar(tokens)
+        for occurrence in grammar.rule_occurrences():
+            expected = grammar.expand(occurrence.rule_index)
+            actual = tokens[occurrence.first_token : occurrence.last_token + 1]
+            assert actual == expected
+
+    @given(token_sequences)
+    def test_occurrence_count_matches_reference_count(self, tokens):
+        grammar = induce_grammar(tokens)
+        from collections import Counter
+
+        occurrence_counts = Counter(o.rule_index for o in grammar.rule_occurrences())
+        for index in range(1, grammar.n_rules):
+            assert occurrence_counts[index] >= 2
+
+
+class TestGrammarSize:
+    def test_size_counts_rhs_plus_rule(self):
+        grammar = induce_grammar(["a", "b"])
+        # R0 -> a b: 2 symbols + 1 rule marker.
+        assert grammar.grammar_size() == 3
+
+    @given(token_sequences)
+    def test_size_positive_and_bounded(self, tokens):
+        grammar = induce_grammar(tokens)
+        assert 0 < grammar.grammar_size() <= len(tokens) + 2 * grammar.n_rules

@@ -1,0 +1,167 @@
+"""Unit and property tests for repro.grammar.sequitur (Sequitur induction)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.grammar.rules import Grammar
+from repro.grammar.sequitur import induce_grammar
+
+token_sequences = st.lists(
+    st.sampled_from(["aa", "ab", "ba", "bb", "cc"]), min_size=1, max_size=120
+)
+
+
+class TestPaperExamples:
+    def test_table_2_final_grammar(self):
+        """The paper's Eq. (4) sequence: R0 -> R* cc ca R*, R* -> ab bc aa."""
+        grammar = induce_grammar(["ab", "bc", "aa", "cc", "ca", "ab", "bc", "aa"])
+        assert grammar.rules[0].rhs == (1, "cc", "ca", 1)
+        assert grammar.rules[1].rhs == ("ab", "bc", "aa")
+        assert grammar.n_rules == 2
+
+    def test_table_1_grammar(self):
+        """The paper's Eq. (1) sequence: xx is incompressible."""
+        grammar = induce_grammar(["aa", "bb", "cc", "xx", "aa", "bb", "cc"])
+        assert grammar.rules[0].rhs == (1, "xx", 1)
+        assert grammar.rules[1].rhs == ("aa", "bb", "cc")
+
+    def test_incompressible_token_not_in_rules(self):
+        grammar = induce_grammar(["aa", "bb", "cc", "xx", "aa", "bb", "cc"])
+        for rule in grammar.rules[1:]:
+            assert "xx" not in rule.rhs
+
+
+class TestBasicSequences:
+    def test_single_token(self):
+        grammar = induce_grammar(["ab"])
+        assert grammar.n_rules == 1
+        assert grammar.rules[0].rhs == ("ab",)
+
+    def test_two_distinct_tokens(self):
+        grammar = induce_grammar(["ab", "cd"])
+        assert grammar.rules[0].rhs == ("ab", "cd")
+
+    def test_repeated_pair_forms_rule(self):
+        grammar = induce_grammar(["ab", "cd", "ab", "cd"])
+        assert grammar.n_rules == 2
+        assert grammar.rules[0].rhs == (1, 1)
+        assert grammar.rules[1].rhs == ("ab", "cd")
+
+    def test_run_of_identical_tokens(self):
+        """aaaa -> R0: R1 R1, R1: a a (overlap handling)."""
+        grammar = induce_grammar(["a"] * 4)
+        assert grammar.expand(0) == ["a"] * 4
+        assert grammar.n_rules == 2
+
+    def test_odd_run_of_identical_tokens(self):
+        grammar = induce_grammar(["a"] * 7)
+        assert grammar.expand(0) == ["a"] * 7
+
+    def test_triple_abc(self):
+        grammar = induce_grammar(list("abcabcabc"))
+        assert grammar.expand(0) == list("abcabcabc")
+
+    def test_nested_hierarchy(self):
+        grammar = induce_grammar(list("abcabcabcabc"))
+        # 12 tokens = ((abc)(abc))((abc)(abc)): three levels.
+        assert grammar.n_rules == 3
+        assert grammar.expand(0) == list("abcabcabcabc")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            induce_grammar([])
+
+    def test_non_string_tokens_rejected(self):
+        with pytest.raises(TypeError, match="strings"):
+            induce_grammar([1, 2, 3])
+
+    def test_accepts_generator_input(self):
+        grammar = induce_grammar(word for word in ["aa", "bb", "aa", "bb"])
+        assert grammar.expand(0) == ["aa", "bb", "aa", "bb"]
+
+
+class TestInvariants:
+    @given(token_sequences)
+    def test_expansion_reconstructs_input(self, tokens):
+        """The fundamental Sequitur correctness property."""
+        grammar = induce_grammar(tokens)
+        assert grammar.expand(0) == tokens
+
+    @given(token_sequences)
+    def test_rule_utility(self, tokens):
+        """Every rule except R0 is referenced at least twice."""
+        grammar = induce_grammar(tokens)
+        counts = {index: 0 for index in range(1, grammar.n_rules)}
+        for rule in grammar.rules:
+            for reference in rule.references():
+                counts[reference] += 1
+        for index, count in counts.items():
+            assert count >= 2, f"R{index} referenced {count} time(s)"
+
+    @given(token_sequences)
+    def test_digram_uniqueness(self, tokens):
+        """No digram occurs more than once across all rule bodies.
+
+        Adjacent-overlapping repeats inside a run of one symbol (e.g. the
+        digram 'a a' in 'a a a') are exempt, exactly as in Sequitur itself.
+        """
+        grammar = induce_grammar(tokens)
+        seen: dict[tuple, tuple[int, int]] = {}
+        for rule in grammar.rules:
+            rhs = rule.rhs
+            for position in range(len(rhs) - 1):
+                digram = (rhs[position], rhs[position + 1])
+                if digram in seen:
+                    previous_rule, previous_position = seen[digram]
+                    overlapping_run = (
+                        previous_rule == rule.index
+                        and digram[0] == digram[1]
+                        and position == previous_position + 1
+                    )
+                    assert overlapping_run, f"digram {digram} repeats"
+                seen[digram] = (rule.index, position)
+
+    @given(token_sequences)
+    def test_rule_bodies_at_least_two_symbols(self, tokens):
+        grammar = induce_grammar(tokens)
+        for rule in grammar.rules[1:]:
+            assert len(rule.rhs) >= 2
+
+    @given(token_sequences)
+    def test_compression_never_longer(self, tokens):
+        """Total grammar symbols never exceed input length + small overhead."""
+        grammar = induce_grammar(tokens)
+        total = sum(len(rule.rhs) for rule in grammar.rules)
+        assert total <= len(tokens) + grammar.n_rules
+
+    @given(token_sequences)
+    def test_deterministic(self, tokens):
+        assert induce_grammar(tokens) == induce_grammar(list(tokens))
+
+    def test_highly_repetitive_compresses_well(self):
+        tokens = ["ab", "cd"] * 64  # 128 tokens
+        grammar = induce_grammar(tokens)
+        total = sum(len(rule.rhs) for rule in grammar.rules)
+        assert total <= 30  # hierarchical rules: O(log n) grammar
+        assert grammar.expand(0) == tokens
+
+
+class TestGrammarValidation:
+    def test_rules_must_be_in_index_order(self):
+        from repro.grammar.rules import GrammarRule
+
+        with pytest.raises(ValueError, match="index order"):
+            Grammar((GrammarRule(1, ("a",)),))
+
+    def test_undefined_reference_rejected(self):
+        from repro.grammar.rules import GrammarRule
+
+        with pytest.raises(ValueError, match="undefined rule"):
+            Grammar((GrammarRule(0, (5, "a")),))
+
+    def test_empty_grammar_rejected(self):
+        with pytest.raises(ValueError, match="at least R0"):
+            Grammar(())

@@ -1,0 +1,158 @@
+"""End-to-end integration tests: the paper's pipeline on real corpora.
+
+These tests run the complete flow — corpus generation, all five methods,
+scoring — at reduced scale, asserting the *qualitative* claims the paper
+makes (the benches assert them at full scale with printed tables).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import EnsembleGrammarDetector
+from repro.datasets.planting import make_corpus, make_multi_anomaly_case, make_test_case
+from repro.datasets.power import dishwasher_series, fridge_freezer_series
+from repro.datasets.ucr_like import DATASETS
+from repro.evaluation.baselines import make_baseline_factories
+from repro.evaluation.harness import evaluate_methods_on_corpus
+from repro.evaluation.metrics import best_score
+
+
+class TestFiveMethodComparison:
+    """A miniature Table 4/5 run on one dataset."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        corpus = make_corpus(DATASETS["TwoLeadECG"], n_cases=5, seed=11)
+        factories = make_baseline_factories(seed=0)
+        return evaluate_methods_on_corpus(corpus, factories)
+
+    def test_all_methods_produce_scores(self, results):
+        assert set(results) == {"Proposed", "GI-Random", "GI-Fix", "GI-Select", "Discord"}
+        for method in results.values():
+            assert len(method.scores) == 5
+
+    def test_ensemble_hits_most_cases(self, results):
+        assert results["Proposed"].hit_rate >= 0.8
+
+    def test_ensemble_at_least_matches_single_run_baselines(self, results):
+        """The paper's core claim, at miniature scale."""
+        proposed = results["Proposed"].average
+        assert proposed >= results["GI-Fix"].average - 0.05
+        assert proposed >= results["GI-Random"].average - 0.05
+
+
+class TestEnsembleAcrossDatasets:
+    @pytest.mark.parametrize(
+        "name", ["TwoLeadECG", "GunPoint", "Wafer", "Trace"]
+    )
+    def test_ensemble_finds_planted_anomaly(self, name):
+        dataset = DATASETS[name]
+        case = make_test_case(dataset, seed=21)
+        detector = EnsembleGrammarDetector(
+            window=dataset.spec.instance_length, ensemble_size=25, seed=1
+        )
+        anomalies = detector.detect(case.series, k=3)
+        assert best_score(anomalies, case.gt_location, case.gt_length) > 0.0
+
+    def test_starlight_large_window(self):
+        dataset = DATASETS["StarLightCurve"]
+        case = make_test_case(dataset, seed=2)
+        detector = EnsembleGrammarDetector(window=1024, ensemble_size=20, seed=1)
+        anomalies = detector.detect(case.series, k=3)
+        assert best_score(anomalies, case.gt_location, case.gt_length) > 0.0
+
+
+class TestMultipleAnomalies:
+    """Section 7.5 protocol at reduced scale."""
+
+    def test_both_anomalies_detected(self):
+        case = make_multi_anomaly_case(
+            DATASETS["Trace"], seed=7, n_normal=20, n_anomalies=2
+        )
+        detector = EnsembleGrammarDetector(window=275, ensemble_size=25, seed=0)
+        candidates = detector.detect(case.series, k=3)
+        detected = 0
+        for location in case.gt_locations:
+            if any(
+                abs(c.position - location) < case.gt_length for c in candidates
+            ):
+                detected += 1
+        assert detected >= 1  # at least one; typically both
+
+
+class TestPowerCaseStudies:
+    def test_dishwasher_anomalous_cycle_found(self):
+        """Figure 1 scenario: the short-usage cycle is detectable."""
+        series, anomaly = dishwasher_series(n_cycles=20, seed=0)
+        detector = EnsembleGrammarDetector(
+            window=anomaly.length, ensemble_size=20, seed=0
+        )
+        candidates = detector.detect(series, k=3)
+        assert any(
+            abs(c.position - anomaly.position) < anomaly.length for c in candidates
+        )
+
+    def test_fridge_freezer_case_study(self):
+        """Figure 9 scenario at reduced length: the injected anomalies rank
+        among the top candidates."""
+        series, anomalies = fridge_freezer_series(length=40_000, seed=0)
+        detector = EnsembleGrammarDetector(window=900, ensemble_size=20, seed=0)
+        candidates = detector.detect(series, k=3)
+        hits = 0
+        for truth in anomalies:
+            if any(
+                c.position < truth.position + truth.length
+                and truth.position < c.position + c.length
+                for c in candidates
+            ):
+                hits += 1
+        assert hits >= 1
+
+    def test_window_length_robustness(self):
+        """Tables 13/14: performance persists with n < na."""
+        dataset = DATASETS["Trace"]
+        case = make_test_case(dataset, seed=3)
+        for fraction in (0.6, 0.8, 1.0):
+            window = int(fraction * 275)
+            detector = EnsembleGrammarDetector(window=window, ensemble_size=20, seed=0)
+            anomalies = detector.detect(case.series, k=3)
+            assert best_score(anomalies, case.gt_location, case.gt_length) > 0.0
+
+
+class TestScalabilityContract:
+    def test_ensemble_handles_long_series(self):
+        """Smoke-scale Figure 8: a 40k random walk completes quickly."""
+        from repro.datasets.generators import random_walk
+
+        series = random_walk(40_000, seed=0)
+        detector = EnsembleGrammarDetector(window=200, ensemble_size=10, seed=0)
+        anomalies = detector.detect(series, k=3)
+        assert len(anomalies) == 3
+
+    def test_linear_vs_quadratic_shape(self):
+        """Ensemble runtime grows far slower than STOMP's with length."""
+        import time
+
+        from repro.datasets.generators import random_walk
+        from repro.discord.matrix_profile import matrix_profile_stomp
+
+        short = random_walk(5_000, seed=1)
+        long = random_walk(20_000, seed=1)
+        detector = EnsembleGrammarDetector(window=128, ensemble_size=10, seed=0)
+
+        def timed(fn):
+            start = time.perf_counter()
+            fn()
+            return time.perf_counter() - start
+
+        ens_ratio = timed(lambda: detector.detect(long)) / max(
+            timed(lambda: detector.detect(short)), 1e-9
+        )
+        stomp_ratio = timed(lambda: matrix_profile_stomp(long, 128)) / max(
+            timed(lambda: matrix_profile_stomp(short, 128)), 1e-9
+        )
+        # 4x the length: linear ~4x, quadratic ~16x. Generous margins keep
+        # the assertion robust on loaded machines.
+        assert ens_ratio < stomp_ratio

@@ -1,0 +1,107 @@
+"""Pinned-value regression tests.
+
+Each test freezes a concrete observable of the implementation (exact SAX
+words, grammar shapes, detection positions on fixed seeds) so that future
+refactors which silently change semantics fail loudly. Values were produced
+by the implementation itself and sanity-checked against the paper's worked
+examples where available.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.detector import GrammarAnomalyDetector
+from repro.core.ensemble import EnsembleGrammarDetector
+from repro.datasets.planting import make_test_case
+from repro.datasets.ucr_like import DATASETS
+from repro.grammar.sequitur import induce_grammar
+from repro.sax.breakpoints import gaussian_breakpoints
+from repro.sax.sax import discretize, sax_word
+
+
+class TestSaxPinned:
+    def test_breakpoints_a3_and_a4(self):
+        assert np.round(gaussian_breakpoints(3), 4).tolist() == [-0.4307, 0.4307]
+        assert np.round(gaussian_breakpoints(4), 4).tolist() == [-0.6745, 0.0, 0.6745]
+
+    def test_rising_ramp_words(self):
+        ramp = np.arange(16.0)
+        assert sax_word(ramp, 4, 4) == "abcd"
+        assert sax_word(ramp, 4, 2) == "aabb"
+        assert sax_word(ramp[::-1], 4, 4) == "dcba"
+
+    def test_vee_shape_word(self):
+        vee = np.concatenate([np.arange(8.0, 0.0, -1.0), np.arange(0.0, 8.0)])
+        assert sax_word(vee, 4, 3) == "caac"
+
+    def test_sine_window_words(self):
+        series = np.sin(np.linspace(0, 4 * np.pi, 200))
+        words = discretize(series, 50, 4, 3)
+        # First window covers a full hump: rise, peak, peak, fall.
+        assert words[0] == "acca"
+        assert len(words) == 151
+
+    def test_word_count_independent_of_alphabet(self):
+        series = np.sin(np.linspace(0, 4 * np.pi, 120))
+        for a in (2, 5, 9):
+            assert len(discretize(series, 30, 5, a)) == 91
+
+
+class TestSequiturPinned:
+    def test_paper_table2_grammar_shape(self):
+        grammar = induce_grammar(["ab", "bc", "aa", "cc", "ca", "ab", "bc", "aa"])
+        assert str(grammar.rules[0]) == "R0 -> R1 cc ca R1"
+        assert str(grammar.rules[1]) == "R1 -> ab bc aa"
+
+    def test_peas_porridge_structure(self):
+        """The classic Sequitur demonstration string compresses with shared
+        sub-rules (pease/porridge/hot/cold structure)."""
+        text = (
+            "pease porridge hot, pease porridge cold, "
+            "pease porridge in the pot, nine days old."
+        )
+        tokens = list(text)
+        grammar = induce_grammar(tokens)
+        assert grammar.expand(0) == tokens
+        assert grammar.n_rules >= 4  # rich shared structure
+        total = sum(len(rule.rhs) for rule in grammar.rules)
+        assert total < len(tokens)
+
+    def test_powers_of_two_hierarchy(self):
+        grammar = induce_grammar(["x"] * 16)
+        # 16 = 2^4: R0 -> R1 R1, R1 -> R2 R2, R2 -> R3 R3, R3 -> x x.
+        assert grammar.n_rules == 4
+        assert all(len(rule.rhs) == 2 for rule in grammar.rules)
+
+
+class TestDetectionPinned:
+    def test_gi_fix_on_trace_case_seed0(self):
+        """Detection position on a fixed corpus case is frozen."""
+        case = make_test_case(DATASETS["Trace"], seed=0)
+        detector = GrammarAnomalyDetector(case.gt_length, 4, 4)
+        anomalies = detector.detect(case.series, k=3)
+        positions = [a.position for a in anomalies]
+        # The planted anomaly must be among the top-3 for this fixed seed.
+        assert any(
+            abs(p - case.gt_location) <= case.gt_length for p in positions
+        ), (positions, case.gt_location)
+
+    def test_ensemble_reproducible_across_instances(self):
+        case = make_test_case(DATASETS["Wafer"], seed=5)
+        first = EnsembleGrammarDetector(case.gt_length, ensemble_size=15, seed=9)
+        second = EnsembleGrammarDetector(case.gt_length, ensemble_size=15, seed=9)
+        assert first.detect(case.series, 3) == second.detect(case.series, 3)
+
+    def test_ensemble_parameter_sample_pinned(self):
+        detector = EnsembleGrammarDetector(
+            window=100, max_paa_size=4, max_alphabet_size=4, ensemble_size=4, seed=123
+        )
+        sample = detector.sample_parameters()
+        assert sorted(sample) == sorted(set(sample))
+        assert all(2 <= w <= 4 and 2 <= a <= 4 for w, a in sample)
+        # Same seed, fresh detector: identical draw.
+        again = EnsembleGrammarDetector(
+            window=100, max_paa_size=4, max_alphabet_size=4, ensemble_size=4, seed=123
+        ).sample_parameters()
+        assert sample == again

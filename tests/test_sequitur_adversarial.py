@@ -1,0 +1,93 @@
+"""Adversarial, structured inputs for Sequitur.
+
+Random-token property tests cover the average case; these sequences are the
+classically tricky ones — overlapping repeats, Fibonacci words, palindromes,
+long homogeneous runs abutting structure — where digram bookkeeping bugs
+hide.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grammar.sequitur import induce_grammar
+
+
+def _check_invariants(tokens: list[str]) -> None:
+    grammar = induce_grammar(tokens)
+    # Reconstruction.
+    assert grammar.expand(0) == tokens
+    # Rule utility.
+    references: dict[int, int] = {i: 0 for i in range(1, grammar.n_rules)}
+    for rule in grammar.rules:
+        for ref in rule.references():
+            references[ref] += 1
+    assert all(count >= 2 for count in references.values())
+    # Occurrence spans spell their rules.
+    for occurrence in grammar.rule_occurrences():
+        assert (
+            tokens[occurrence.first_token : occurrence.last_token + 1]
+            == grammar.expand(occurrence.rule_index)
+        )
+
+
+def fibonacci_word(n: int) -> str:
+    """a, ab, aba, abaab, abaababa, ... (aperiodic, repeat-dense)."""
+    previous, current = "b", "a"
+    while len(current) < n:
+        previous, current = current, current + previous
+    return current[:n]
+
+
+class TestStructuredSequences:
+    @pytest.mark.parametrize("run_length", [2, 3, 5, 8, 13, 21, 64, 100])
+    def test_homogeneous_runs(self, run_length):
+        _check_invariants(["q"] * run_length)
+
+    @pytest.mark.parametrize("n", [10, 30, 55, 89, 144])
+    def test_fibonacci_words(self, n):
+        _check_invariants(list(fibonacci_word(n)))
+
+    def test_palindrome(self):
+        half = list("abcdefg")
+        _check_invariants(half + half[::-1])
+
+    def test_nested_repeats(self):
+        _check_invariants(list("ababcababcababcababc"))
+
+    def test_overlapping_triples_mixed(self):
+        # Runs of equal symbols interleaved with pairs: overlap handling.
+        _check_invariants(list("aaabaaabaaab"))
+
+    def test_square_of_square(self):
+        block = list("xyz") * 2
+        _check_invariants(block * 4)
+
+    def test_run_boundary_interactions(self):
+        _check_invariants(list("aabbaabbaaabbb"))
+
+    def test_two_symbol_thue_morse_prefix(self):
+        # Thue-Morse is overlap-free: hard for digram replacement to win.
+        word = "0"
+        for _ in range(7):
+            word = word + "".join("1" if c == "0" else "0" for c in word)
+        _check_invariants(list(word))
+
+    def test_increasing_then_repeated_suffix(self):
+        _check_invariants(list("abcdefgh" * 1) + list("gh" * 10))
+
+    def test_single_repeat_at_very_end(self):
+        _check_invariants(list("abcdefgab"))
+
+    def test_rule_reuse_across_distance(self):
+        # The same digram reappears far apart, separated by unique tokens.
+        _check_invariants(list("xy") + list("klmnop") + list("xy"))
+
+    @pytest.mark.parametrize("period", [2, 3, 4, 7])
+    def test_long_periodic_sequences_compress_logarithmically(self, period):
+        base = [chr(ord("a") + i) for i in range(period)]
+        tokens = base * 64
+        grammar = induce_grammar(tokens)
+        total = sum(len(rule.rhs) for rule in grammar.rules)
+        assert total <= 10 * period + 20  # far below len(tokens)
+        assert grammar.expand(0) == tokens

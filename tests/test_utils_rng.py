@@ -1,0 +1,81 @@
+"""Unit tests for repro.utils.rng and repro.utils.timing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, iter_param_combinations, spawn_rngs
+from repro.utils.timing import Timer
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = ensure_rng(42).standard_normal(5)
+        b = ensure_rng(42).standard_normal(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).standard_normal(5)
+        b = ensure_rng(2).standard_normal(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passed_through(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+
+class TestSpawnRngs:
+    def test_count_and_types(self):
+        children = spawn_rngs(0, 4)
+        assert len(children) == 4
+        assert all(isinstance(child, np.random.Generator) for child in children)
+
+    def test_children_independent(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].standard_normal(8)
+        b = children[1].standard_normal(8)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_for_fixed_seed(self):
+        a = [child.standard_normal(3) for child in spawn_rngs(7, 3)]
+        b = [child.standard_normal(3) for child in spawn_rngs(7, 3)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(0, -1)
+
+    def test_spawn_from_generator(self):
+        generator = np.random.default_rng(0)
+        children = spawn_rngs(generator, 3)
+        assert len(children) == 3
+
+
+class TestIterParamCombinations:
+    def test_full_grid(self):
+        combos = list(iter_param_combinations((2, 3), (2, 4)))
+        assert combos == [(2, 2), (2, 3), (2, 4), (3, 2), (3, 3), (3, 4)]
+
+    def test_single_point(self):
+        assert list(iter_param_combinations((5, 5), (7, 7))) == [(5, 7)]
+
+    def test_empty_when_reversed(self):
+        assert list(iter_param_combinations((3, 2), (2, 2))) == []
+
+
+class TestTimer:
+    def test_elapsed_non_negative(self):
+        with Timer() as timer:
+            sum(range(100))
+        assert timer.elapsed >= 0.0
+
+    def test_elapsed_zero_before_use(self):
+        assert Timer().elapsed == 0.0

@@ -1,0 +1,56 @@
+"""Unit tests for repro.utils.sparkline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.utils.sparkline import labelled_sparkline, sparkline
+
+
+class TestSparkline:
+    def test_step_function(self):
+        assert sparkline([0, 0, 1, 1], width=4) == "  @@"
+
+    def test_constant_input_lightest_glyph(self):
+        assert sparkline(np.full(10, 3.3), width=5) == "     "
+
+    def test_width_capped_by_input_size(self):
+        assert len(sparkline([1.0, 2.0], width=50)) == 2
+
+    def test_monotone_ramp_monotone_glyphs(self):
+        strip = sparkline(np.arange(100.0), width=10)
+        densities = [" .:-=+*#%@".index(c) for c in strip]
+        assert densities == sorted(densities)
+
+    def test_extremes_use_extreme_glyphs(self):
+        strip = sparkline([0.0, 0.0, 10.0, 10.0], width=4)
+        assert strip[0] == " "
+        assert strip[-1] == "@"
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            sparkline([])
+        with pytest.raises(ValueError, match="non-empty"):
+            sparkline(np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="width"):
+            sparkline([1.0], width=0)
+
+    @given(
+        arrays(np.float64, st.integers(1, 200), elements=st.floats(-1e3, 1e3, allow_nan=False)),
+        st.integers(1, 80),
+    )
+    def test_output_width_and_charset(self, values, width):
+        strip = sparkline(values, width)
+        assert len(strip) == min(width, len(values))
+        assert set(strip) <= set(" .:-=+*#%@")
+
+
+class TestLabelledSparkline:
+    def test_label_prefix(self):
+        line = labelled_sparkline("density", [0.0, 1.0], width=10)
+        assert line.startswith("density")
+        assert line[14:] == sparkline([0.0, 1.0], width=10)

@@ -1,0 +1,106 @@
+"""Unit tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    MAX_ALPHABET_SIZE,
+    ensure_time_series,
+    validate_alphabet_size,
+    validate_paa_size,
+    validate_window,
+)
+
+
+class TestEnsureTimeSeries:
+    def test_list_coerced_to_float64(self):
+        out = ensure_time_series([1, 2, 3])
+        assert out.dtype == np.float64
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_existing_array_passes_through_values(self):
+        data = np.array([0.5, 1.5])
+        out = ensure_time_series(data)
+        assert np.array_equal(out, data)
+
+    def test_output_is_contiguous(self):
+        data = np.arange(10, dtype=np.float64)[::2]
+        out = ensure_time_series(data)
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            ensure_time_series(np.zeros((2, 2)))
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError, match="numeric"):
+            ensure_time_series(["a", "b"])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            ensure_time_series([1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            ensure_time_series([1.0, np.inf])
+
+    def test_min_length_enforced(self):
+        with pytest.raises(ValueError, match="at least 5"):
+            ensure_time_series([1.0, 2.0], min_length=5)
+
+    def test_custom_name_in_message(self):
+        with pytest.raises(ValueError, match="myparam"):
+            ensure_time_series(np.zeros((2, 2)), name="myparam")
+
+    def test_empty_fails_default_min_length(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            ensure_time_series([])
+
+
+class TestValidateWindow:
+    def test_valid_window_returned_as_int(self):
+        assert validate_window(10, 100) == 10
+        assert isinstance(validate_window(np.int64(10), 100), int)
+
+    def test_window_equal_to_length_ok(self):
+        assert validate_window(100, 100) == 100
+
+    def test_window_too_small(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            validate_window(1, 100)
+
+    def test_window_exceeds_length(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            validate_window(101, 100)
+
+
+class TestValidatePaaSize:
+    def test_valid(self):
+        assert validate_paa_size(4, 10) == 4
+
+    def test_equal_to_window_ok(self):
+        assert validate_paa_size(10, 10) == 10
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            validate_paa_size(0, 10)
+
+    def test_exceeding_window_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            validate_paa_size(11, 10)
+
+
+class TestValidateAlphabetSize:
+    def test_valid_range(self):
+        assert validate_alphabet_size(2) == 2
+        assert validate_alphabet_size(MAX_ALPHABET_SIZE) == MAX_ALPHABET_SIZE
+
+    def test_below_two_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            validate_alphabet_size(1)
+
+    def test_above_max_rejected(self):
+        with pytest.raises(ValueError, match="at most"):
+            validate_alphabet_size(MAX_ALPHABET_SIZE + 1)
