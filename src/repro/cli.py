@@ -2,11 +2,18 @@
 
 Three subcommands cover the library's main workflows:
 
-- ``detect`` — run a detector over a series file and print/save the ranked
-  anomalies::
+- ``detect`` — run a detector over one or more series files and print/save
+  the ranked anomalies. Passing several ``--input`` files fans the batch out
+  with :meth:`repro.core.ensemble.EnsembleGrammarDetector.detect_batch`, and
+  ``--n-jobs`` spreads the work across a process pool. Batch results do not
+  depend on ``--n-jobs``, but each file in a batch gets its own seed spawned
+  from ``--seed``, so a file's batch result intentionally differs from a
+  single-file run with the same seed::
 
       python -m repro detect --input series.csv --window 100 \\
           --method ensemble --top 3 --json out.json
+      python -m repro detect --input a.csv b.csv c.csv --window 100 \\
+          --method ensemble --n-jobs 4
 
 - ``generate`` — produce the paper's synthetic workloads (planted UCR-like
   test series, appliance traces, scalability series) as CSV plus a ground
@@ -87,6 +94,7 @@ def build_detector(method: str, window: int, args: argparse.Namespace):
             ensemble_size=args.ensemble_size,
             selectivity=args.selectivity,
             seed=args.seed,
+            n_jobs=getattr(args, "n_jobs", 1),
         )
     if method == "gi":
         return GrammarAnomalyDetector(window, args.paa_size, args.alphabet_size)
@@ -105,33 +113,50 @@ def build_detector(method: str, window: int, args: argparse.Namespace):
     raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
 
 
+def _numbered_path(path: str | Path, index: int, count: int) -> Path:
+    """Sidecar path for batch outputs: ``out.json`` -> ``out.0.json``, ``out.1.json``, ..."""
+    path = Path(path)
+    if count == 1:
+        return path
+    return path.with_suffix(f".{index}{path.suffix}")
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
-    series = load_series(args.input)
+    inputs = args.input
+    series_list = [load_series(path) for path in inputs]
     detector = build_detector(args.method, args.window, args)
-    anomalies = detector.detect(series, args.top)
-    rows = [
-        [str(a.rank), str(a.position), str(a.length), f"{a.score:.4f}"]
-        for a in anomalies
-    ]
-    print(
-        format_table(
-            ["rank", "position", "length", "score"],
-            rows,
-            title=f"{args.method} anomalies in {args.input} (window {args.window})",
+    if len(series_list) > 1 and hasattr(detector, "detect_batch"):
+        # Many independent series: the engine's batch fan-out (process pool
+        # when --n-jobs > 1), identical to running each series serially.
+        results = detector.detect_batch(series_list, args.top)
+    else:
+        results = [detector.detect(series, args.top) for series in series_list]
+    for index, (path, series, anomalies) in enumerate(zip(inputs, series_list, results)):
+        rows = [
+            [str(a.rank), str(a.position), str(a.length), f"{a.score:.4f}"]
+            for a in anomalies
+        ]
+        print(
+            format_table(
+                ["rank", "position", "length", "score"],
+                rows,
+                title=f"{args.method} anomalies in {path} (window {args.window})",
+            )
         )
-    )
-    metadata = {
-        "input": str(args.input),
-        "method": args.method,
-        "window": args.window,
-        "series_length": len(series),
-    }
-    if args.json:
-        write_detections_json(args.json, anomalies, metadata=metadata)
-        print(f"wrote {args.json}")
-    if args.csv:
-        write_detections_csv(args.csv, anomalies)
-        print(f"wrote {args.csv}")
+        metadata = {
+            "input": str(path),
+            "method": args.method,
+            "window": args.window,
+            "series_length": len(series),
+        }
+        if args.json:
+            out = _numbered_path(args.json, index, len(inputs))
+            write_detections_json(out, anomalies, metadata=metadata)
+            print(f"wrote {out}")
+        if args.csv:
+            out = _numbered_path(args.csv, index, len(inputs))
+            write_detections_csv(out, anomalies)
+            print(f"wrote {out}")
     return 0
 
 
@@ -212,6 +237,12 @@ def _add_detector_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--selectivity", type=float, default=0.4, help="member keep fraction tau")
     parser.add_argument("--paa-size", type=int, default=4, help="w for gi/rra methods")
     parser.add_argument("--alphabet-size", type=int, default=4, help="a for gi/rra methods")
+    parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="process count for ensemble member/batch execution (default 1)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -223,8 +254,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     commands = parser.add_subparsers(dest="command", required=True)
 
-    detect = commands.add_parser("detect", help="detect anomalies in a series file")
-    detect.add_argument("--input", required=True, help="one-column series file")
+    detect = commands.add_parser("detect", help="detect anomalies in series files")
+    detect.add_argument(
+        "--input",
+        required=True,
+        nargs="+",
+        help="one-column series file(s); several files run as one batch",
+    )
     detect.add_argument("--window", type=int, required=True, help="sliding window length n")
     detect.add_argument("--method", choices=METHODS, default="ensemble")
     detect.add_argument("--json", help="write detections to this JSON file")

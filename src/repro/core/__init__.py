@@ -13,11 +13,15 @@ its ensemble variant (Sections 5–6).
   (Section 6.1.3).
 - :mod:`repro.core.ensemble` — Algorithm 1, the ensemble rule density curve
   detector.
+- :mod:`repro.core.engine` — the execution engine: shared stream state for
+  streaming ensembles, process-pool member execution (``n_jobs``), and the
+  :func:`~repro.core.engine.detect_batch` fan-out over independent series.
 """
 
 from repro.core.anomaly import Anomaly, AnomalyDetector, extract_candidates
 from repro.core.combiners import combine_curves
 from repro.core.detector import GrammarAnomalyDetector
+from repro.core.engine import SharedStreamState, detect_batch
 from repro.core.ensemble import EnsembleGrammarDetector, EnsembleReport, combine_and_detect
 from repro.core.multiresolution import MultiResolutionDiscretizer
 from repro.core.selection import normalize_curve, select_by_std
@@ -30,10 +34,12 @@ __all__ = [
     "EnsembleReport",
     "GrammarAnomalyDetector",
     "MultiResolutionDiscretizer",
+    "SharedStreamState",
     "StreamingEnsembleDetector",
     "StreamingGrammarDetector",
     "combine_and_detect",
     "combine_curves",
+    "detect_batch",
     "extract_candidates",
     "normalize_curve",
     "select_by_std",

@@ -28,7 +28,27 @@ def combine_curves(curves: np.ndarray | list[np.ndarray], method: str = "median"
     numpy.ndarray
         The combined length-``N`` curve.
     """
-    stack = np.atleast_2d(np.asarray(curves, dtype=np.float64))
+    if method not in COMBINERS:
+        raise ValueError(f"unknown combiner {method!r}; expected one of {COMBINERS}")
+    if isinstance(curves, np.ndarray):
+        stack = np.atleast_2d(np.asarray(curves, dtype=np.float64))
+    else:
+        members = [np.asarray(curve, dtype=np.float64) for curve in curves]
+        if not members:
+            raise ValueError("cannot combine an empty set of curves")
+        expected = members[0].shape
+        for index, member in enumerate(members):
+            if member.ndim != 1:
+                raise ValueError(
+                    f"member curve {index} must be 1-D, got shape {member.shape}"
+                )
+            if member.shape != expected:
+                raise ValueError(
+                    f"member curve {index} has length {member.shape[0]} but "
+                    f"member 0 has length {expected[0]}; all member curves "
+                    "must cover the same series"
+                )
+        stack = np.atleast_2d(np.stack(members))
     if stack.ndim != 2:
         raise ValueError(f"curves must stack into 2-D, got shape {stack.shape}")
     if stack.shape[0] == 0 or stack.shape[1] == 0:
@@ -41,4 +61,7 @@ def combine_curves(curves: np.ndarray | list[np.ndarray], method: str = "median"
         return stack.min(axis=0)
     if method == "max":
         return stack.max(axis=0)
+    # Unreachable while the dispatch covers COMBINERS; backstop so a new
+    # entry in COMBINERS without a branch fails loudly instead of silently
+    # computing the wrong combination.
     raise ValueError(f"unknown combiner {method!r}; expected one of {COMBINERS}")

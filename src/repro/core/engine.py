@@ -1,0 +1,364 @@
+"""Execution engine: shared stream state and parallel batch execution.
+
+The paper's pitch is linear-time anomaly detection at scale; this module is
+the layer that makes the library production-shaped on both axes:
+
+- :class:`SharedStreamState` — one numpy-backed growable buffer (values plus
+  the ``ESum_x``/``ESum_xx`` prefix sums of Algorithm 2) owned once per
+  stream and *referenced* by every ensemble member, so a streaming ensemble
+  costs O(stream + N·w) memory instead of N independent copies of the
+  stream. Appends are amortized O(1) via capacity doubling, and the prefix
+  sums are extended with the exact left-associated accumulation order of
+  ``np.cumsum`` so streaming results stay bitwise equal to the batch path.
+- :func:`compute_member_curves` — the ensemble's member fan-out. Serially it
+  shares one :class:`~repro.core.multiresolution.MultiResolutionDiscretizer`
+  across all members (Section 6.2); with ``n_jobs > 1`` members are grouped
+  by PAA size ``w`` and the groups are spread over a process pool, each
+  worker sharing the per-``w`` interval matrix among its members. Both paths
+  run the same floating-point operations, so results are identical.
+- :func:`detect_batch` — the serving shape for high-traffic workloads: fan
+  out many *independent* series across a process pool, each handled by an
+  identically-configured detector clone with a deterministic per-series
+  seed, so results do not depend on ``n_jobs`` or scheduling order.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.core.engine import SharedStreamState
+>>> state = SharedStreamState()
+>>> state.extend(np.sin(np.linspace(0, 8 * np.pi, 400)))
+400
+>>> len(state)
+400
+>>> state.paa_rows(0, 100, 4).shape
+(301, 4)
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.multiresolution import MultiResolutionDiscretizer
+from repro.grammar.density import rule_density_curve
+from repro.grammar.sequitur import induce_grammar
+from repro.sax.paa import sliding_paa_rows
+from repro.sax.znorm import DEFAULT_ZNORM_THRESHOLD
+from repro.utils.rng import spawn_rngs
+from repro.utils.validation import validate_paa_size, validate_window
+
+#: Initial capacity of a fresh stream buffer (doubles on demand).
+_INITIAL_CAPACITY = 1024
+
+
+class SharedStreamState:
+    """Growable stream buffer with prefix sums, shared by ensemble members.
+
+    Holds the values seen so far plus the running prefix sums ``ESum_x`` and
+    ``ESum_xx`` (Algorithm 2 of the paper) in pre-allocated numpy arrays
+    that double in capacity when full. All live detectors over the same
+    stream reference one instance, which is what brings a streaming
+    ensemble's memory down from O(N·stream) to O(stream + N·w).
+
+    The prefix sums are extended by *resuming* the running total, which
+    reproduces the left-associated accumulation order of ``np.cumsum`` over
+    the whole series — the batch pipeline's exact floating-point result, no
+    matter how the stream is split into ``append``/``extend`` calls.
+    """
+
+    __slots__ = ("_values", "_prefix", "_prefix_sq", "_n")
+
+    def __init__(self, capacity: int = _INITIAL_CAPACITY) -> None:
+        capacity = max(int(capacity), 1)
+        self._values = np.empty(capacity, dtype=np.float64)
+        self._prefix = np.empty(capacity + 1, dtype=np.float64)
+        self._prefix_sq = np.empty(capacity + 1, dtype=np.float64)
+        self._prefix[0] = 0.0
+        self._prefix_sq[0] = 0.0
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def values(self) -> np.ndarray:
+        """View of the values seen so far (invalidated by the next append)."""
+        return self._values[: self._n]
+
+    @property
+    def prefix_sum(self) -> np.ndarray:
+        """``prefix_sum[k] = sum(values[:k])`` (length ``len(self) + 1``)."""
+        return self._prefix[: self._n + 1]
+
+    @property
+    def prefix_sq(self) -> np.ndarray:
+        """``prefix_sq[k] = sum(values[:k] ** 2)`` (length ``len(self) + 1``)."""
+        return self._prefix_sq[: self._n + 1]
+
+    def n_windows(self, window: int) -> int:
+        """Completed sliding windows of length ``window`` so far."""
+        return max(0, self._n - int(window) + 1)
+
+    def _grow_to(self, required: int) -> None:
+        capacity = len(self._values)
+        if required <= capacity:
+            return
+        new_capacity = max(required, 2 * capacity)
+        values = np.empty(new_capacity, dtype=np.float64)
+        prefix = np.empty(new_capacity + 1, dtype=np.float64)
+        prefix_sq = np.empty(new_capacity + 1, dtype=np.float64)
+        values[: self._n] = self._values[: self._n]
+        prefix[: self._n + 1] = self._prefix[: self._n + 1]
+        prefix_sq[: self._n + 1] = self._prefix_sq[: self._n + 1]
+        self._values = values
+        self._prefix = prefix
+        self._prefix_sq = prefix_sq
+
+    def append(self, value: float) -> None:
+        """Consume one observation; amortized O(1)."""
+        value = float(value)
+        if not np.isfinite(value):
+            raise ValueError("stream values must be finite")
+        self._grow_to(self._n + 1)
+        n = self._n
+        self._values[n] = value
+        self._prefix[n + 1] = self._prefix[n] + value
+        self._prefix_sq[n + 1] = self._prefix_sq[n] + value**2
+        self._n = n + 1
+
+    def extend(self, values) -> int:
+        """Consume a batch of observations in one vectorized pass.
+
+        Returns the number of observations appended. The whole chunk is
+        validated before anything is written, so a rejected chunk leaves the
+        state untouched.
+        """
+        chunk = np.asarray(values, dtype=np.float64)
+        if chunk.ndim != 1:
+            raise ValueError(f"stream chunks must be 1-dimensional, got shape {chunk.shape}")
+        if chunk.size == 0:
+            return 0
+        if not np.all(np.isfinite(chunk)):
+            raise ValueError("stream values must be finite")
+        m = len(chunk)
+        self._grow_to(self._n + m)
+        n = self._n
+        self._values[n : n + m] = chunk
+        # Resume the running totals: cumsum([total, c0, c1, ...]) accumulates
+        # left-associated exactly like np.cumsum over the full series would.
+        self._prefix[n + 1 : n + m + 1] = np.cumsum(
+            np.concatenate(([self._prefix[n]], chunk))
+        )[1:]
+        self._prefix_sq[n + 1 : n + m + 1] = np.cumsum(
+            np.concatenate(([self._prefix_sq[n]], chunk**2))
+        )[1:]
+        self._n = n + m
+        return m
+
+    def paa_rows(
+        self,
+        first_start: int,
+        window: int,
+        paa_size: int,
+        znorm_threshold: float = DEFAULT_ZNORM_THRESHOLD,
+    ) -> np.ndarray:
+        """Z-normalized PAA rows of every completed window from ``first_start``.
+
+        Returns a ``(n_windows(window) - first_start, paa_size)`` matrix
+        computed in one numpy pass over the shared prefix sums; row ``i`` is
+        bitwise equal to the batch discretizer's row ``first_start + i``.
+        """
+        window = validate_window(window, self._n)
+        paa_size = validate_paa_size(paa_size, window)
+        stop = self.n_windows(window)
+        first_start = int(first_start)
+        if not 0 <= first_start <= stop:
+            raise ValueError(
+                f"first_start={first_start} outside the completed-window range [0, {stop}]"
+            )
+        return sliding_paa_rows(
+            self.prefix_sum,
+            self.prefix_sq,
+            self.values,
+            first_start,
+            stop,
+            window,
+            paa_size,
+            znorm_threshold,
+        )
+
+
+# ----------------------------------------------------------------------
+# Parallel member execution (EnsembleGrammarDetector's n_jobs fan-out).
+# ----------------------------------------------------------------------
+
+
+def _resolve_n_jobs(n_jobs: int | None) -> int:
+    if n_jobs is None:
+        return max(os.cpu_count() or 1, 1)
+    n_jobs = int(n_jobs)
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be a positive integer or None, got {n_jobs}")
+    return n_jobs
+
+
+def _member_curves_task(
+    payload: tuple[np.ndarray, int, int, int, float, str, list[tuple[int, tuple[int, int]]]],
+) -> list[tuple[int, np.ndarray]]:
+    """Worker: density curves of one ``w``-group of ensemble members.
+
+    Builds a discretizer local to the process; members in the group share
+    its per-``w`` interval matrix exactly as the serial path does.
+    """
+    series, window, max_paa, max_alphabet, znorm_threshold, numerosity, items = payload
+    discretizer = MultiResolutionDiscretizer(
+        series,
+        window,
+        max_paa,
+        max_alphabet,
+        znorm_threshold=znorm_threshold,
+        numerosity=numerosity,
+    )
+    results: list[tuple[int, np.ndarray]] = []
+    for index, (paa_size, alphabet_size) in items:
+        tokens = discretizer.tokens(paa_size, alphabet_size)
+        grammar = induce_grammar(tokens.words)
+        results.append((index, rule_density_curve(grammar, tokens, len(series))))
+    return results
+
+
+def compute_member_curves(
+    series: np.ndarray,
+    window: int,
+    parameters: Sequence[tuple[int, int]],
+    *,
+    max_paa_size: int,
+    max_alphabet_size: int,
+    znorm_threshold: float = DEFAULT_ZNORM_THRESHOLD,
+    numerosity: str = "exact",
+    n_jobs: int | None = 1,
+) -> list[np.ndarray]:
+    """Rule density curves of every ensemble member, in sample order.
+
+    Serially (``n_jobs=1``) all members share one
+    :class:`MultiResolutionDiscretizer`; with ``n_jobs > 1`` the members are
+    grouped by PAA size ``w`` and the groups are executed across a process
+    pool (``n_jobs=None`` uses every core). Member curves are deterministic
+    functions of ``(series, window, w, a)``, so both paths produce identical
+    results.
+    """
+    n_jobs = _resolve_n_jobs(n_jobs)
+    curves: list[np.ndarray] = [np.empty(0)] * len(parameters)
+    if n_jobs == 1 or len(parameters) <= 1:
+        discretizer = MultiResolutionDiscretizer(
+            series,
+            window,
+            max_paa_size,
+            max_alphabet_size,
+            znorm_threshold=znorm_threshold,
+            numerosity=numerosity,
+        )
+        # Grouped by w so the interval matrix is built once per w, but
+        # reported in *sample order* — a uniform random prefix of the sample
+        # is itself a uniform sample, which the size-sweep benches rely on.
+        by_w = sorted(range(len(parameters)), key=lambda i: parameters[i])
+        for index in by_w:
+            paa_size, alphabet_size = parameters[index]
+            tokens = discretizer.tokens(paa_size, alphabet_size)
+            grammar = induce_grammar(tokens.words)
+            curves[index] = rule_density_curve(grammar, tokens, len(series))
+        return curves
+    groups: dict[int, list[tuple[int, tuple[int, int]]]] = {}
+    for index, (paa_size, alphabet_size) in enumerate(parameters):
+        groups.setdefault(paa_size, []).append((index, (paa_size, alphabet_size)))
+    payloads = [
+        (
+            np.asarray(series, dtype=np.float64),
+            int(window),
+            int(max_paa_size),
+            int(max_alphabet_size),
+            float(znorm_threshold),
+            numerosity,
+            items,
+        )
+        for _, items in sorted(groups.items())
+    ]
+    workers = min(n_jobs, len(payloads))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for group_result in pool.map(_member_curves_task, payloads):
+            for index, curve in group_result:
+                curves[index] = curve
+    return curves
+
+
+# ----------------------------------------------------------------------
+# Batch front end (many independent series — the serving shape).
+# ----------------------------------------------------------------------
+
+
+def _detect_one_series(payload) -> list:
+    """Worker: run one identically-configured detector clone on one series."""
+    kwargs, seed, series, k, member_jobs = payload
+    from repro.core.ensemble import EnsembleGrammarDetector
+
+    detector = EnsembleGrammarDetector(**kwargs, seed=seed, n_jobs=member_jobs)
+    return detector.detect(series, k)
+
+
+def detect_batch(
+    detector,
+    series_iterable: Iterable[np.ndarray],
+    k: int = 3,
+    *,
+    n_jobs: int | None = None,
+) -> list[list]:
+    """Top-``k`` anomalies of many independent series, optionally in parallel.
+
+    Parameters
+    ----------
+    detector:
+        An :class:`~repro.core.ensemble.EnsembleGrammarDetector` whose
+        configuration (window, sampling ranges, selectivity, ...) is applied
+        to every series. Each series gets a fresh clone seeded from the
+        detector's seed via ``SeedSequence.spawn``, so the i-th series
+        always sees the same parameter sample regardless of ``n_jobs``.
+    series_iterable:
+        The independent series to scan (any iterable of 1-D arrays).
+    k:
+        Candidates to report per series.
+    n_jobs:
+        Process count; ``None`` defers to ``detector.n_jobs``. The serial
+        path (``n_jobs=1``) runs the exact same per-series function inline,
+        so parallel and serial results are identical.
+
+    Returns
+    -------
+    list[list[Anomaly]]
+        One ranked candidate list per input series, in input order.
+    """
+    series_list = [np.asarray(series, dtype=np.float64) for series in series_iterable]
+    if not series_list:
+        return []
+    n_jobs = _resolve_n_jobs(detector.n_jobs if n_jobs is None else n_jobs)
+    kwargs = detector.clone_kwargs()
+    # spawn_rngs derives deterministic, independent (and picklable)
+    # per-series generators from the detector's seed; a Generator seed draws
+    # children from its own stream (advancing it).
+    seeds = spawn_rngs(detector.seed, len(series_list))
+    inline = n_jobs == 1 or len(series_list) == 1
+    # Inline clones keep the whole job budget for member-level parallelism
+    # (a one-series batch on an n_jobs=8 detector still uses 8 workers);
+    # pooled clones run their members serially to avoid nested pools.
+    member_jobs = n_jobs if inline else 1
+    payloads = [
+        (kwargs, seed, series, int(k), member_jobs)
+        for seed, series in zip(seeds, series_list)
+    ]
+    if inline:
+        return [_detect_one_series(payload) for payload in payloads]
+    workers = min(n_jobs, len(series_list))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_detect_one_series, payloads))

@@ -25,10 +25,8 @@ import numpy as np
 
 from repro.core.anomaly import Anomaly, extract_candidates
 from repro.core.combiners import COMBINERS, combine_curves
-from repro.core.multiresolution import MultiResolutionDiscretizer
+from repro.core.engine import compute_member_curves, detect_batch
 from repro.core.selection import curve_std, normalize_curve, select_by_std
-from repro.grammar.density import rule_density_curve
-from repro.grammar.sequitur import induce_grammar
 from repro.sax.znorm import DEFAULT_ZNORM_THRESHOLD
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import (
@@ -89,6 +87,11 @@ class EnsembleGrammarDetector:
         Ablation switches for the benches; both True reproduces Algorithm 1.
     seed:
         Seed or generator controlling the parameter sampling.
+    n_jobs:
+        Process count for member execution: members are grouped by PAA size
+        ``w`` and the groups run across a process pool (``None`` uses every
+        core). Results are identical to the serial path; see
+        :mod:`repro.core.engine`.
 
     Example
     -------
@@ -116,6 +119,7 @@ class EnsembleGrammarDetector:
         normalize_members: bool = True,
         znorm_threshold: float = DEFAULT_ZNORM_THRESHOLD,
         seed: RandomState = None,
+        n_jobs: int | None = 1,
     ) -> None:
         if window < 2:
             raise ValueError(f"window must be at least 2, got {window}")
@@ -130,6 +134,8 @@ class EnsembleGrammarDetector:
             raise ValueError(f"selectivity must be in (0, 1], got {selectivity}")
         if combiner not in COMBINERS:
             raise ValueError(f"unknown combiner {combiner!r}; expected one of {COMBINERS}")
+        if n_jobs is not None and int(n_jobs) < 1:
+            raise ValueError(f"n_jobs must be a positive integer or None, got {n_jobs}")
         self.ensemble_size = int(ensemble_size)
         self.selectivity = float(selectivity)
         self.combiner = combiner
@@ -137,6 +143,10 @@ class EnsembleGrammarDetector:
         self.select_members = bool(select_members)
         self.normalize_members = bool(normalize_members)
         self.znorm_threshold = float(znorm_threshold)
+        self.n_jobs = n_jobs if n_jobs is None else int(n_jobs)
+        #: The seed as given, kept for spawning per-series clones in
+        #: :meth:`detect_batch`.
+        self.seed = seed
         self._rng = ensure_rng(seed)
 
     def __repr__(self) -> str:
@@ -174,26 +184,17 @@ class EnsembleGrammarDetector:
         """Run Algorithm 1 and return the curve plus member diagnostics."""
         series = ensure_time_series(series, name="series", min_length=2)
         validate_window(self.window, len(series))
-        discretizer = MultiResolutionDiscretizer(
+        parameters = self.sample_parameters()
+        curves = compute_member_curves(
             series,
             self.window,
-            self.max_paa_size,
-            self.max_alphabet_size,
+            parameters,
+            max_paa_size=self.max_paa_size,
+            max_alphabet_size=self.max_alphabet_size,
             znorm_threshold=self.znorm_threshold,
             numerosity=self.numerosity,
+            n_jobs=self.n_jobs,
         )
-        parameters = self.sample_parameters()
-        # Compute grouped by w so the interval matrix is built once per w,
-        # but report curves in *sample order* — a uniform random prefix of
-        # the sampled members is itself a uniform sample, which the
-        # ensemble-size sweep bench relies on.
-        curves: list[np.ndarray] = [np.empty(0)] * len(parameters)
-        by_w = sorted(range(len(parameters)), key=lambda i: parameters[i])
-        for index in by_w:
-            paa_size, alphabet_size = parameters[index]
-            tokens = discretizer.tokens(paa_size, alphabet_size)
-            grammar = induce_grammar(tokens.words)
-            curves[index] = rule_density_curve(grammar, tokens, len(series))
         stds = tuple(curve_std(curve) for curve in curves)
         if self.select_members:
             kept = tuple(select_by_std(curves, self.selectivity))
@@ -220,6 +221,42 @@ class EnsembleGrammarDetector:
         """Top-``k`` non-overlapping anomaly candidates from the ensemble curve."""
         curve = self.density_curve(series)
         return extract_candidates(curve, self.window, k, minimize=True)
+
+    def clone_kwargs(self) -> dict:
+        """Constructor kwargs reproducing this configuration (minus seed/n_jobs).
+
+        Used by :func:`repro.core.engine.detect_batch` to build identically
+        configured per-series clones in worker processes.
+        """
+        return {
+            "window": self.window,
+            "max_paa_size": self.max_paa_size,
+            "max_alphabet_size": self.max_alphabet_size,
+            "ensemble_size": self.ensemble_size,
+            "selectivity": self.selectivity,
+            "combiner": self.combiner,
+            "numerosity": self.numerosity,
+            "select_members": self.select_members,
+            "normalize_members": self.normalize_members,
+            "znorm_threshold": self.znorm_threshold,
+        }
+
+    def detect_batch(
+        self,
+        series_iterable,
+        k: int = 3,
+        *,
+        n_jobs: int | None = None,
+    ) -> list[list[Anomaly]]:
+        """Top-``k`` anomalies of many independent series (the serving shape).
+
+        Each series is handled by a fresh clone of this detector whose seed
+        derives deterministically from ``self.seed``, so results are
+        identical whether the batch runs serially or across a process pool
+        (``n_jobs=None`` defers to ``self.n_jobs``). See
+        :func:`repro.core.engine.detect_batch`.
+        """
+        return detect_batch(self, series_iterable, k, n_jobs=n_jobs)
 
 
 def combine_and_detect(

@@ -12,6 +12,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 
@@ -43,7 +45,12 @@ def select_by_std(
         raise ValueError("no curves to select from")
     if not 0.0 < selectivity <= 1.0:
         raise ValueError(f"selectivity must be in (0, 1], got {selectivity}")
-    keep = max(1, int(round(selectivity * len(curves))))
+    # "Top tau fraction" means every member inside the fraction is kept, so
+    # the count is the *ceiling* of tau * N — and, unlike banker's rounding,
+    # ceil keeps the count monotonic in tau. The decimal pre-round absorbs
+    # binary representation noise (0.4 * 50 is 20.000000000000004 in
+    # floats, which must stay 20 kept members, not jump to 21).
+    keep = min(len(curves), max(1, math.ceil(round(selectivity * len(curves), 9))))
     stds = np.array([curve_std(curve) for curve in curves])
     # argsort on (-std, index): descending std, stable on ties.
     order = np.lexsort((np.arange(len(curves)), -stds))

@@ -2,20 +2,25 @@
 
 The paper motivates grammar induction by its linear time complexity for
 large-scale data; Sequitur is naturally *incremental*, so the pipeline
-extends to streams: each arriving point completes at most one new sliding
-window, whose SAX word is computed in O(w) from running prefix sums
-(FastPAA), numerosity-reduced online, and fed to a live Sequitur builder.
-Snapshotting the grammar at any moment yields the rule density curve over
-everything seen so far.
+extends to streams. The streaming path is built on the execution engine
+(:mod:`repro.core.engine`): every arriving chunk lands in one
+:class:`~repro.core.engine.SharedStreamState` — a numpy-backed buffer with
+running prefix sums — and ``extend()`` computes all newly completed windows'
+z-normalized PAA rows and SAX symbols in one vectorized pass per distinct
+PAA size, feeding only the numerosity-kept words to each live Sequitur
+builder. Snapshotting the grammar at any moment yields the rule density
+curve over everything seen so far.
 
 :class:`StreamingGrammarDetector` is one such live member;
 :class:`StreamingEnsembleDetector` maintains a fixed parameter bag of
-members over the same stream and combines their snapshot curves exactly as
+members over the *same shared stream state* (memory O(stream + N·w) rather
+than N copies of the stream) and combines their snapshot curves exactly as
 Algorithm 1 does (std filter -> max-normalize -> median).
 
 This is "future work" relative to the paper — nothing here changes the
-batch semantics: feeding a whole series point-by-point produces exactly
-the same density curve as the batch detector (covered by tests).
+batch semantics: feeding a whole series point-by-point or in arbitrary
+chunks produces exactly the same density curve as the batch detector
+(covered by the streaming-parity tests, which are the contract).
 """
 
 from __future__ import annotations
@@ -23,14 +28,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.anomaly import Anomaly, extract_candidates
-from repro.core.combiners import combine_curves
+from repro.core.combiners import COMBINERS, combine_curves
+from repro.core.engine import SharedStreamState
 from repro.core.selection import normalize_curve, select_by_std
 from repro.grammar.density import rule_density_curve
 from repro.grammar.sequitur import _SequiturBuilder
-from repro.sax.alphabet import indices_to_word
-from repro.sax.breakpoints import gaussian_breakpoints
-from repro.sax.numerosity import TokenSequence
-from repro.sax.znorm import DEFAULT_ZNORM_THRESHOLD, constancy_cutoff
+from repro.sax.alphabet import index_matrix_to_words
+from repro.sax.breakpoints import MultiResolutionAlphabet, gaussian_breakpoints
+from repro.sax.numerosity import STRATEGIES, TokenSequence
+from repro.sax.znorm import DEFAULT_ZNORM_THRESHOLD
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import (
     validate_alphabet_size,
@@ -48,6 +54,16 @@ class StreamingGrammarDetector:
         The discretization of this member (fixed for the stream's life).
     znorm_threshold:
         Constant-window guard, as in the batch pipeline.
+    numerosity:
+        Reduction strategy (``"exact"`` or ``"none"``), as in the batch
+        pipeline.
+    state:
+        Optional :class:`~repro.core.engine.SharedStreamState` to attach to.
+        When given, this member holds *no* copy of the stream — it only
+        tracks its own grammar — and ingestion is driven by the state's
+        owner (see :class:`StreamingEnsembleDetector`); ``append``/``extend``
+        on the member itself are disabled. When omitted, the member owns a
+        private state and is fed directly.
 
     Example
     -------
@@ -66,92 +82,109 @@ class StreamingGrammarDetector:
         alphabet_size: int = 4,
         *,
         znorm_threshold: float = DEFAULT_ZNORM_THRESHOLD,
+        numerosity: str = "exact",
+        state: SharedStreamState | None = None,
     ) -> None:
         if window < 2:
             raise ValueError(f"window must be at least 2, got {window}")
+        if numerosity not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {numerosity!r}; expected one of {STRATEGIES}"
+            )
         self.window = int(window)
         self.paa_size = validate_paa_size(paa_size, self.window)
         self.alphabet_size = validate_alphabet_size(alphabet_size)
         self.znorm_threshold = float(znorm_threshold)
+        self.numerosity = numerosity
+        self._owns_state = state is None
+        self.state = SharedStreamState() if state is None else state
         self._breakpoints = gaussian_breakpoints(self.alphabet_size)
-        # Growing buffers (amortized append).
-        self._values: list[float] = []
-        self._prefix: list[float] = [0.0]
-        self._prefix_sq: list[float] = [0.0]
-        # Online numerosity reduction state.
-        self._last_word: str | None = None
+        #: Window starts already discretized and fed to the grammar.
+        self._consumed = 0
+        #: Symbol row of the last seen window (online numerosity reduction
+        #: across chunk boundaries).
+        self._last_symbols: np.ndarray | None = None
         self._kept_words: list[str] = []
         self._kept_offsets: list[int] = []
         self._builder = _SequiturBuilder()
 
     def __len__(self) -> int:
-        return len(self._values)
+        return len(self.state)
 
     @property
     def n_windows(self) -> int:
         """Completed sliding windows so far."""
-        return max(0, len(self._values) - self.window + 1)
+        return self.state.n_windows(self.window)
 
     @property
     def n_tokens(self) -> int:
         """Tokens fed to the live grammar so far (after reduction)."""
         return len(self._kept_words)
 
+    def _require_owned_state(self) -> None:
+        if not self._owns_state:
+            raise ValueError(
+                "this member shares its stream state; feed the owning "
+                "ensemble instead of the member"
+            )
+
     def append(self, value: float) -> None:
-        """Consume one observation; O(w) amortized."""
-        value = float(value)
-        if not np.isfinite(value):
-            raise ValueError("stream values must be finite")
-        self._values.append(value)
-        self._prefix.append(self._prefix[-1] + value)
-        self._prefix_sq.append(self._prefix_sq[-1] + value * value)
-        if len(self._values) < self.window:
-            return
-        word = self._window_word(len(self._values) - self.window)
-        if word != self._last_word:
-            self._kept_words.append(word)
-            self._kept_offsets.append(len(self._values) - self.window)
-            self._last_word = word
-            self._builder.feed(word)
+        """Consume one observation; amortized O(w)."""
+        self._require_owned_state()
+        self.state.append(value)
+        self._drain()
 
     def extend(self, values) -> None:
-        """Consume a batch of observations."""
-        for value in np.asarray(values, dtype=np.float64):
-            self.append(float(value))
+        """Consume a batch of observations in one vectorized pass."""
+        self._require_owned_state()
+        self.state.extend(values)
+        self._drain()
 
-    def _window_word(self, start: int) -> str:
-        """SAX word of the window starting at ``start`` via prefix sums."""
-        n = self.window
-        stop = start + n
-        total = self._prefix[stop] - self._prefix[start]
-        total_sq = self._prefix_sq[stop] - self._prefix_sq[start]
-        mean = total / n
-        variance = max((total_sq - total * total / n) / (n - 1), 0.0)
-        std = float(np.sqrt(variance))
-        boundaries = np.arange(self.paa_size + 1) * (n / self.paa_size) + start
-        floor = np.floor(boundaries).astype(np.int64)
-        frac = boundaries - floor
-        values = self._values
-        prefix = self._prefix
-        cumulative = np.array(
-            [
-                prefix[int(k)] + f * (values[int(k)] if int(k) < len(values) else 0.0)
-                for k, f in zip(floor, frac)
-            ]
+    def _drain(self) -> None:
+        """Discretize every completed-but-unseen window and feed the grammar."""
+        if self._consumed >= self.state.n_windows(self.window):
+            return
+        rows = self.state.paa_rows(
+            self._consumed, self.window, self.paa_size, self.znorm_threshold
         )
-        coefficients = np.diff(cumulative) / (n / self.paa_size)
-        if std < constancy_cutoff(mean, self.znorm_threshold):
-            coefficients = np.zeros(self.paa_size)
+        symbols = np.searchsorted(self._breakpoints, rows, side="right")
+        self._ingest_symbols(symbols, self._consumed)
+
+    def _ingest_symbols(self, symbols: np.ndarray, first_start: int) -> None:
+        """Numerosity-reduce a block of per-window symbol rows and feed them.
+
+        ``symbols`` holds one row per window start in
+        ``first_start .. first_start + len(symbols) - 1``. Two windows share
+        a SAX word exactly when their symbol rows are equal, so run
+        boundaries are found on the index matrix and only the kept windows'
+        word strings are materialized — the same fast path as the batch
+        :class:`~repro.core.multiresolution.MultiResolutionDiscretizer`.
+        """
+        count = len(symbols)
+        if count == 0:
+            return
+        if self.numerosity == "exact":
+            keep = np.ones(count, dtype=bool)
+            keep[1:] = np.any(symbols[1:] != symbols[:-1], axis=1)
+            if self._last_symbols is not None:
+                keep[0] = bool(np.any(symbols[0] != self._last_symbols))
+            kept_idx = np.flatnonzero(keep)
+            self._last_symbols = np.array(symbols[-1], dtype=np.int64)
         else:
-            coefficients = (coefficients - mean) / std
-        indices = np.searchsorted(self._breakpoints, coefficients, side="right")
-        return indices_to_word(indices)
+            kept_idx = np.arange(count)
+        words = index_matrix_to_words(symbols[kept_idx])
+        self._kept_words.extend(words)
+        self._kept_offsets.extend(int(i) + first_start for i in kept_idx)
+        feed = self._builder.feed
+        for word in words:
+            feed(word)
+        self._consumed = first_start + count
 
     def tokens(self) -> TokenSequence:
         """Snapshot of the numerosity-reduced token sequence so far."""
         if not self._kept_words:
             raise ValueError(
-                f"no complete window yet ({len(self._values)} of {self.window} points)"
+                f"no complete window yet ({len(self.state)} of {self.window} points)"
             )
         return TokenSequence(
             tuple(self._kept_words),
@@ -164,7 +197,7 @@ class StreamingGrammarDetector:
         """Rule density curve over everything seen so far (snapshot)."""
         tokens = self.tokens()
         grammar = self._builder.freeze()
-        return rule_density_curve(grammar, tokens, len(self._values))
+        return rule_density_curve(grammar, tokens, len(self.state))
 
     def detect(self, k: int = 3) -> list[Anomaly]:
         """Top-``k`` anomalies over the stream so far."""
@@ -173,11 +206,18 @@ class StreamingGrammarDetector:
 
 
 class StreamingEnsembleDetector:
-    """Algorithm 1 over a stream: N live members, combined at snapshot time.
+    """Algorithm 1 over a stream: N live members on one shared stream state.
 
-    Parameters mirror :class:`repro.core.ensemble.EnsembleGrammarDetector`;
-    the ``(w, a)`` bag is sampled once at construction (a stream has one
-    life, so the sample is fixed up front).
+    Parameters mirror :class:`repro.core.ensemble.EnsembleGrammarDetector`
+    (including ``znorm_threshold`` and ``numerosity``, so a streaming
+    ensemble configured like a batch one produces the *same* curve); the
+    ``(w, a)`` bag is sampled once at construction (a stream has one life,
+    so the sample is fixed up front).
+
+    All members reference a single :class:`~repro.core.engine.SharedStreamState`
+    — the stream is stored once, not per member — and ``extend()`` ingests
+    each chunk with one vectorized PAA/interval pass per distinct PAA size,
+    shared by every member of that size via the merged breakpoint table.
     """
 
     def __init__(
@@ -189,6 +229,8 @@ class StreamingEnsembleDetector:
         ensemble_size: int = 20,
         selectivity: float = 0.4,
         combiner: str = "median",
+        numerosity: str = "exact",
+        znorm_threshold: float = DEFAULT_ZNORM_THRESHOLD,
         seed: RandomState = None,
     ) -> None:
         if window < 2:
@@ -200,9 +242,13 @@ class StreamingEnsembleDetector:
             raise ValueError(f"ensemble_size must be positive, got {ensemble_size}")
         if not 0.0 < selectivity <= 1.0:
             raise ValueError(f"selectivity must be in (0, 1], got {selectivity}")
+        if combiner not in COMBINERS:
+            raise ValueError(f"unknown combiner {combiner!r}; expected one of {COMBINERS}")
         self.window = window
         self.selectivity = float(selectivity)
         self.combiner = combiner
+        self.numerosity = numerosity
+        self.znorm_threshold = float(znorm_threshold)
         rng = ensure_rng(seed)
         pool = [
             (int(w), int(a))
@@ -212,21 +258,51 @@ class StreamingEnsembleDetector:
         count = min(int(ensemble_size), len(pool))
         chosen = rng.choice(len(pool), size=count, replace=False)
         self.parameters = [pool[int(i)] for i in chosen]
+        #: The single stream buffer every member references.
+        self.state = SharedStreamState()
+        self._alphabet_table = MultiResolutionAlphabet(max_alphabet_size)
         self.members = [
-            StreamingGrammarDetector(window, w, a) for w, a in self.parameters
+            StreamingGrammarDetector(
+                window,
+                w,
+                a,
+                znorm_threshold=self.znorm_threshold,
+                numerosity=self.numerosity,
+                state=self.state,
+            )
+            for w, a in self.parameters
         ]
+        #: Members grouped by PAA size — the vectorized ingest shares one
+        #: PAA/interval pass per distinct size.
+        self._by_paa_size: dict[int, list[StreamingGrammarDetector]] = {}
+        for member in self.members:
+            self._by_paa_size.setdefault(member.paa_size, []).append(member)
 
     def __len__(self) -> int:
-        return len(self.members[0]) if self.members else 0
+        return len(self.state)
 
     def append(self, value: float) -> None:
-        """Feed one observation to every member."""
-        for member in self.members:
-            member.append(value)
+        """Feed one observation to the shared state (and every member)."""
+        self.state.append(value)
+        self._drain()
 
     def extend(self, values) -> None:
-        for value in np.asarray(values, dtype=np.float64):
-            self.append(float(value))
+        """Feed a chunk of observations in one vectorized pass."""
+        self.state.extend(values)
+        self._drain()
+
+    def _drain(self) -> None:
+        """Vectorized ingest: one PAA + interval pass per distinct PAA size."""
+        n_windows = self.state.n_windows(self.window)
+        for paa_size, members in self._by_paa_size.items():
+            first = members[0]._consumed
+            if first >= n_windows:
+                continue
+            rows = self.state.paa_rows(first, self.window, paa_size, self.znorm_threshold)
+            intervals = self._alphabet_table.interval_indices(rows)
+            for member in members:
+                symbols = self._alphabet_table.symbols_for(intervals, member.alphabet_size)
+                member._ingest_symbols(symbols, first)
 
     def density_curve(self) -> np.ndarray:
         """Ensemble rule density curve over the stream so far."""

@@ -30,19 +30,42 @@ def density_from_intervals(
         ``(start, end)`` inclusive index pairs; ends are clipped to the curve.
     length:
         Length of the output curve (the time series length ``N``).
+
+    Notes
+    -----
+    The difference array is built with one ``np.add.at`` scatter per
+    endpoint column rather than a Python loop over occurrences — on dense
+    grammars this is the hot step of curve construction. Clipping and
+    validation semantics match the scalar reference loop exactly (pinned by
+    a ground-truth test).
     """
     if length <= 0:
         raise ValueError(f"curve length must be positive, got {length}")
+    raw = np.asarray(intervals)
+    if raw.size == 0:
+        return np.zeros(length, dtype=np.float64)
+    if raw.ndim != 2 or raw.shape[1] != 2:
+        raise ValueError(f"intervals must be (start, end) pairs, got shape {raw.shape}")
+    if np.issubdtype(raw.dtype, np.inexact) and not np.all(np.isfinite(raw)):
+        raise ValueError("interval endpoints must be finite")
+    # Emptiness is judged on the values as given (before any integer
+    # truncation), exactly like the scalar loop's `end < start` check.
+    empty = raw[:, 1] < raw[:, 0]
+    if np.any(empty):
+        first = int(np.argmax(empty))
+        raise ValueError(f"interval ({raw[first, 0]}, {raw[first, 1]}) is empty")
+    # Bound the values before the int64 cast so huge endpoints cannot
+    # overflow; [-1, length] preserves every downstream comparison (only
+    # "< 0", "< length", ">= length" are ever asked of them).
+    pairs = np.clip(raw, -1, length).astype(np.int64)
+    starts = pairs[:, 0]
+    ends = pairs[:, 1]
+    clipped_starts = np.maximum(starts, 0)
+    clipped_ends = np.minimum(ends, length - 1)
+    in_range = (clipped_starts < length) & (clipped_ends >= 0)
     diff = np.zeros(length + 1, dtype=np.int64)
-    for start, end in intervals:
-        if end < start:
-            raise ValueError(f"interval ({start}, {end}) is empty")
-        start = max(int(start), 0)
-        end = min(int(end), length - 1)
-        if start >= length or end < 0:
-            continue
-        diff[start] += 1
-        diff[end + 1] -= 1
+    np.add.at(diff, clipped_starts[in_range], 1)
+    np.add.at(diff, clipped_ends[in_range] + 1, -1)
     return np.cumsum(diff[:-1]).astype(np.float64)
 
 

@@ -167,16 +167,54 @@ class CumulativeStats:
         window = validate_window(window, len(self.series))
         paa_size = validate_paa_size(paa_size, window)
         n_windows = len(self.series) - window + 1
-        relative = np.arange(paa_size + 1) * (window / paa_size)
-        positions = np.arange(n_windows)[:, None] + relative[None, :]
-        cumulative = _fractional_prefix(self.prefix_sum, self.series, positions)
-        coefficients = np.diff(cumulative, axis=1) / (window / paa_size)
-        means, stds = self.sliding_means_stds(window)
-        constant = stds < znorm_threshold * np.maximum(np.abs(means), 1.0)
-        safe_stds = np.where(constant, 1.0, stds)
-        normalized = (coefficients - means[:, None]) / safe_stds[:, None]
-        normalized[constant] = 0.0
-        return normalized
+        return sliding_paa_rows(
+            self.prefix_sum,
+            self.prefix_sq,
+            self.series,
+            0,
+            n_windows,
+            window,
+            paa_size,
+            znorm_threshold,
+        )
+
+
+def sliding_paa_rows(
+    prefix_sum: np.ndarray,
+    prefix_sq: np.ndarray,
+    values: np.ndarray,
+    start: int,
+    stop: int,
+    window: int,
+    paa_size: int,
+    znorm_threshold: float = DEFAULT_ZNORM_THRESHOLD,
+) -> np.ndarray:
+    """Z-normalized PAA rows for window starts in ``[start, stop)``.
+
+    Operates directly on pre-built prefix sums so that the batch discretizer
+    (:class:`CumulativeStats`) and the streaming engine's shared stream state
+    run the *same* floating-point operations — row ``i`` is bitwise equal to
+    ``fast_paa(start + i, window, paa_size)``. Callers must guarantee
+    ``0 <= start <= stop`` and ``stop + window - 1 <= len(values)``.
+    """
+    starts = np.arange(start, stop)
+    relative = np.arange(paa_size + 1) * (window / paa_size)
+    positions = starts[:, None] + relative[None, :]
+    cumulative = _fractional_prefix(prefix_sum, values, positions)
+    coefficients = np.diff(cumulative, axis=1) / (window / paa_size)
+    totals = prefix_sum[starts + window] - prefix_sum[starts]
+    totals_sq = prefix_sq[starts + window] - prefix_sq[starts]
+    means = totals / window
+    if window == 1:
+        stds = np.zeros_like(means)
+    else:
+        variances = np.maximum((totals_sq - totals * totals / window) / (window - 1), 0.0)
+        stds = np.sqrt(variances)
+    constant = stds < znorm_threshold * np.maximum(np.abs(means), 1.0)
+    safe_stds = np.where(constant, 1.0, stds)
+    normalized = (coefficients - means[:, None]) / safe_stds[:, None]
+    normalized[constant] = 0.0
+    return normalized
 
 
 def znorm_paa(

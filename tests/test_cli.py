@@ -129,6 +129,63 @@ class TestDetectCommand:
         assert code == 2
         assert "error:" in capsys.readouterr().err
 
+    def _two_series_files(self, tmp_path):
+        first = np.sin(np.linspace(0, 40 * np.pi, 2000))
+        first[1000:1100] = np.sin(np.linspace(0, 8 * np.pi, 100))
+        second = np.sin(np.linspace(0, 40 * np.pi, 2000))
+        second[400:500] = np.sin(np.linspace(0, 8 * np.pi, 100))
+        paths = [tmp_path / "first.csv", tmp_path / "second.csv"]
+        save_series(paths[0], first)
+        save_series(paths[1], second)
+        return paths
+
+    def test_batch_detect_multiple_inputs(self, tmp_path, capsys):
+        """Several --input files run as one batch: one table per input, in
+        input order, and numbered JSON sidecars per series."""
+        paths = self._two_series_files(tmp_path)
+        out = tmp_path / "out.json"
+        code = main(
+            [
+                "detect", "--input", str(paths[0]), str(paths[1]),
+                "--window", "100", "--ensemble-size", "6", "--seed", "3",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        # One table per input, in input order.
+        assert captured.index(str(paths[0])) < captured.index(str(paths[1]))
+        for index, path in enumerate(paths):
+            sidecar = tmp_path / f"out.{index}.json"
+            document = json.loads(sidecar.read_text())
+            assert document["metadata"]["input"] == str(path)
+            assert len(document["anomalies"]) >= 1
+        # Results follow their inputs: the planted anomaly of each file is
+        # found near its own position, not the other file's.
+        first_doc = json.loads((tmp_path / "out.0.json").read_text())
+        second_doc = json.loads((tmp_path / "out.1.json").read_text())
+        assert any(900 <= a["position"] <= 1100 for a in first_doc["anomalies"])
+        assert any(300 <= a["position"] <= 500 for a in second_doc["anomalies"])
+
+    def test_batch_detect_n_jobs_identical_output(self, tmp_path, capsys):
+        paths = self._two_series_files(tmp_path)
+        base = [
+            "detect", "--input", str(paths[0]), str(paths[1]),
+            "--window", "100", "--ensemble-size", "6", "--seed", "3",
+        ]
+        assert main(base + ["--n-jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--n-jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_invalid_n_jobs_is_clean_error(self, series_file, capsys):
+        code = main(
+            ["detect", "--input", str(series_file), "--window", "100", "--n-jobs", "0"]
+        )
+        assert code == 2
+        assert "n_jobs" in capsys.readouterr().err
+
 
 class TestGenerateCommand:
     def test_generate_dataset_with_truth(self, tmp_path, capsys):

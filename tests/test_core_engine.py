@@ -1,0 +1,230 @@
+"""Unit tests for repro.core.engine (shared state + parallel execution)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    SharedStreamState,
+    compute_member_curves,
+    detect_batch,
+)
+from repro.core.ensemble import EnsembleGrammarDetector
+from repro.core.streaming import StreamingEnsembleDetector, StreamingGrammarDetector
+from repro.sax.paa import CumulativeStats
+
+
+@pytest.fixture
+def batch_series(rng) -> np.ndarray:
+    series = np.sin(np.linspace(0, 40 * np.pi, 2000))
+    series += 0.05 * rng.standard_normal(2000)
+    series[900:1000] = np.sin(np.linspace(0, 12 * np.pi, 100))
+    return series
+
+
+class TestSharedStreamState:
+    def test_append_matches_cumsum(self, rng):
+        values = rng.standard_normal(300)
+        state = SharedStreamState(capacity=4)  # force several growth cycles
+        for value in values:
+            state.append(float(value))
+        assert len(state) == 300
+        assert np.array_equal(state.values, values)
+        assert np.array_equal(state.prefix_sum, np.concatenate(([0.0], np.cumsum(values))))
+        assert np.array_equal(state.prefix_sq, np.concatenate(([0.0], np.cumsum(values**2))))
+
+    def test_chunked_extend_bitwise_equals_batch_cumsum(self, rng):
+        """The resumed running total must reproduce np.cumsum's exact
+        left-associated float accumulation, no matter the chunking."""
+        values = rng.standard_normal(1000) * 1e3
+        state = SharedStreamState(capacity=1)
+        splits = [0, 1, 2, 10, 11, 500, 993, 1000]
+        for start, stop in zip(splits[:-1], splits[1:]):
+            state.extend(values[start:stop])
+        assert np.array_equal(state.prefix_sum, np.concatenate(([0.0], np.cumsum(values))))
+        assert np.array_equal(state.prefix_sq, np.concatenate(([0.0], np.cumsum(values**2))))
+
+    def test_paa_rows_bitwise_equal_batch_matrix(self, rng):
+        values = np.cumsum(rng.standard_normal(400))
+        state = SharedStreamState()
+        state.extend(values[:123])
+        state.extend(values[123:])
+        stats = CumulativeStats(values)
+        for window, paa_size in [(50, 4), (10, 3), (60, 7)]:
+            expected = stats.sliding_paa_matrix(window, paa_size)
+            assert np.array_equal(state.paa_rows(0, window, paa_size), expected)
+            # Partial reads tile the full matrix.
+            assert np.array_equal(state.paa_rows(100, window, paa_size), expected[100:])
+
+    def test_n_windows(self):
+        state = SharedStreamState()
+        assert state.n_windows(10) == 0
+        state.extend(np.arange(9.0))
+        assert state.n_windows(10) == 0
+        state.append(1.0)
+        assert state.n_windows(10) == 1
+
+    def test_non_finite_rejected_whole_chunk(self):
+        state = SharedStreamState()
+        state.extend([1.0, 2.0])
+        chunk = np.array([3.0, np.nan, 4.0])
+        with pytest.raises(ValueError, match="finite"):
+            state.extend(chunk)
+        # A rejected chunk must leave the state untouched.
+        assert len(state) == 2
+        with pytest.raises(ValueError, match="finite"):
+            state.append(float("inf"))
+        assert len(state) == 2
+
+    def test_non_1d_chunk_rejected(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            SharedStreamState().extend(np.ones((2, 2)))
+
+    def test_bad_first_start_rejected(self):
+        state = SharedStreamState()
+        state.extend(np.arange(20.0))
+        with pytest.raises(ValueError, match="first_start"):
+            state.paa_rows(50, 10, 2)
+
+    def test_paa_rows_validates_window_and_paa_size(self):
+        """Same guards as the batch entry point (sliding_paa_matrix)."""
+        state = SharedStreamState()
+        state.extend(np.arange(100.0))
+        with pytest.raises(ValueError, match="exceeds"):
+            state.paa_rows(0, 10, 20)  # paa_size > window
+        with pytest.raises(ValueError, match="exceeds"):
+            state.paa_rows(0, 200, 4)  # window > stream length
+        with pytest.raises(ValueError, match="at least 2"):
+            state.paa_rows(0, 0, 4)
+
+
+class TestSharedMemoryLayout:
+    def test_ensemble_members_share_one_buffer(self):
+        """The engine contract: O(stream + N·w) memory — every member
+        references the ensemble's single stream state and holds no
+        per-member value/prefix copies."""
+        detector = StreamingEnsembleDetector(window=50, ensemble_size=10, seed=0)
+        detector.extend(np.sin(np.linspace(0, 20 * np.pi, 1000)))
+        assert all(member.state is detector.state for member in detector.members)
+        for member in detector.members:
+            assert not hasattr(member, "_values")
+            assert not hasattr(member, "_prefix")
+            assert not hasattr(member, "_prefix_sq")
+        # The state itself holds exactly one buffer of each kind.
+        assert len(detector.state.values) == 1000
+
+    def test_shared_member_cannot_be_fed_directly(self):
+        detector = StreamingEnsembleDetector(window=50, ensemble_size=4, seed=0)
+        member = detector.members[0]
+        with pytest.raises(ValueError, match="shares its stream state"):
+            member.append(1.0)
+        with pytest.raises(ValueError, match="shares its stream state"):
+            member.extend([1.0, 2.0])
+
+    def test_standalone_member_owns_its_state(self):
+        member = StreamingGrammarDetector(window=10)
+        member.extend(np.arange(20.0) % 7)
+        assert member.state.n_windows(10) == 11
+
+
+class TestParallelMemberExecution:
+    def test_n_jobs_curves_identical_to_serial(self, batch_series):
+        parameters = [(4, 4), (4, 7), (2, 3), (6, 5), (6, 2)]
+        serial = compute_member_curves(
+            batch_series, 100, parameters, max_paa_size=10, max_alphabet_size=10, n_jobs=1
+        )
+        parallel = compute_member_curves(
+            batch_series, 100, parameters, max_paa_size=10, max_alphabet_size=10, n_jobs=2
+        )
+        assert len(serial) == len(parallel) == len(parameters)
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a, b)
+
+    def test_ensemble_detector_n_jobs_identical(self, batch_series):
+        serial = EnsembleGrammarDetector(window=100, ensemble_size=8, seed=3, n_jobs=1)
+        parallel = EnsembleGrammarDetector(window=100, ensemble_size=8, seed=3, n_jobs=2)
+        assert serial.detect(batch_series, 3) == parallel.detect(batch_series, 3)
+        assert np.array_equal(
+            serial.density_curve(batch_series), parallel.density_curve(batch_series)
+        )
+
+    def test_invalid_n_jobs_rejected(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            EnsembleGrammarDetector(window=100, n_jobs=0)
+        with pytest.raises(ValueError, match="n_jobs"):
+            compute_member_curves(
+                np.arange(200.0), 50, [(4, 4)], max_paa_size=10, max_alphabet_size=10,
+                n_jobs=-1,
+            )
+
+
+class TestDetectBatch:
+    def _series_batch(self, rng, count=3, length=1200):
+        batch = []
+        for i in range(count):
+            series = np.sin(np.linspace(0, 24 * np.pi, length))
+            series += 0.05 * rng.standard_normal(length)
+            position = 200 + 250 * i
+            series[position : position + 60] = np.sin(np.linspace(0, 8 * np.pi, 60))
+            batch.append(series)
+        return batch
+
+    def test_parallel_identical_to_serial(self, rng):
+        batch = self._series_batch(rng)
+        detector = EnsembleGrammarDetector(window=60, ensemble_size=6, seed=11)
+        serial = detector.detect_batch(batch, 3, n_jobs=1)
+        parallel = detector.detect_batch(batch, 3, n_jobs=2)
+        assert serial == parallel
+        assert len(serial) == len(batch)
+
+    def test_same_seed_same_anomalies(self, rng):
+        batch = self._series_batch(rng)
+        first = EnsembleGrammarDetector(window=60, ensemble_size=6, seed=11)
+        second = EnsembleGrammarDetector(window=60, ensemble_size=6, seed=11)
+        assert first.detect_batch(batch, 3) == second.detect_batch(batch, 3)
+
+    def test_batch_results_are_ranked_per_series(self, rng):
+        batch = self._series_batch(rng, count=2)
+        detector = EnsembleGrammarDetector(window=60, ensemble_size=6, seed=0)
+        results = detector.detect_batch(batch, 2)
+        for anomalies in results:
+            assert [a.rank for a in anomalies] == list(range(1, len(anomalies) + 1))
+
+    def test_module_function_matches_method(self, rng):
+        batch = self._series_batch(rng, count=2)
+        detector = EnsembleGrammarDetector(window=60, ensemble_size=6, seed=4)
+        assert detect_batch(detector, batch, 2) == detector.detect_batch(batch, 2)
+
+    def test_empty_batch(self):
+        detector = EnsembleGrammarDetector(window=60, ensemble_size=4, seed=0)
+        assert detector.detect_batch([], 3) == []
+
+    def test_generator_seed_supported(self, rng):
+        batch = self._series_batch(rng, count=2)
+        detector = EnsembleGrammarDetector(
+            window=60, ensemble_size=4, seed=np.random.default_rng(9)
+        )
+        results = detector.detect_batch(batch, 2)
+        assert len(results) == 2
+
+    def test_clone_kwargs_round_trip(self):
+        detector = EnsembleGrammarDetector(
+            window=80,
+            max_paa_size=8,
+            max_alphabet_size=6,
+            ensemble_size=12,
+            selectivity=0.25,
+            combiner="mean",
+            numerosity="none",
+            znorm_threshold=0.05,
+        )
+        clone = EnsembleGrammarDetector(**detector.clone_kwargs(), seed=1)
+        assert clone.window == 80
+        assert clone.max_paa_size == 8
+        assert clone.max_alphabet_size == 6
+        assert clone.ensemble_size == 12
+        assert clone.selectivity == 0.25
+        assert clone.combiner == "mean"
+        assert clone.numerosity == "none"
+        assert clone.znorm_threshold == 0.05

@@ -20,7 +20,7 @@ class TestSelectByStd:
         spiky = np.zeros(10)
         spiky[5] = 10.0
         medium = np.arange(10.0)
-        kept = select_by_std([flat, spiky, medium], selectivity=0.67)
+        kept = select_by_std([flat, spiky, medium], selectivity=0.5)
         assert kept[0] == 1  # spiky has the highest std
         assert len(kept) == 2
         assert 0 not in kept  # the flat curve is dropped
@@ -42,13 +42,34 @@ class TestSelectByStd:
 
     def test_ties_broken_by_index(self):
         same = np.arange(6.0)
-        kept = select_by_std([same.copy(), same.copy(), same.copy()], selectivity=0.67)
+        kept = select_by_std([same.copy(), same.copy(), same.copy()], selectivity=0.5)
         assert kept == [0, 1]
 
     def test_rounding_of_keep_count(self):
         curves = [np.arange(4.0) * (i + 1) for i in range(3)]
-        # 0.5 * 3 = 1.5 -> rounds to 2 (banker's rounding yields 2 here).
+        # 0.5 * 3 = 1.5 -> ceil keeps 2 ("top tau fraction" keeps every
+        # member inside the fraction).
         assert len(select_by_std(curves, selectivity=0.5)) == 2
+
+    def test_keep_count_monotonic_in_selectivity(self):
+        """Regression: int(round(...)) banker's rounding made the kept count
+        non-monotonic (5 curves: tau=0.5 kept 2, tau=0.5001 kept 3)."""
+        curves = [np.arange(6.0) * (i + 1) for i in range(5)]
+        counts = [
+            len(select_by_std(curves, tau))
+            for tau in np.linspace(0.01, 1.0, 200)
+        ]
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+        assert counts[-1] == 5
+        # The ISSUE's concrete pair: both now keep ceil(2.5...) = 3.
+        assert len(select_by_std(curves, 0.5)) == 3
+        assert len(select_by_std(curves, 0.5001)) == 3
+
+    def test_float_noise_does_not_inflate_keep_count(self):
+        """0.4 * 50 is 20.000000000000004 in binary floats; the paper's
+        default tau=0.4, N=50 must keep exactly 20 members."""
+        curves = [np.full(4, float(i)) + (np.arange(4.0) * i) for i in range(50)]
+        assert len(select_by_std(curves, selectivity=0.4)) == 20
 
     def test_invalid_selectivity(self):
         with pytest.raises(ValueError, match="selectivity"):
@@ -140,6 +161,18 @@ class TestCombineCurves:
     def test_unknown_method_rejected(self):
         with pytest.raises(ValueError, match="unknown combiner"):
             combine_curves([np.ones(3)], "average")
+
+    def test_unequal_lengths_rejected_with_member_named(self):
+        """Regression: ragged member curves used to fall into numpy
+        object-array behavior and fail with an opaque error; now the
+        offending member is named up front."""
+        curves = [np.ones(5), np.ones(5), np.ones(7)]
+        with pytest.raises(ValueError, match="member curve 2 has length 7"):
+            combine_curves(curves)
+
+    def test_non_1d_member_rejected(self):
+        with pytest.raises(ValueError, match="member curve 1 must be 1-D"):
+            combine_curves([np.ones(4), np.ones((2, 2))])
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError, match="empty"):

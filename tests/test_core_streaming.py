@@ -137,3 +137,133 @@ class TestStreamingEnsemble:
         detector.extend(np.zeros(50))
         with pytest.raises(ValueError, match="exceeds"):
             detector.detect()
+
+    def test_exact_parity_with_batch_ensemble(self, stream_series):
+        """Same seed + same configuration => the streaming ensemble's curve
+        is bitwise equal to the batch Algorithm 1 curve."""
+        series, _, _ = stream_series
+        streaming = StreamingEnsembleDetector(window=100, ensemble_size=8, seed=5)
+        streaming.extend(series[:777])
+        streaming.extend(series[777:])
+        # sample_parameters advances the detector's rng, so check the bag on
+        # a separate, identically seeded instance.
+        same_seed = EnsembleGrammarDetector(window=100, ensemble_size=8, seed=5)
+        assert streaming.parameters == same_seed.sample_parameters()
+        batch = EnsembleGrammarDetector(window=100, ensemble_size=8, seed=5)
+        assert np.array_equal(streaming.density_curve(), batch.density_curve(series))
+
+    def test_znorm_threshold_and_numerosity_are_plumbed(self, stream_series):
+        """Regression: StreamingEnsembleDetector used to silently drop
+        znorm_threshold and numerosity, constructing members with defaults
+        and diverging from an identically configured batch ensemble."""
+        series, _, _ = stream_series
+        for numerosity in ("exact", "none"):
+            streaming = StreamingEnsembleDetector(
+                window=100,
+                ensemble_size=6,
+                seed=7,
+                znorm_threshold=0.05,
+                numerosity=numerosity,
+            )
+            streaming.extend(series)
+            for member in streaming.members:
+                assert member.znorm_threshold == 0.05
+                assert member.numerosity == numerosity
+            batch = EnsembleGrammarDetector(
+                window=100,
+                ensemble_size=6,
+                seed=7,
+                znorm_threshold=0.05,
+                numerosity=numerosity,
+            )
+            assert np.array_equal(streaming.density_curve(), batch.density_curve(series))
+
+    def test_invalid_combiner_and_numerosity_rejected(self):
+        with pytest.raises(ValueError, match="unknown combiner"):
+            StreamingEnsembleDetector(window=100, combiner="average")
+        with pytest.raises(ValueError, match="unknown strategy"):
+            StreamingEnsembleDetector(window=100, numerosity="fuzzy")
+
+
+class TestAdversarialParity:
+    """Streaming-vs-batch parity on inputs built to stress the shared-state
+    vectorized ingest: constancy-cutoff boundaries, fractional PAA segment
+    boundaries, and arbitrary mid-stream extend() split points."""
+
+    def _assert_member_parity(self, series, window, paa_size, alphabet_size, splits,
+                              znorm_threshold=None):
+        kwargs = {} if znorm_threshold is None else {"znorm_threshold": znorm_threshold}
+        streaming = StreamingGrammarDetector(window, paa_size, alphabet_size, **kwargs)
+        previous = 0
+        for split in list(splits) + [len(series)]:
+            streaming.extend(series[previous:split])
+            previous = split
+        batch = GrammarAnomalyDetector(window, paa_size, alphabet_size, **kwargs)
+        stream_tokens = streaming.tokens()
+        batch_tokens = batch.tokenize(series)
+        assert stream_tokens.words == batch_tokens.words
+        assert np.array_equal(stream_tokens.offsets, batch_tokens.offsets)
+        assert np.array_equal(streaming.density_curve(), batch.density_curve(series))
+
+    def test_flat_segments_at_constancy_boundary(self):
+        """Constant runs, and nearly-constant runs whose std straddles the
+        relative constancy cutoff, must discretize identically online."""
+        rng = np.random.default_rng(0)
+        pieces = [
+            np.sin(np.linspace(0, 6 * np.pi, 300)),
+            np.zeros(120),  # exactly constant at 0
+            np.full(120, 5.0),  # exactly constant, non-zero mean
+            5.0 + 1e-9 * rng.standard_normal(120),  # below the cutoff
+            5.0 + 1e-6 * rng.standard_normal(120),  # above the cutoff
+            np.sin(np.linspace(0, 6 * np.pi, 300)),
+        ]
+        series = np.concatenate(pieces)
+        self._assert_member_parity(series, 50, 5, 5, splits=[130, 131, 420, 800])
+
+    def test_constancy_boundary_with_custom_threshold(self):
+        rng = np.random.default_rng(1)
+        series = np.concatenate(
+            [
+                np.sin(np.linspace(0, 4 * np.pi, 200)),
+                1.0 + 0.009 * rng.standard_normal(200),  # sits near 0.01 cutoff
+                np.sin(np.linspace(0, 4 * np.pi, 200)),
+            ]
+        )
+        self._assert_member_parity(
+            series, 40, 4, 4, splits=[77, 310, 311], znorm_threshold=0.01
+        )
+
+    def test_window_not_divisible_by_paa_size(self):
+        """Fractional segment boundaries (window % paa_size != 0) exercise
+        the weighted prefix-sum lookups in the streaming PAA pass."""
+        series = np.cumsum(np.random.default_rng(2).standard_normal(700))
+        for window, paa_size in [(10, 3), (50, 7), (23, 5)]:
+            self._assert_member_parity(series, window, paa_size, 6, splits=[333])
+
+    def test_mid_stream_split_points(self):
+        """Chunk boundaries everywhere: inside the first window, right at a
+        window completion, single points, and large tails."""
+        series = np.sin(np.linspace(0, 30 * np.pi, 1500))
+        series[700:760] *= 0.2
+        splits = [1, 2, 3, 49, 50, 51, 52, 100, 101, 699, 700, 701, 1499]
+        self._assert_member_parity(series, 50, 4, 4, splits=splits)
+
+    def test_point_by_point_equals_chunked(self):
+        series = np.cumsum(np.random.default_rng(3).standard_normal(400))
+        pointwise = StreamingGrammarDetector(30, 4, 5)
+        for value in series:
+            pointwise.append(float(value))
+        chunked = StreamingGrammarDetector(30, 4, 5)
+        chunked.extend(series)
+        assert pointwise.tokens().words == chunked.tokens().words
+        assert np.array_equal(pointwise.density_curve(), chunked.density_curve())
+
+    def test_ensemble_mid_stream_splits(self, stream_series):
+        """The ensemble's grouped-by-w ingest must be split-invariant too."""
+        series, _, _ = stream_series
+        chunked = StreamingEnsembleDetector(window=100, ensemble_size=5, seed=2)
+        for split in range(0, 3000, 701):
+            chunked.extend(series[split : split + 701])
+        whole = StreamingEnsembleDetector(window=100, ensemble_size=5, seed=2)
+        whole.extend(series)
+        assert np.array_equal(chunked.density_curve(), whole.density_curve())

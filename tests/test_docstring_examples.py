@@ -14,6 +14,7 @@ import pytest
 MODULES_WITH_EXAMPLES = [
     "repro",
     "repro.core.detector",
+    "repro.core.engine",
     "repro.core.ensemble",
     "repro.core.streaming",
     "repro.discord.discords",

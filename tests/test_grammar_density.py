@@ -40,6 +40,28 @@ class TestDensityFromIntervals:
         with pytest.raises(ValueError, match="empty"):
             density_from_intervals([(3, 2)], 5)
 
+    def test_float_empty_interval_rejected_before_truncation(self):
+        """Emptiness is judged on the raw values, as in the scalar loop:
+        (1.9, 1.2) is empty even though both truncate to 1."""
+        with pytest.raises(ValueError, match="empty"):
+            density_from_intervals([(1.9, 1.2)], 5)
+
+    def test_huge_endpoints_clip_like_the_loop(self):
+        """Endpoints beyond int64 range must clip to the curve, not overflow
+        to INT64_MIN and silently vanish (the scalar loop used Python ints)."""
+        assert density_from_intervals([(5.0, 1e30)], 10).tolist() == [
+            0, 0, 0, 0, 0, 1, 1, 1, 1, 1,
+        ]
+        assert density_from_intervals([(-1e30, 2)], 5).tolist() == [1, 1, 1, 0, 0]
+
+    def test_non_finite_endpoints_rejected(self):
+        """Corrupted intervals must fail loudly (the scalar loop raised on
+        int(inf)/int(nan)), never silently contribute nothing."""
+        with pytest.raises(ValueError, match="finite"):
+            density_from_intervals([(0, np.inf)], 10)
+        with pytest.raises(ValueError, match="finite"):
+            density_from_intervals([(np.nan, 3.0)], 10)
+
     def test_non_positive_length_rejected(self):
         with pytest.raises(ValueError, match="positive"):
             density_from_intervals([], 0)
@@ -58,6 +80,38 @@ class TestDensityFromIntervals:
         expected = sum(end - start + 1 for start, end in intervals)
         assert curve.sum() == expected
         assert np.all(curve >= 0)
+
+    @staticmethod
+    def _loop_reference(intervals, length):
+        """The seed scalar loop, kept verbatim as the vectorized ground truth."""
+        diff = np.zeros(length + 1, dtype=np.int64)
+        for start, end in intervals:
+            if end < start:
+                raise ValueError(f"interval ({start}, {end}) is empty")
+            start = max(int(start), 0)
+            end = min(int(end), length - 1)
+            if start >= length or end < 0:
+                continue
+            diff[start] += 1
+            diff[end + 1] -= 1
+        return np.cumsum(diff[:-1]).astype(np.float64)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-20, 80), st.integers(0, 60)).map(
+                lambda pair: (pair[0], pair[0] + pair[1])
+            ),
+            max_size=40,
+        ),
+        st.integers(1, 50),
+    )
+    def test_vectorized_matches_loop_reference(self, intervals, length):
+        """The np.add.at scatter must reproduce the scalar loop exactly,
+        including out-of-range clipping on both sides."""
+        assert np.array_equal(
+            density_from_intervals(intervals, length),
+            self._loop_reference(intervals, length),
+        )
 
 
 class TestRuleDensityCurve:
