@@ -35,14 +35,20 @@ Package map
 from repro.core import (
     Anomaly,
     AnomalyDetector,
+    BatchItemError,
     EnsembleGrammarDetector,
     EnsembleReport,
     GrammarAnomalyDetector,
+    MemberExecutor,
     MultiResolutionDiscretizer,
+    ProcessExecutor,
+    SerialExecutor,
     StreamingEnsembleDetector,
     StreamingGrammarDetector,
+    ThreadExecutor,
+    make_executor,
 )
-from repro.discord import DiscordDetector, hotsax_discords, matrix_profile_stomp
+from repro.discord import DiscordDetector, HotSaxDetector, hotsax_discords, matrix_profile_stomp
 from repro.grammar import (
     Grammar,
     RRADetector,
@@ -57,20 +63,27 @@ __version__ = "1.0.0"
 __all__ = [
     "Anomaly",
     "AnomalyDetector",
+    "BatchItemError",
     "DiscordDetector",
     "EnsembleGrammarDetector",
     "EnsembleReport",
     "Grammar",
     "GrammarAnomalyDetector",
+    "HotSaxDetector",
+    "MemberExecutor",
     "MultiResolutionDiscretizer",
+    "ProcessExecutor",
     "RRADetector",
+    "SerialExecutor",
     "StreamingEnsembleDetector",
     "StreamingGrammarDetector",
+    "ThreadExecutor",
     "__version__",
     "discover_motifs",
     "discretize",
     "hotsax_discords",
     "induce_grammar",
+    "make_executor",
     "matrix_profile_stomp",
     "numerosity_reduction",
     "rule_density_curve",

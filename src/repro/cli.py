@@ -4,16 +4,18 @@ Three subcommands cover the library's main workflows:
 
 - ``detect`` — run a detector over one or more series files and print/save
   the ranked anomalies. Passing several ``--input`` files fans the batch out
-  with :meth:`repro.core.ensemble.EnsembleGrammarDetector.detect_batch`, and
-  ``--n-jobs`` spreads the work across a process pool. Batch results do not
-  depend on ``--n-jobs``, but each file in a batch gets its own seed spawned
-  from ``--seed``, so a file's batch result intentionally differs from a
+  with :meth:`repro.core.ensemble.EnsembleGrammarDetector.detect_batch`;
+  ``--executor {serial,thread,process}`` picks the execution backend (the
+  process backend passes series through shared memory and reuses one pool
+  across the run) and ``--n-jobs`` sizes it. Results do not depend on the
+  backend, but each file in a batch gets its own seed spawned from
+  ``--seed``, so a file's batch result intentionally differs from a
   single-file run with the same seed::
 
       python -m repro detect --input series.csv --window 100 \\
           --method ensemble --top 3 --json out.json
       python -m repro detect --input a.csv b.csv c.csv --window 100 \\
-          --method ensemble --n-jobs 4
+          --method ensemble --executor process --n-jobs 4
 
 - ``generate`` — produce the paper's synthetic workloads (planted UCR-like
   test series, appliance traces, scalability series) as CSV plus a ground
@@ -42,11 +44,13 @@ import numpy as np
 from repro import __version__
 from repro.core.detector import GrammarAnomalyDetector
 from repro.core.ensemble import EnsembleGrammarDetector
+from repro.core.executors import EXECUTOR_KINDS, BatchItemError, make_executor
 from repro.datasets.generators import random_walk, synthetic_ecg, synthetic_eeg
 from repro.datasets.planting import make_corpus, make_test_case
 from repro.datasets.power import dishwasher_series, fridge_freezer_series
 from repro.datasets.ucr_like import DATASETS, dataset_by_name
 from repro.discord.discords import DiscordDetector
+from repro.discord.hotsax import HotSaxDetector
 from repro.evaluation.baselines import GIRandomDetector, GISelectDetector, gi_fix_detector
 from repro.evaluation.harness import evaluate_methods_on_corpus
 from repro.evaluation.reporting import write_detections_csv, write_detections_json
@@ -54,7 +58,7 @@ from repro.evaluation.tables import format_table
 from repro.grammar.rra import RRADetector
 
 #: Methods available to ``detect`` and ``evaluate``.
-METHODS = ("ensemble", "gi", "gi-fix", "gi-random", "gi-select", "discord", "rra")
+METHODS = ("ensemble", "gi", "gi-fix", "gi-random", "gi-select", "discord", "hotsax", "rra")
 
 
 def load_series(path: str | Path) -> np.ndarray:
@@ -84,8 +88,18 @@ def save_series(path: str | Path, series: np.ndarray) -> None:
     Path(path).write_text("\n".join(f"{x:.8g}" for x in series) + "\n")
 
 
-def build_detector(method: str, window: int, args: argparse.Namespace):
-    """Instantiate the requested detector with the CLI's parameters."""
+def build_detector(
+    method: str,
+    window: int,
+    args: argparse.Namespace,
+    executor: str | None = None,
+):
+    """Instantiate the requested detector with the CLI's parameters.
+
+    ``executor`` wires an execution backend into detectors that can own one
+    (the ensemble); the ``evaluate`` command instead parallelizes at the
+    harness level, so it leaves this unset.
+    """
     if method == "ensemble":
         return EnsembleGrammarDetector(
             window,
@@ -95,6 +109,7 @@ def build_detector(method: str, window: int, args: argparse.Namespace):
             selectivity=args.selectivity,
             seed=args.seed,
             n_jobs=getattr(args, "n_jobs", 1),
+            executor=executor,
         )
     if method == "gi":
         return GrammarAnomalyDetector(window, args.paa_size, args.alphabet_size)
@@ -108,6 +123,8 @@ def build_detector(method: str, window: int, args: argparse.Namespace):
         return GISelectDetector(window, max_paa_size=args.wmax, max_alphabet_size=args.amax)
     if method == "discord":
         return DiscordDetector(window)
+    if method == "hotsax":
+        return HotSaxDetector(window, seed=args.seed)
     if method == "rra":
         return RRADetector(window, args.paa_size, args.alphabet_size)
     raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
@@ -124,13 +141,39 @@ def _numbered_path(path: str | Path, index: int, count: int) -> Path:
 def _cmd_detect(args: argparse.Namespace) -> int:
     inputs = args.input
     series_list = [load_series(path) for path in inputs]
-    detector = build_detector(args.method, args.window, args)
-    if len(series_list) > 1 and hasattr(detector, "detect_batch"):
-        # Many independent series: the engine's batch fan-out (process pool
-        # when --n-jobs > 1), identical to running each series serially.
-        results = detector.detect_batch(series_list, args.top)
-    else:
-        results = [detector.detect(series, args.top) for series in series_list]
+    detector = build_detector(args.method, args.window, args, executor=args.executor)
+    try:
+        if len(series_list) > 1 and hasattr(detector, "detect_batch"):
+            # Many independent series: the engine's batch fan-out over the
+            # selected executor backend, identical to running each series
+            # serially. Labels make a failing file identifiable.
+            labels = [str(path) for path in inputs]
+            if isinstance(detector, EnsembleGrammarDetector):
+                # The ensemble detector owns its executor (built from
+                # --executor above) and reuses it across the batch.
+                results = detector.detect_batch(series_list, args.top, labels=labels)
+            else:
+                results = detector.detect_batch(
+                    series_list,
+                    args.top,
+                    n_jobs=args.n_jobs,
+                    executor=args.executor,
+                    labels=labels,
+                )
+        else:
+            if args.executor and not isinstance(detector, EnsembleGrammarDetector):
+                # Baselines have no intra-series parallelism: with one input
+                # (or no batch support) the flag would change nothing.
+                reason = (
+                    f"{args.method} does not support batch detection"
+                    if len(series_list) > 1
+                    else f"a single-series {args.method} run has nothing to parallelize"
+                )
+                print(f"note: --executor has no effect: {reason}", file=sys.stderr)
+            results = [detector.detect(series, args.top) for series in series_list]
+    finally:
+        if hasattr(detector, "close"):
+            detector.close()
     for index, (path, series, anomalies) in enumerate(zip(inputs, series_list, results)):
         rows = [
             [str(a.rank), str(a.position), str(a.length), f"{a.score:.4f}"]
@@ -208,7 +251,19 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         method: (lambda window, m=method: build_detector(m, window, args))
         for method in args.methods
     }
-    results = evaluate_methods_on_corpus(corpus, factories, k=args.top)
+    # Size the harness pool by --n-jobs (default 1 means "every core" once a
+    # backend is named); member-level parallelism inside pooled tasks is
+    # disabled by the harness, so --n-jobs bounds total workers.
+    executor = None
+    if args.executor:
+        executor = make_executor(args.executor, None if args.n_jobs <= 1 else args.n_jobs)
+    try:
+        results = evaluate_methods_on_corpus(
+            corpus, factories, k=args.top, executor=executor
+        )
+    finally:
+        if executor is not None:
+            executor.close()
     rows = [
         [name, f"{scores.average:.4f}", f"{scores.hit_rate:.2f}"]
         for name, scores in results.items()
@@ -241,7 +296,17 @@ def _add_detector_options(parser: argparse.ArgumentParser) -> None:
         "--n-jobs",
         type=int,
         default=1,
-        help="process count for ensemble member/batch execution (default 1)",
+        help="worker count for ensemble member/batch execution (default 1)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTOR_KINDS,
+        default=None,
+        help=(
+            "execution backend: serial, thread (GIL-releasing numpy work), or "
+            "process (shared-memory series passing, reusable pool); default "
+            "derives from --n-jobs"
+        ),
     )
 
 
@@ -298,7 +363,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (ValueError, FileNotFoundError, KeyError) as error:
+    except (ValueError, FileNotFoundError, KeyError, BatchItemError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -13,16 +13,35 @@ its ensemble variant (Sections 5–6).
   (Section 6.1.3).
 - :mod:`repro.core.ensemble` — Algorithm 1, the ensemble rule density curve
   detector.
+- :mod:`repro.core.executors` — the pluggable execution backends
+  (serial/thread/process) with shared-memory series passing and reusable
+  pools.
 - :mod:`repro.core.engine` — the execution engine: shared stream state for
-  streaming ensembles, process-pool member execution (``n_jobs``), and the
-  :func:`~repro.core.engine.detect_batch` fan-out over independent series.
+  streaming ensembles, executor-driven member execution, and the
+  :func:`~repro.core.engine.detect_batch` /
+  :func:`~repro.core.engine.iter_detect_batch` fan-out over independent
+  series.
 """
 
 from repro.core.anomaly import Anomaly, AnomalyDetector, extract_candidates
 from repro.core.combiners import combine_curves
 from repro.core.detector import GrammarAnomalyDetector
-from repro.core.engine import SharedStreamState, detect_batch
+from repro.core.engine import (
+    BatchItemError,
+    SharedStreamState,
+    detect_batch,
+    detect_many,
+    iter_detect_batch,
+)
 from repro.core.ensemble import EnsembleGrammarDetector, EnsembleReport, combine_and_detect
+from repro.core.executors import (
+    EXECUTOR_KINDS,
+    MemberExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
 from repro.core.multiresolution import MultiResolutionDiscretizer
 from repro.core.selection import normalize_curve, select_by_std
 from repro.core.streaming import StreamingEnsembleDetector, StreamingGrammarDetector
@@ -30,17 +49,26 @@ from repro.core.streaming import StreamingEnsembleDetector, StreamingGrammarDete
 __all__ = [
     "Anomaly",
     "AnomalyDetector",
+    "BatchItemError",
+    "EXECUTOR_KINDS",
     "EnsembleGrammarDetector",
     "EnsembleReport",
     "GrammarAnomalyDetector",
+    "MemberExecutor",
     "MultiResolutionDiscretizer",
+    "ProcessExecutor",
+    "SerialExecutor",
     "SharedStreamState",
     "StreamingEnsembleDetector",
     "StreamingGrammarDetector",
+    "ThreadExecutor",
     "combine_and_detect",
     "combine_curves",
     "detect_batch",
+    "detect_many",
     "extract_candidates",
+    "iter_detect_batch",
+    "make_executor",
     "normalize_curve",
     "select_by_std",
 ]

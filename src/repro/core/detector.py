@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.anomaly import Anomaly, extract_candidates
+from repro.core.executors import StatelessBatchMixin
 from repro.grammar.density import rule_density_curve
 from repro.grammar.rules import Grammar
 from repro.grammar.sequitur import induce_grammar
@@ -31,7 +32,7 @@ from repro.utils.validation import (
 )
 
 
-class GrammarAnomalyDetector:
+class GrammarAnomalyDetector(StatelessBatchMixin):
     """Grammar-induction anomaly detection with fixed discretization parameters.
 
     Parameters

@@ -1,4 +1,4 @@
-"""Execution engine: shared stream state and parallel batch execution.
+"""Execution engine: shared stream state and pluggable parallel execution.
 
 The paper's pitch is linear-time anomaly detection at scale; this module is
 the layer that makes the library production-shaped on both axes:
@@ -12,14 +12,23 @@ the layer that makes the library production-shaped on both axes:
   ``np.cumsum`` so streaming results stay bitwise equal to the batch path.
 - :func:`compute_member_curves` — the ensemble's member fan-out. Serially it
   shares one :class:`~repro.core.multiresolution.MultiResolutionDiscretizer`
-  across all members (Section 6.2); with ``n_jobs > 1`` members are grouped
-  by PAA size ``w`` and the groups are spread over a process pool, each
-  worker sharing the per-``w`` interval matrix among its members. Both paths
-  run the same floating-point operations, so results are identical.
-- :func:`detect_batch` — the serving shape for high-traffic workloads: fan
-  out many *independent* series across a process pool, each handled by an
-  identically-configured detector clone with a deterministic per-series
-  seed, so results do not depend on ``n_jobs`` or scheduling order.
+  across all members (Section 6.2); with an executor (or ``n_jobs > 1``)
+  members are grouped by PAA size ``w`` and the groups are spread over the
+  executor's workers, each sharing the per-``w`` interval matrix among its
+  members. Series reach process workers through shared memory, not pickling
+  (see :mod:`repro.core.executors`). All paths run the same floating-point
+  operations, so results are bitwise identical.
+- :func:`detect_batch` / :func:`iter_detect_batch` — the serving shape for
+  high-traffic workloads: fan out many *independent* series across an
+  executor, each handled by an identically-configured detector clone with a
+  deterministic per-series seed, so results do not depend on the backend or
+  scheduling order. ``iter_detect_batch`` yields each series' result as it
+  completes instead of gathering the whole batch; a worker failure is
+  wrapped in :class:`BatchItemError` carrying which input failed.
+- :func:`detect_many` — the same fan-out for *stateless* detectors (the
+  discord / HOT SAX / RRA / fixed-parameter GI baselines), which is what
+  lets the evaluation harness run method comparisons through one shared
+  pool.
 
 Example
 -------
@@ -36,12 +45,24 @@ Example
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, Sequence
+from contextlib import ExitStack
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.core.executors import (  # noqa: F401 — re-exported engine API
+    BatchItemError,
+    MemberExecutor,
+    StatelessBatchMixin,
+    _check_labels,
+    _resolve_executor,
+    _resolve_n_jobs,
+    _wrap_batch_error,
+    detect_many,
+    resolve_series,
+    share_series_batch,
+    validate_executor_spec,
+)
 from repro.core.multiresolution import MultiResolutionDiscretizer
 from repro.grammar.density import rule_density_curve
 from repro.grammar.sequitur import induce_grammar
@@ -192,28 +213,20 @@ class SharedStreamState:
 
 
 # ----------------------------------------------------------------------
-# Parallel member execution (EnsembleGrammarDetector's n_jobs fan-out).
+# Parallel member execution (EnsembleGrammarDetector's member fan-out).
 # ----------------------------------------------------------------------
 
 
-def _resolve_n_jobs(n_jobs: int | None) -> int:
-    if n_jobs is None:
-        return max(os.cpu_count() or 1, 1)
-    n_jobs = int(n_jobs)
-    if n_jobs < 1:
-        raise ValueError(f"n_jobs must be a positive integer or None, got {n_jobs}")
-    return n_jobs
-
-
-def _member_curves_task(
-    payload: tuple[np.ndarray, int, int, int, float, str, list[tuple[int, tuple[int, int]]]],
-) -> list[tuple[int, np.ndarray]]:
+def _member_curves_task(payload) -> list[tuple[int, np.ndarray]]:
     """Worker: density curves of one ``w``-group of ensemble members.
 
-    Builds a discretizer local to the process; members in the group share
-    its per-``w`` interval matrix exactly as the serial path does.
+    Builds a discretizer local to the worker; members in the group share its
+    per-``w`` interval matrix exactly as the serial path does. The series
+    arrives as an executor series reference (shared memory under the process
+    backend).
     """
-    series, window, max_paa, max_alphabet, znorm_threshold, numerosity, items = payload
+    series_ref, window, max_paa, max_alphabet, znorm_threshold, numerosity, items = payload
+    series = resolve_series(series_ref)
     discretizer = MultiResolutionDiscretizer(
         series,
         window,
@@ -240,19 +253,23 @@ def compute_member_curves(
     znorm_threshold: float = DEFAULT_ZNORM_THRESHOLD,
     numerosity: str = "exact",
     n_jobs: int | None = 1,
+    executor: MemberExecutor | str | None = None,
 ) -> list[np.ndarray]:
     """Rule density curves of every ensemble member, in sample order.
 
-    Serially (``n_jobs=1``) all members share one
-    :class:`MultiResolutionDiscretizer`; with ``n_jobs > 1`` the members are
-    grouped by PAA size ``w`` and the groups are executed across a process
-    pool (``n_jobs=None`` uses every core). Member curves are deterministic
-    functions of ``(series, window, w, a)``, so both paths produce identical
-    results.
+    Serially (``n_jobs=1``, no executor) all members share one
+    :class:`MultiResolutionDiscretizer`. With an executor — or ``n_jobs >
+    1``, which creates a temporary process pool for the call — the members
+    are grouped by PAA size ``w`` and the groups run across the executor's
+    workers; under the process backend the series crosses into workers
+    through one shared-memory segment instead of a pickled copy per group.
+    Member curves are deterministic functions of ``(series, window, w, a)``,
+    so every path produces bitwise-identical results.
     """
     n_jobs = _resolve_n_jobs(n_jobs)
     curves: list[np.ndarray] = [np.empty(0)] * len(parameters)
-    if n_jobs == 1 or len(parameters) <= 1:
+    pool, owned = _resolve_executor(executor, n_jobs, len(parameters))
+    if pool is None:
         discretizer = MultiResolutionDiscretizer(
             series,
             window,
@@ -274,20 +291,22 @@ def compute_member_curves(
     groups: dict[int, list[tuple[int, tuple[int, int]]]] = {}
     for index, (paa_size, alphabet_size) in enumerate(parameters):
         groups.setdefault(paa_size, []).append((index, (paa_size, alphabet_size)))
-    payloads = [
-        (
-            np.asarray(series, dtype=np.float64),
-            int(window),
-            int(max_paa_size),
-            int(max_alphabet_size),
-            float(znorm_threshold),
-            numerosity,
-            items,
-        )
-        for _, items in sorted(groups.items())
-    ]
-    workers = min(n_jobs, len(payloads))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    with ExitStack() as stack:
+        if owned:
+            stack.callback(pool.close)
+        handle = stack.enter_context(pool.share_series(series))
+        payloads = [
+            (
+                handle.ref,
+                int(window),
+                int(max_paa_size),
+                int(max_alphabet_size),
+                float(znorm_threshold),
+                numerosity,
+                items,
+            )
+            for _, items in sorted(groups.items())
+        ]
         for group_result in pool.map(_member_curves_task, payloads):
             for index, curve in group_result:
                 curves[index] = curve
@@ -295,17 +314,113 @@ def compute_member_curves(
 
 
 # ----------------------------------------------------------------------
-# Batch front end (many independent series — the serving shape).
+# Batch front ends (many independent series — the serving shape).
 # ----------------------------------------------------------------------
 
 
 def _detect_one_series(payload) -> list:
     """Worker: run one identically-configured detector clone on one series."""
-    kwargs, seed, series, k, member_jobs = payload
+    kwargs, seed, series_ref, k, member_jobs, index, label = payload
     from repro.core.ensemble import EnsembleGrammarDetector
 
-    detector = EnsembleGrammarDetector(**kwargs, seed=seed, n_jobs=member_jobs)
-    return detector.detect(series, k)
+    try:
+        series = resolve_series(series_ref)
+        detector = EnsembleGrammarDetector(**kwargs, seed=seed, n_jobs=member_jobs)
+        return detector.detect(series, k)
+    except Exception as error:
+        raise _wrap_batch_error(index, label, error) from error
+
+
+def iter_detect_batch(
+    detector,
+    series_iterable: Iterable[np.ndarray],
+    k: int = 3,
+    *,
+    n_jobs: int | None = None,
+    executor: MemberExecutor | str | None = None,
+    labels: Sequence[str] | None = None,
+) -> Iterator[tuple[int, list]]:
+    """Yield ``(index, anomalies)`` per series *as results complete*.
+
+    The incremental sibling of :func:`detect_batch`: instead of gathering
+    the whole batch, each series' ranked candidates are yielded the moment
+    its worker finishes (completion order under pooled executors, input
+    order under the serial path). The per-index results are identical to
+    ``detect_batch``'s — same clone configuration, same spawned seed — so
+    consumers may stream them into storage and re-order later.
+
+    A failing series raises :class:`BatchItemError` naming its index (and
+    label, when ``labels`` is given); abandoning the iterator cancels
+    pending work and releases any shared-memory segments. Arguments are
+    validated here, eagerly — the returned iterator only defers execution.
+    """
+    series_list = [np.ascontiguousarray(series, dtype=np.float64) for series in series_iterable]
+    labels = _check_labels(labels, len(series_list))
+    validate_executor_spec(executor)
+    n_jobs = _resolve_n_jobs(detector.n_jobs if n_jobs is None else n_jobs)
+    kwargs = detector.clone_kwargs()
+    # spawn_rngs derives deterministic, independent (and picklable)
+    # per-series generators from the detector's seed; a Generator seed draws
+    # children from its own stream (advancing it).
+    seeds = spawn_rngs(detector.seed, len(series_list))
+    return _iter_detect_batch(kwargs, seeds, series_list, int(k), n_jobs, executor, labels)
+
+
+def _iter_detect_batch(
+    kwargs: dict,
+    seeds: list,
+    series_list: list[np.ndarray],
+    k: int,
+    n_jobs: int,
+    executor: MemberExecutor | str | None,
+    labels: list[str] | None,
+) -> Iterator[tuple[int, list]]:
+    """The deferred half of :func:`iter_detect_batch` (validated inputs)."""
+    if not series_list:
+        return
+    pool, owned = _resolve_executor(executor, n_jobs, len(series_list))
+    # Clones running where the batch layer is serial keep the whole job
+    # budget for member-level parallelism; pooled clones run their members
+    # serially to avoid nested pools.
+    member_jobs = n_jobs if pool is None or pool.kind == "serial" else 1
+    if pool is None:
+        for index, (seed, series) in enumerate(zip(seeds, series_list)):
+            label = None if labels is None else labels[index]
+            payload = (kwargs, seed, series, k, member_jobs, index, label)
+            yield index, _detect_one_series(payload)
+        return
+    with ExitStack() as stack:
+        if owned:
+            stack.callback(pool.close)
+        if pool.kind != "serial" and len(series_list) == 1:
+            # A one-series batch has no batch-level parallelism to exploit:
+            # run the clone here and spend the whole pool on its *members*
+            # instead of shipping one serial task to one worker.
+            from repro.core.ensemble import EnsembleGrammarDetector
+
+            label = None if labels is None else labels[0]
+            try:
+                clone = EnsembleGrammarDetector(
+                    **kwargs, seed=seeds[0], n_jobs=n_jobs, executor=pool
+                )
+                yield 0, clone.detect(series_list[0], k)
+            except Exception as error:
+                raise _wrap_batch_error(0, label, error) from error
+            return
+        handles = share_series_batch(pool, stack, series_list, labels)
+        payloads = [
+            (
+                kwargs,
+                seed,
+                handle.ref,
+                k,
+                member_jobs,
+                index,
+                None if labels is None else labels[index],
+            )
+            for index, (seed, handle) in enumerate(zip(seeds, handles))
+        ]
+        yield from pool.imap_unordered(_detect_one_series, payloads)
 
 
 def detect_batch(
@@ -314,6 +429,8 @@ def detect_batch(
     k: int = 3,
     *,
     n_jobs: int | None = None,
+    executor: MemberExecutor | str | None = None,
+    labels: Sequence[str] | None = None,
 ) -> list[list]:
     """Top-``k`` anomalies of many independent series, optionally in parallel.
 
@@ -324,41 +441,38 @@ def detect_batch(
         configuration (window, sampling ranges, selectivity, ...) is applied
         to every series. Each series gets a fresh clone seeded from the
         detector's seed via ``SeedSequence.spawn``, so the i-th series
-        always sees the same parameter sample regardless of ``n_jobs``.
+        always sees the same parameter sample regardless of the backend.
     series_iterable:
         The independent series to scan (any iterable of 1-D arrays).
     k:
         Candidates to report per series.
     n_jobs:
-        Process count; ``None`` defers to ``detector.n_jobs``. The serial
-        path (``n_jobs=1``) runs the exact same per-series function inline,
-        so parallel and serial results are identical.
+        Worker count; ``None`` defers to ``detector.n_jobs``. Without an
+        explicit ``executor``, ``n_jobs=1`` runs the exact same per-series
+        function inline and larger values use a temporary process pool, so
+        parallel and serial results are identical.
+    executor:
+        A live :class:`~repro.core.executors.MemberExecutor` (reused, never
+        closed here) or a backend name from
+        :data:`~repro.core.executors.EXECUTOR_KINDS` (created and closed for
+        this call). Results are identical across backends.
+    labels:
+        Optional per-series labels (file paths, ids); a failing series
+        raises :class:`BatchItemError` carrying its index and label.
 
     Returns
     -------
     list[list[Anomaly]]
         One ranked candidate list per input series, in input order.
     """
-    series_list = [np.asarray(series, dtype=np.float64) for series in series_iterable]
-    if not series_list:
-        return []
-    n_jobs = _resolve_n_jobs(detector.n_jobs if n_jobs is None else n_jobs)
-    kwargs = detector.clone_kwargs()
-    # spawn_rngs derives deterministic, independent (and picklable)
-    # per-series generators from the detector's seed; a Generator seed draws
-    # children from its own stream (advancing it).
-    seeds = spawn_rngs(detector.seed, len(series_list))
-    inline = n_jobs == 1 or len(series_list) == 1
-    # Inline clones keep the whole job budget for member-level parallelism
-    # (a one-series batch on an n_jobs=8 detector still uses 8 workers);
-    # pooled clones run their members serially to avoid nested pools.
-    member_jobs = n_jobs if inline else 1
-    payloads = [
-        (kwargs, seed, series, int(k), member_jobs)
-        for seed, series in zip(seeds, series_list)
-    ]
-    if inline:
-        return [_detect_one_series(payload) for payload in payloads]
-    workers = min(n_jobs, len(series_list))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_detect_one_series, payloads))
+    pairs = list(
+        iter_detect_batch(
+            detector, series_iterable, k, n_jobs=n_jobs, executor=executor, labels=labels
+        )
+    )
+    results: list[list] = [None] * len(pairs)  # type: ignore[list-item]
+    for index, anomalies in pairs:
+        results[index] = anomalies
+    return results
+
+

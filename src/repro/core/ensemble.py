@@ -25,7 +25,8 @@ import numpy as np
 
 from repro.core.anomaly import Anomaly, extract_candidates
 from repro.core.combiners import COMBINERS, combine_curves
-from repro.core.engine import compute_member_curves, detect_batch
+from repro.core.engine import compute_member_curves, detect_batch, iter_detect_batch
+from repro.core.executors import ExecutorOwnerMixin, MemberExecutor
 from repro.core.selection import curve_std, normalize_curve, select_by_std
 from repro.sax.znorm import DEFAULT_ZNORM_THRESHOLD
 from repro.utils.rng import RandomState, ensure_rng
@@ -65,7 +66,7 @@ class EnsembleReport:
         return len(self.parameters)
 
 
-class EnsembleGrammarDetector:
+class EnsembleGrammarDetector(ExecutorOwnerMixin):
     """Algorithm 1: the ensemble rule density curve anomaly detector.
 
     Parameters
@@ -92,6 +93,15 @@ class EnsembleGrammarDetector:
         ``w`` and the groups run across a process pool (``None`` uses every
         core). Results are identical to the serial path; see
         :mod:`repro.core.engine`.
+    executor:
+        Execution backend for member and batch fan-out: a live
+        :class:`~repro.core.executors.MemberExecutor` (caller owns it; the
+        detector only borrows), a backend name from
+        :data:`~repro.core.executors.EXECUTOR_KINDS` (the detector creates
+        it lazily on first use, reuses it across ``detect`` calls — so a
+        process pool spawns once, not per call — and releases it in
+        :meth:`close`), or ``None`` to fall back to the ``n_jobs``
+        semantics. Results are bitwise identical across backends.
 
     Example
     -------
@@ -120,6 +130,7 @@ class EnsembleGrammarDetector:
         znorm_threshold: float = DEFAULT_ZNORM_THRESHOLD,
         seed: RandomState = None,
         n_jobs: int | None = 1,
+        executor: MemberExecutor | str | None = None,
     ) -> None:
         if window < 2:
             raise ValueError(f"window must be at least 2, got {window}")
@@ -144,6 +155,7 @@ class EnsembleGrammarDetector:
         self.normalize_members = bool(normalize_members)
         self.znorm_threshold = float(znorm_threshold)
         self.n_jobs = n_jobs if n_jobs is None else int(n_jobs)
+        self._init_executor(executor)
         #: The seed as given, kept for spawning per-series clones in
         #: :meth:`detect_batch`.
         self.seed = seed
@@ -155,6 +167,12 @@ class EnsembleGrammarDetector:
             f"wmax={self.max_paa_size}, amax={self.max_alphabet_size}, "
             f"N={self.ensemble_size}, tau={self.selectivity})"
         )
+
+    def _executor_pool_size(self) -> int | None:
+        # Asking for a backend by name is asking for parallelism: size the
+        # pool by n_jobs, but let the do-nothing default (1) mean "every
+        # core" rather than a one-worker pool.
+        return None if self.n_jobs in (None, 1) else self.n_jobs
 
     # ------------------------------------------------------------------
     # Algorithm 1.
@@ -194,6 +212,7 @@ class EnsembleGrammarDetector:
             znorm_threshold=self.znorm_threshold,
             numerosity=self.numerosity,
             n_jobs=self.n_jobs,
+            executor=self.executor,
         )
         stds = tuple(curve_std(curve) for curve in curves)
         if self.select_members:
@@ -247,16 +266,43 @@ class EnsembleGrammarDetector:
         k: int = 3,
         *,
         n_jobs: int | None = None,
+        executor=None,
+        labels=None,
     ) -> list[list[Anomaly]]:
         """Top-``k`` anomalies of many independent series (the serving shape).
 
         Each series is handled by a fresh clone of this detector whose seed
         derives deterministically from ``self.seed``, so results are
-        identical whether the batch runs serially or across a process pool
-        (``n_jobs=None`` defers to ``self.n_jobs``). See
+        identical whether the batch runs serially, across a process pool, or
+        on any executor backend (``n_jobs=None`` defers to ``self.n_jobs``;
+        ``executor=None`` defers to the detector's own executor). See
         :func:`repro.core.engine.detect_batch`.
         """
-        return detect_batch(self, series_iterable, k, n_jobs=n_jobs)
+        executor = self.executor if executor is None else executor
+        return detect_batch(
+            self, series_iterable, k, n_jobs=n_jobs, executor=executor, labels=labels
+        )
+
+    def iter_detect_batch(
+        self,
+        series_iterable,
+        k: int = 3,
+        *,
+        n_jobs: int | None = None,
+        executor=None,
+        labels=None,
+    ):
+        """Yield ``(index, anomalies)`` per series as results complete.
+
+        The incremental form of :meth:`detect_batch`: per-index results are
+        identical, but each series is delivered the moment its worker
+        finishes instead of after the whole batch. See
+        :func:`repro.core.engine.iter_detect_batch`.
+        """
+        executor = self.executor if executor is None else executor
+        return iter_detect_batch(
+            self, series_iterable, k, n_jobs=n_jobs, executor=executor, labels=labels
+        )
 
 
 def combine_and_detect(

@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.anomaly import Anomaly, extract_candidates
 from repro.core.combiners import COMBINERS, combine_curves
 from repro.core.engine import SharedStreamState
+from repro.core.executors import ExecutorOwnerMixin, MemberExecutor
 from repro.core.selection import normalize_curve, select_by_std
 from repro.grammar.density import rule_density_curve
 from repro.grammar.sequitur import _SequiturBuilder
@@ -205,7 +206,18 @@ class StreamingGrammarDetector:
         return extract_candidates(curve, self.window, k, minimize=True)
 
 
-class StreamingEnsembleDetector:
+def _member_snapshot_curve(member: "StreamingGrammarDetector") -> np.ndarray:
+    """Thread task: one member's snapshot rule density curve."""
+    return member.density_curve()
+
+
+def _frozen_density_task(payload) -> np.ndarray:
+    """Process task: density curve of a grammar snapshot frozen in the parent."""
+    grammar, tokens, series_length = payload
+    return rule_density_curve(grammar, tokens, series_length)
+
+
+class StreamingEnsembleDetector(ExecutorOwnerMixin):
     """Algorithm 1 over a stream: N live members on one shared stream state.
 
     Parameters mirror :class:`repro.core.ensemble.EnsembleGrammarDetector`
@@ -218,6 +230,13 @@ class StreamingEnsembleDetector:
     — the stream is stored once, not per member — and ``extend()`` ingests
     each chunk with one vectorized PAA/interval pass per distinct PAA size,
     shared by every member of that size via the merged breakpoint table.
+
+    ``executor`` parallelizes the *snapshot* side (``density_curve`` /
+    ``detect``), where every member's grammar is turned into a rule density
+    curve: thread workers call the live members directly, process workers
+    receive each member's frozen grammar snapshot (the live Sequitur state
+    never leaves this process). Ingest stays serial — it is already one
+    vectorized pass. Results are identical across backends.
     """
 
     def __init__(
@@ -232,6 +251,7 @@ class StreamingEnsembleDetector:
         numerosity: str = "exact",
         znorm_threshold: float = DEFAULT_ZNORM_THRESHOLD,
         seed: RandomState = None,
+        executor: MemberExecutor | str | None = None,
     ) -> None:
         if window < 2:
             raise ValueError(f"window must be at least 2, got {window}")
@@ -249,6 +269,7 @@ class StreamingEnsembleDetector:
         self.combiner = combiner
         self.numerosity = numerosity
         self.znorm_threshold = float(znorm_threshold)
+        self._init_executor(executor)
         rng = ensure_rng(seed)
         pool = [
             (int(w), int(a))
@@ -304,9 +325,31 @@ class StreamingEnsembleDetector:
                 symbols = self._alphabet_table.symbols_for(intervals, member.alphabet_size)
                 member._ingest_symbols(symbols, first)
 
+    def _snapshot_curves(self) -> list[np.ndarray]:
+        """Every member's snapshot curve, via the configured executor.
+
+        Curves are deterministic functions of each member's grammar and the
+        shared stream, so all backends return bitwise-identical results.
+        """
+        executor = self.executor
+        if executor is None or executor.kind == "serial":
+            return [member.density_curve() for member in self.members]
+        if executor.kind == "thread":
+            # Members are independent snapshot readers of the shared state;
+            # threads can call them directly, zero serialization.
+            return executor.map(_member_snapshot_curve, self.members)
+        # Process backend: the live Sequitur builders stay here — freeze a
+        # picklable (grammar, tokens, length) snapshot per member and ship
+        # only that.
+        length = len(self.state)
+        payloads = [
+            (member._builder.freeze(), member.tokens(), length) for member in self.members
+        ]
+        return executor.map(_frozen_density_task, payloads)
+
     def density_curve(self) -> np.ndarray:
         """Ensemble rule density curve over the stream so far."""
-        curves = [member.density_curve() for member in self.members]
+        curves = self._snapshot_curves()
         kept = select_by_std(curves, self.selectivity)
         survivors = [normalize_curve(curves[i]) for i in kept]
         return combine_curves(survivors, self.combiner)

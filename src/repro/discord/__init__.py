@@ -10,7 +10,7 @@
 """
 
 from repro.discord.discords import Discord, DiscordDetector, top_discords
-from repro.discord.hotsax import hotsax_discords
+from repro.discord.hotsax import HotSaxDetector, hotsax_discords
 from repro.discord.matrix_profile import (
     MatrixProfile,
     mass,
@@ -22,6 +22,7 @@ from repro.discord.matrix_profile import (
 __all__ = [
     "Discord",
     "DiscordDetector",
+    "HotSaxDetector",
     "MatrixProfile",
     "hotsax_discords",
     "mass",

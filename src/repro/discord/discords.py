@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.anomaly import Anomaly
+from repro.core.executors import StatelessBatchMixin
 from repro.discord.matrix_profile import MatrixProfile, matrix_profile_stomp
 from repro.utils.validation import ensure_time_series, validate_window
 
@@ -66,7 +67,7 @@ def top_discords(profile: MatrixProfile, k: int = 3) -> list[Discord]:
     return discords
 
 
-class DiscordDetector:
+class DiscordDetector(StatelessBatchMixin):
     """The paper's "Discord" baseline: STOMP matrix profile + top-k discords.
 
     Parameters

@@ -21,6 +21,8 @@ from collections import defaultdict
 
 import numpy as np
 
+from repro.core.anomaly import Anomaly
+from repro.core.executors import StatelessBatchMixin
 from repro.discord.discords import Discord
 from repro.discord.matrix_profile import _is_constant, default_exclusion
 from repro.sax.sax import discretize
@@ -183,3 +185,60 @@ def hotsax_discords(
         high = min(len(excluded), found.position + window)
         excluded[low:high] = True
     return discords
+
+
+class HotSaxDetector(StatelessBatchMixin):
+    """HOTSAX as a detector: the paper's historical discord comparator.
+
+    Wraps :func:`hotsax_discords` behind the same ``detect``/``detect_batch``
+    interface as every other method, so the evaluation harness (and the
+    CLI's ``--method hotsax``) can run it through a shared executor pool.
+    ``detect`` is a pure function of the constructor parameters and the
+    series — a fresh generator is derived from ``seed`` per call — so batch
+    fan-out across any backend reproduces the serial results exactly.
+
+    Parameters
+    ----------
+    window:
+        Discord length.
+    paa_size, alphabet_size:
+        SAX parameters of the heuristic loop ordering (defaults follow [9]).
+    exclusion:
+        Self-match exclusion half-width; defaults to ``ceil(window / 4)``.
+    seed:
+        Seed of the randomized loop orders (search speed only; the
+        discovered discords are seed-independent).
+    """
+
+    def __init__(
+        self,
+        window: int,
+        *,
+        paa_size: int = 3,
+        alphabet_size: int = 3,
+        exclusion: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if window < 2:
+            raise ValueError(f"window must be at least 2, got {window}")
+        self.window = int(window)
+        self.paa_size = int(paa_size)
+        self.alphabet_size = int(alphabet_size)
+        self.exclusion = exclusion
+        self.seed = int(seed)
+
+    def detect(self, series: np.ndarray, k: int = 3) -> list[Anomaly]:
+        """Top-``k`` non-overlapping HOTSAX discords as :class:`Anomaly` records."""
+        discords = hotsax_discords(
+            series,
+            self.window,
+            k,
+            paa_size=self.paa_size,
+            alphabet_size=self.alphabet_size,
+            exclusion=self.exclusion,
+            seed=self.seed,
+        )
+        return [
+            Anomaly(position=d.position, length=d.length, score=d.distance, rank=rank)
+            for rank, d in enumerate(discords, start=1)
+        ]

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.anomaly import Anomaly
+from repro.core.executors import StatelessBatchMixin
 from repro.grammar.density import density_from_intervals
 from repro.grammar.rules import Grammar
 from repro.grammar.sequitur import induce_grammar
@@ -116,7 +117,7 @@ def _nearest_match_distance(series: np.ndarray, candidate: RuleInterval) -> floa
     return best / np.sqrt(length)
 
 
-class RRADetector:
+class RRADetector(StatelessBatchMixin):
     """Rare Rule Anomaly detection — variable-length grammar anomalies.
 
     Parameters

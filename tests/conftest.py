@@ -6,6 +6,41 @@ import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
 
+from repro.core.executors import EXECUTOR_KINDS
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--executor",
+        choices=EXECUTOR_KINDS,
+        default=None,
+        help="restrict executor-parametrized tests to one backend "
+        "(e.g. --executor process under a constrained taskset)",
+    )
+
+
+def pytest_generate_tests(metafunc: pytest.Metafunc) -> None:
+    """Parametrize ``executor_kind`` over all backends (or the --executor one)."""
+    if "executor_kind" in metafunc.fixturenames:
+        restrict = metafunc.config.getoption("--executor")
+        kinds = [restrict] if restrict else list(EXECUTOR_KINDS)
+        metafunc.parametrize("executor_kind", kinds)
+
+
+def repro_shm_segments() -> set[str]:
+    """Names of this library's live /dev/shm segments (empty off-POSIX)."""
+    import os
+
+    if not os.path.isdir("/dev/shm"):
+        return set()
+    return {name for name in os.listdir("/dev/shm") if name.startswith("repro")}
+
+
+@pytest.fixture(name="shm_segments")
+def shm_segments_fixture():
+    """Callable returning the current set of library shm segment names."""
+    return repro_shm_segments
+
 # A moderate example budget keeps the property suite fast but meaningful;
 # data generation dominates, so suppress the too-slow health check.
 settings.register_profile(

@@ -6,9 +6,11 @@ import numpy as np
 import pytest
 
 from repro.core.engine import (
+    BatchItemError,
     SharedStreamState,
     compute_member_curves,
     detect_batch,
+    iter_detect_batch,
 )
 from repro.core.ensemble import EnsembleGrammarDetector
 from repro.core.streaming import StreamingEnsembleDetector, StreamingGrammarDetector
@@ -97,6 +99,99 @@ class TestSharedStreamState:
             state.paa_rows(0, 200, 4)  # window > stream length
         with pytest.raises(ValueError, match="at least 2"):
             state.paa_rows(0, 0, 4)
+
+
+class TestCapacityBoundaries:
+    """_grow_to / extend around the doubling boundaries (exact behaviour)."""
+
+    @staticmethod
+    def _assert_prefix_integrity(state: SharedStreamState, values: np.ndarray) -> None:
+        assert len(state) == len(values)
+        assert np.array_equal(state.values, values)
+        assert np.array_equal(state.prefix_sum, np.concatenate(([0.0], np.cumsum(values))))
+        assert np.array_equal(state.prefix_sq, np.concatenate(([0.0], np.cumsum(values**2))))
+
+    def test_fill_to_exact_capacity_does_not_reallocate(self, rng):
+        state = SharedStreamState(capacity=4)
+        buffer_before = state._values
+        values = rng.standard_normal(4)
+        state.extend(values)  # exactly full
+        assert state._values is buffer_before
+        assert len(state._values) == 4
+        self._assert_prefix_integrity(state, values)
+
+    def test_append_exactly_at_capacity_triggers_one_doubling(self, rng):
+        state = SharedStreamState(capacity=4)
+        values = rng.standard_normal(5)
+        for value in values[:4]:
+            state.append(float(value))
+        assert len(state._values) == 4
+        state.append(float(values[4]))  # the boundary append
+        assert len(state._values) == 8  # doubled, not grown to 5
+        self._assert_prefix_integrity(state, values)
+
+    def test_extend_spanning_one_growth(self, rng):
+        state = SharedStreamState(capacity=4)
+        values = rng.standard_normal(7)
+        state.extend(values[:3])
+        assert len(state._values) == 4
+        state.extend(values[3:])  # 3 + 4 = 7 > 4: one doubling to 8
+        assert len(state._values) == 8
+        self._assert_prefix_integrity(state, values)
+
+    def test_extend_spanning_two_growths(self, rng):
+        state = SharedStreamState(capacity=4)
+        values = rng.standard_normal(14)
+        state.extend(values[:5])  # 5 > 4: grow to max(5, 8) = 8
+        assert len(state._values) == 8
+        state.extend(values[5:])  # 14 > 8: grow to max(14, 16) = 16
+        assert len(state._values) == 16
+        self._assert_prefix_integrity(state, values)
+
+    def test_oversized_chunk_jumps_straight_to_required(self, rng):
+        state = SharedStreamState(capacity=4)
+        values = rng.standard_normal(50)
+        state.extend(values)  # 50 > 2 * 4: capacity jumps to required
+        assert len(state._values) == 50
+        self._assert_prefix_integrity(state, values)
+
+    def test_growth_preserves_prefix_sums_bitwise(self, rng):
+        """The copied prefix arrays must stay bitwise equal to one cumsum."""
+        values = rng.standard_normal(100) * 1e3
+        grown = SharedStreamState(capacity=1)  # many growth cycles
+        roomy = SharedStreamState(capacity=256)  # zero growth cycles
+        for start in range(0, 100, 7):
+            grown.extend(values[start : start + 7])
+            roomy.extend(values[start : start + 7])
+        assert np.array_equal(grown.values, roomy.values)
+        assert np.array_equal(grown.prefix_sum, roomy.prefix_sum)
+        assert np.array_equal(grown.prefix_sq, roomy.prefix_sq)
+
+
+class TestPaaRowsWindowCountEdges:
+    def test_empty_matrix_when_first_start_equals_window_count(self):
+        state = SharedStreamState()
+        state.extend(np.arange(30.0) % 7)
+        stop = state.n_windows(10)
+        rows = state.paa_rows(stop, 10, 5)
+        assert rows.shape == (0, 5)
+        assert rows.dtype == np.float64
+
+    def test_single_window_stream(self):
+        """len(stream) == window: exactly one completed window."""
+        state = SharedStreamState()
+        state.extend(np.arange(10.0))
+        assert state.n_windows(10) == 1
+        assert state.paa_rows(0, 10, 5).shape == (1, 5)
+        assert state.paa_rows(1, 10, 5).shape == (0, 5)
+
+    def test_zero_completed_windows_raises_cleanly(self):
+        """window > stream length means zero windows: a clear error, not junk."""
+        state = SharedStreamState()
+        state.extend(np.arange(9.0))
+        assert state.n_windows(10) == 0
+        with pytest.raises(ValueError, match="exceeds"):
+            state.paa_rows(0, 10, 4)
 
 
 class TestSharedMemoryLayout:
@@ -207,6 +302,47 @@ class TestDetectBatch:
         )
         results = detector.detect_batch(batch, 2)
         assert len(results) == 2
+
+    def test_worker_error_names_failing_series_inline(self, rng):
+        """Regression: a raised exception used to lose which input failed."""
+        batch = self._series_batch(rng, count=2) + [np.arange(10.0)]  # too short
+        detector = EnsembleGrammarDetector(window=60, ensemble_size=4, seed=0)
+        with pytest.raises(BatchItemError) as excinfo:
+            detector.detect_batch(batch, 2)
+        error = excinfo.value
+        assert error.index == 2
+        assert error.label is None
+        assert "series 2" in str(error)
+        assert error.__cause__ is not None  # inline path keeps the chain
+
+    def test_worker_error_names_failing_series_pooled(self, rng):
+        batch = [np.arange(10.0)] + self._series_batch(rng, count=2)
+        detector = EnsembleGrammarDetector(window=60, ensemble_size=4, seed=0)
+        with pytest.raises(BatchItemError) as excinfo:
+            detector.detect_batch(
+                batch, 2, n_jobs=2, labels=["bad.csv", "a.csv", "b.csv"]
+            )
+        error = excinfo.value
+        assert error.index == 0
+        assert error.label == "bad.csv"
+        assert "bad.csv" in str(error)
+        assert "exceeds" in error.cause_message
+
+    def test_iter_detect_batch_error_carries_index(self, rng):
+        batch = self._series_batch(rng, count=1) + [np.arange(10.0)]
+        detector = EnsembleGrammarDetector(window=60, ensemble_size=4, seed=0)
+        seen = []
+        with pytest.raises(BatchItemError) as excinfo:
+            for index, anomalies in iter_detect_batch(detector, batch, 2):
+                seen.append(index)
+        assert excinfo.value.index == 1
+        assert seen == [0]  # the healthy series was still delivered
+
+    def test_mismatched_labels_rejected(self, rng):
+        batch = self._series_batch(rng, count=2)
+        detector = EnsembleGrammarDetector(window=60, ensemble_size=4, seed=0)
+        with pytest.raises(ValueError, match="labels"):
+            detector.detect_batch(batch, 2, labels=["only-one.csv"])
 
     def test_clone_kwargs_round_trip(self):
         detector = EnsembleGrammarDetector(
