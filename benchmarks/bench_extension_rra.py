@@ -9,8 +9,6 @@ the same protocol.
 
 from __future__ import annotations
 
-import numpy as np
-
 from benchlib import SWEEP_CASES, corpus_for, scale_note
 from repro.core.ensemble import EnsembleGrammarDetector
 from repro.discord.discords import DiscordDetector

@@ -7,7 +7,6 @@ amax = 5 is only subpar on some datasets.
 
 from __future__ import annotations
 
-import numpy as np
 
 from benchlib import (
     DATASET_ORDER,

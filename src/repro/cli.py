@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the library's main workflows:
+Four subcommands cover the library's main workflows:
 
 - ``detect`` — run a detector over one or more series files and print/save
   the ranked anomalies. Passing several ``--input`` files fans the batch out
@@ -28,8 +28,19 @@ Three subcommands cover the library's main workflows:
 
       python -m repro evaluate --dataset Wafer --cases 5 --methods ensemble gi-fix
 
+- ``stream`` — feed a series file chunk-by-chunk through the streaming
+  ensemble, optionally with bounded memory for infinite inputs:
+  ``--stream-capacity`` retains only the last N points and
+  ``--eviction-policy {sliding,decay}`` picks exact or generation-wise
+  grammar forgetting (see the README's "Streaming on infinite inputs")::
+
+      python -m repro stream --input feed.csv --window 100 \\
+          --stream-capacity 50000 --eviction-policy sliding --chunk-size 8192
+
 Series files are one value per line (CSV with a single column; a header
 line is tolerated). All commands are deterministic under ``--seed``.
+Executors the CLI creates are context-managed: every pool (and any shared
+memory it published) is released on success *and* on error paths.
 """
 
 from __future__ import annotations
@@ -37,14 +48,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import ExitStack
 from pathlib import Path
 
 import numpy as np
 
 from repro import __version__
 from repro.core.detector import GrammarAnomalyDetector
+from repro.core.engine import EVICTION_POLICIES
 from repro.core.ensemble import EnsembleGrammarDetector
 from repro.core.executors import EXECUTOR_KINDS, BatchItemError, make_executor
+from repro.core.streaming import StreamingEnsembleDetector
 from repro.datasets.generators import random_walk, synthetic_ecg, synthetic_eeg
 from repro.datasets.planting import make_corpus, make_test_case
 from repro.datasets.power import dishwasher_series, fridge_freezer_series
@@ -138,11 +152,31 @@ def _numbered_path(path: str | Path, index: int, count: int) -> Path:
     return path.with_suffix(f".{index}{path.suffix}")
 
 
+def _emit_detections(anomalies, title: str, json_path, csv_path, metadata: dict) -> None:
+    """Print one ranked-anomaly table and write the optional JSON/CSV sidecars."""
+    rows = [
+        [str(a.rank), str(a.position), str(a.length), f"{a.score:.4f}"] for a in anomalies
+    ]
+    print(format_table(["rank", "position", "length", "score"], rows, title=title))
+    if json_path:
+        write_detections_json(json_path, anomalies, metadata=metadata)
+        print(f"wrote {json_path}")
+    if csv_path:
+        write_detections_csv(csv_path, anomalies)
+        print(f"wrote {csv_path}")
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
     inputs = args.input
     series_list = [load_series(path) for path in inputs]
-    detector = build_detector(args.method, args.window, args, executor=args.executor)
-    try:
+    # Every executor (and the shared memory it publishes) is released by the
+    # stack on success and on every exception path — including a failure
+    # between batch calls — so no pool or /dev/shm segment outlives the
+    # command (regression-tested in tests/test_cli.py).
+    with ExitStack() as stack:
+        detector = build_detector(args.method, args.window, args, executor=args.executor)
+        if hasattr(detector, "close"):
+            stack.callback(detector.close)
         if len(series_list) > 1 and hasattr(detector, "detect_batch"):
             # Many independent series: the engine's batch fan-out over the
             # selected executor backend, identical to running each series
@@ -171,35 +205,19 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                 )
                 print(f"note: --executor has no effect: {reason}", file=sys.stderr)
             results = [detector.detect(series, args.top) for series in series_list]
-    finally:
-        if hasattr(detector, "close"):
-            detector.close()
     for index, (path, series, anomalies) in enumerate(zip(inputs, series_list, results)):
-        rows = [
-            [str(a.rank), str(a.position), str(a.length), f"{a.score:.4f}"]
-            for a in anomalies
-        ]
-        print(
-            format_table(
-                ["rank", "position", "length", "score"],
-                rows,
-                title=f"{args.method} anomalies in {path} (window {args.window})",
-            )
+        _emit_detections(
+            anomalies,
+            title=f"{args.method} anomalies in {path} (window {args.window})",
+            json_path=_numbered_path(args.json, index, len(inputs)) if args.json else None,
+            csv_path=_numbered_path(args.csv, index, len(inputs)) if args.csv else None,
+            metadata={
+                "input": str(path),
+                "method": args.method,
+                "window": args.window,
+                "series_length": len(series),
+            },
         )
-        metadata = {
-            "input": str(path),
-            "method": args.method,
-            "window": args.window,
-            "series_length": len(series),
-        }
-        if args.json:
-            out = _numbered_path(args.json, index, len(inputs))
-            write_detections_json(out, anomalies, metadata=metadata)
-            print(f"wrote {out}")
-        if args.csv:
-            out = _numbered_path(args.csv, index, len(inputs))
-            write_detections_csv(out, anomalies)
-            print(f"wrote {out}")
     return 0
 
 
@@ -254,16 +272,15 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     # Size the harness pool by --n-jobs (default 1 means "every core" once a
     # backend is named); member-level parallelism inside pooled tasks is
     # disabled by the harness, so --n-jobs bounds total workers.
-    executor = None
-    if args.executor:
-        executor = make_executor(args.executor, None if args.n_jobs <= 1 else args.n_jobs)
-    try:
+    with ExitStack() as stack:
+        executor = None
+        if args.executor:
+            executor = stack.enter_context(
+                make_executor(args.executor, None if args.n_jobs <= 1 else args.n_jobs)
+            )
         results = evaluate_methods_on_corpus(
             corpus, factories, k=args.top, executor=executor
         )
-    finally:
-        if executor is not None:
-            executor.close()
     rows = [
         [name, f"{scores.average:.4f}", f"{scores.hit_rate:.2f}"]
         for name, scores in results.items()
@@ -280,6 +297,68 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
         write_evaluation_json(args.json, results)
         print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    series = load_series(args.input)
+    if args.chunk_size < 1:
+        raise ValueError(f"chunk-size must be positive, got {args.chunk_size}")
+    with ExitStack() as stack:
+        executor = None
+        if args.executor:
+            # Built here, so owned here: entering it on the stack guarantees
+            # the pool dies even when a mid-stream chunk is rejected.
+            executor = stack.enter_context(
+                make_executor(args.executor, None if args.n_jobs <= 1 else args.n_jobs)
+            )
+        detector = stack.enter_context(
+            StreamingEnsembleDetector(
+                args.window,
+                max_paa_size=args.wmax,
+                max_alphabet_size=args.amax,
+                ensemble_size=args.ensemble_size,
+                selectivity=args.selectivity,
+                capacity=args.stream_capacity,
+                policy=args.eviction_policy,
+                segments=args.segments,
+                seed=args.seed,
+                executor=executor,
+            )
+        )
+        for offset in range(0, len(series), args.chunk_size):
+            detector.extend(series[offset : offset + args.chunk_size])
+        anomalies = detector.detect(args.top)
+        horizon_start = detector.horizon_start
+        live_length = detector.state.live_length
+    mode = (
+        "unbounded"
+        if args.stream_capacity is None
+        else f"capacity {args.stream_capacity}, {args.eviction_policy} eviction"
+    )
+    _emit_detections(
+        anomalies,
+        title=(
+            f"streaming ensemble anomalies in {args.input} "
+            f"(window {args.window}, {mode})"
+        ),
+        json_path=args.json,
+        csv_path=args.csv,
+        metadata={
+            "input": str(args.input),
+            "method": "streaming-ensemble",
+            "window": args.window,
+            "series_length": len(series),
+            "stream_capacity": args.stream_capacity,
+            "eviction_policy": None if args.stream_capacity is None else args.eviction_policy,
+            "horizon_start": horizon_start,
+            "live_length": live_length,
+        },
+    )
+    print(
+        f"stream: {len(series)} points seen, live range "
+        f"[{horizon_start}, {len(series)}) ({live_length} points retained)"
+    )
     return 0
 
 
@@ -344,6 +423,48 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--out", required=True, help="output series file")
     generate.set_defaults(handler=_cmd_generate)
+
+    stream = commands.add_parser(
+        "stream",
+        help="run the streaming ensemble over a series fed chunk-by-chunk",
+    )
+    stream.add_argument("--input", required=True, help="one-column series file")
+    stream.add_argument("--window", type=int, required=True, help="sliding window length n")
+    stream.add_argument(
+        "--chunk-size",
+        type=int,
+        default=4096,
+        help="points fed per extend() call (default 4096)",
+    )
+    stream.add_argument(
+        "--stream-capacity",
+        type=int,
+        default=None,
+        help=(
+            "retain only the last N stream points (bounded memory for "
+            "infinite inputs); must be at least --window. Default: unbounded"
+        ),
+    )
+    stream.add_argument(
+        "--eviction-policy",
+        choices=EVICTION_POLICIES,
+        default="sliding",
+        help=(
+            "grammar forgetting once --stream-capacity is set: 'sliding' "
+            "(exact horizon, snapshot re-induction) or 'decay' (generation-"
+            "segmented grammars dropped wholesale); default sliding"
+        ),
+    )
+    stream.add_argument(
+        "--segments",
+        type=int,
+        default=4,
+        help="generations per capacity for the decay policy (default 4)",
+    )
+    stream.add_argument("--json", help="write detections to this JSON file")
+    stream.add_argument("--csv", help="write detections to this CSV file")
+    _add_detector_options(stream)
+    stream.set_defaults(handler=_cmd_stream)
 
     evaluate = commands.add_parser("evaluate", help="run the paper's protocol on one dataset")
     evaluate.add_argument("--dataset", required=True, choices=sorted(DATASETS))

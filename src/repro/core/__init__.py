@@ -27,6 +27,7 @@ from repro.core.anomaly import Anomaly, AnomalyDetector, extract_candidates
 from repro.core.combiners import combine_curves
 from repro.core.detector import GrammarAnomalyDetector
 from repro.core.engine import (
+    EVICTION_POLICIES,
     BatchItemError,
     SharedStreamState,
     detect_batch,
@@ -50,6 +51,7 @@ __all__ = [
     "Anomaly",
     "AnomalyDetector",
     "BatchItemError",
+    "EVICTION_POLICIES",
     "EXECUTOR_KINDS",
     "EnsembleGrammarDetector",
     "EnsembleReport",

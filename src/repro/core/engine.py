@@ -71,12 +71,17 @@ from repro.sax.znorm import DEFAULT_ZNORM_THRESHOLD
 from repro.utils.rng import spawn_rngs
 from repro.utils.validation import validate_paa_size, validate_window
 
-#: Initial capacity of a fresh stream buffer (doubles on demand).
+#: Initial allocation of a fresh stream buffer (doubles on demand).
 _INITIAL_CAPACITY = 1024
+
+#: Eviction policies a bounded stream state supports. ``"sliding"`` retires
+#: points eagerly at the exact horizon; ``"decay"`` retires them lazily in
+#: generation-sized steps so grammar generations can be dropped wholesale.
+EVICTION_POLICIES = ("sliding", "decay")
 
 
 class SharedStreamState:
-    """Growable stream buffer with prefix sums, shared by ensemble members.
+    """Stream buffer with prefix sums, shared by ensemble members.
 
     Holds the values seen so far plus the running prefix sums ``ESum_x`` and
     ``ESum_xx`` (Algorithm 2 of the paper) in pre-allocated numpy arrays
@@ -88,67 +93,183 @@ class SharedStreamState:
     reproduces the left-associated accumulation order of ``np.cumsum`` over
     the whole series — the batch pipeline's exact floating-point result, no
     matter how the stream is split into ``append``/``extend`` calls.
+
+    Parameters
+    ----------
+    capacity:
+        ``None`` (default) grows the buffer with the stream forever — the
+        batch-parity mode. An integer bounds retention: only (at least) the
+        last ``capacity`` points stay addressable, and older points are
+        retired by :meth:`trim` / :meth:`evict_to`, so an infinite stream
+        runs in O(capacity) memory. Retired points keep their *global*
+        indices: ``len(self)`` is the total number of points ever seen, and
+        every index-taking method speaks global coordinates. Crucially the
+        prefix sums stay the absolute running totals from the very first
+        point, so for any still-live window ``paa_rows`` is **bitwise
+        identical** to what the unbounded state would return.
+    policy:
+        Eviction granularity used by :meth:`trim`. ``"sliding"`` retires to
+        the exact horizon ``len(self) - capacity`` on every trim;
+        ``"decay"`` retires lazily in steps of :attr:`generation_size`
+        points (retention up to ``capacity + generation_size - 1``), which
+        lets generation-segmented grammars above be dropped wholesale.
+    segments:
+        For the decay policy: how many generations span one capacity, i.e.
+        ``generation_size = max(1, capacity // segments)``.
+    initial_capacity:
+        Size of the first allocation (grows on demand; purely a
+        preallocation knob, no semantic effect).
     """
 
-    __slots__ = ("_values", "_prefix", "_prefix_sq", "_n")
+    __slots__ = (
+        "_values",
+        "_prefix",
+        "_prefix_sq",
+        "_n",
+        "_start",
+        "_base",
+        "capacity",
+        "policy",
+        "segments",
+    )
 
-    def __init__(self, capacity: int = _INITIAL_CAPACITY) -> None:
-        capacity = max(int(capacity), 1)
-        self._values = np.empty(capacity, dtype=np.float64)
-        self._prefix = np.empty(capacity + 1, dtype=np.float64)
-        self._prefix_sq = np.empty(capacity + 1, dtype=np.float64)
+    def __init__(
+        self,
+        capacity: int | None = None,
+        *,
+        policy: str = "sliding",
+        segments: int = 4,
+        initial_capacity: int = _INITIAL_CAPACITY,
+    ) -> None:
+        if capacity is not None:
+            capacity = int(capacity)
+            if capacity < 1:
+                raise ValueError(f"capacity must be a positive integer or None, got {capacity}")
+        if policy not in EVICTION_POLICIES:
+            raise ValueError(f"unknown eviction policy {policy!r}; expected one of {EVICTION_POLICIES}")
+        segments = int(segments)
+        if segments < 1:
+            raise ValueError(f"segments must be a positive integer, got {segments}")
+        self.capacity = capacity
+        self.policy = policy
+        self.segments = segments
+        allocation = max(int(initial_capacity), 1)
+        self._values = np.empty(allocation, dtype=np.float64)
+        self._prefix = np.empty(allocation + 1, dtype=np.float64)
+        self._prefix_sq = np.empty(allocation + 1, dtype=np.float64)
         self._prefix[0] = 0.0
         self._prefix_sq[0] = 0.0
+        #: Total points ever seen (global stream length).
         self._n = 0
+        #: Global index of the oldest *live* point (the eviction horizon).
+        self._start = 0
+        #: Global index of ``_values[0]`` (``_base <= _start``; the gap is a
+        #: dead prefix compacted away lazily, so eviction is O(1) amortized).
+        self._base = 0
 
     def __len__(self) -> int:
+        """Total points ever seen (global stream length, retired included)."""
         return self._n
 
     @property
+    def start(self) -> int:
+        """Global index of the oldest retained point (0 until eviction)."""
+        return self._start
+
+    @property
+    def live_length(self) -> int:
+        """Number of points currently retained (``len(self) - start``)."""
+        return self._n - self._start
+
+    @property
+    def horizon_start(self) -> int:
+        """Exact retention horizon: the oldest global index within capacity."""
+        if self.capacity is None:
+            return 0
+        return max(0, self._n - self.capacity)
+
+    @property
+    def generation_size(self) -> int | None:
+        """Eviction step of the decay policy (``None`` when not applicable)."""
+        if self.capacity is None or self.policy != "decay":
+            return None
+        return max(1, self.capacity // self.segments)
+
+    @property
     def values(self) -> np.ndarray:
-        """View of the values seen so far (invalidated by the next append)."""
-        return self._values[: self._n]
+        """View of the live values (invalidated by the next append/evict)."""
+        return self._values[self._start - self._base : self._n - self._base]
 
     @property
     def prefix_sum(self) -> np.ndarray:
-        """``prefix_sum[k] = sum(values[:k])`` (length ``len(self) + 1``)."""
-        return self._prefix[: self._n + 1]
+        """Absolute running sums over the live range (length ``live_length + 1``).
+
+        Entry ``k`` is ``sum(stream[:start + k])`` — the same float the
+        unbounded state holds at global position ``start + k``, so window
+        sums over live points are bitwise independent of eviction.
+        """
+        return self._prefix[self._start - self._base : self._n - self._base + 1]
 
     @property
     def prefix_sq(self) -> np.ndarray:
-        """``prefix_sq[k] = sum(values[:k] ** 2)`` (length ``len(self) + 1``)."""
-        return self._prefix_sq[: self._n + 1]
+        """Absolute running sums of squares over the live range."""
+        return self._prefix_sq[self._start - self._base : self._n - self._base + 1]
 
     def n_windows(self, window: int) -> int:
-        """Completed sliding windows of length ``window`` so far."""
+        """Completed sliding windows of length ``window`` so far (global)."""
         return max(0, self._n - int(window) + 1)
 
-    def _grow_to(self, required: int) -> None:
-        capacity = len(self._values)
-        if required <= capacity:
+    # ------------------------------------------------------------------
+    # Storage management (compaction is deferred so eviction stays O(1)).
+    # ------------------------------------------------------------------
+
+    def _compact(self) -> None:
+        """Physically drop the dead prefix ``[_base, _start)``."""
+        dead = self._start - self._base
+        if dead == 0:
             return
-        new_capacity = max(required, 2 * capacity)
-        values = np.empty(new_capacity, dtype=np.float64)
-        prefix = np.empty(new_capacity + 1, dtype=np.float64)
-        prefix_sq = np.empty(new_capacity + 1, dtype=np.float64)
-        values[: self._n] = self._values[: self._n]
-        prefix[: self._n + 1] = self._prefix[: self._n + 1]
-        prefix_sq[: self._n + 1] = self._prefix_sq[: self._n + 1]
+        live = self._n - self._start
+        self._values[:live] = self._values[dead : dead + live]
+        self._prefix[: live + 1] = self._prefix[dead : dead + live + 1]
+        self._prefix_sq[: live + 1] = self._prefix_sq[dead : dead + live + 1]
+        self._base = self._start
+
+    def _ensure_room(self, incoming: int) -> None:
+        """Make room for ``incoming`` more points: compact first, grow last."""
+        if (self._n + incoming) - self._base <= len(self._values):
+            return
+        self._compact()
+        required = (self._n + incoming) - self._base
+        allocation = len(self._values)
+        if required <= allocation:
+            return
+        new_allocation = max(required, 2 * allocation)
+        used = self._n - self._base
+        values = np.empty(new_allocation, dtype=np.float64)
+        prefix = np.empty(new_allocation + 1, dtype=np.float64)
+        prefix_sq = np.empty(new_allocation + 1, dtype=np.float64)
+        values[:used] = self._values[:used]
+        prefix[: used + 1] = self._prefix[: used + 1]
+        prefix_sq[: used + 1] = self._prefix_sq[: used + 1]
         self._values = values
         self._prefix = prefix
         self._prefix_sq = prefix_sq
+
+    # ------------------------------------------------------------------
+    # Ingest.
+    # ------------------------------------------------------------------
 
     def append(self, value: float) -> None:
         """Consume one observation; amortized O(1)."""
         value = float(value)
         if not np.isfinite(value):
             raise ValueError("stream values must be finite")
-        self._grow_to(self._n + 1)
-        n = self._n
-        self._values[n] = value
-        self._prefix[n + 1] = self._prefix[n] + value
-        self._prefix_sq[n + 1] = self._prefix_sq[n] + value**2
-        self._n = n + 1
+        self._ensure_room(1)
+        local = self._n - self._base
+        self._values[local] = value
+        self._prefix[local + 1] = self._prefix[local] + value
+        self._prefix_sq[local + 1] = self._prefix_sq[local] + value**2
+        self._n += 1
 
     def extend(self, values) -> int:
         """Consume a batch of observations in one vectorized pass.
@@ -165,19 +286,61 @@ class SharedStreamState:
         if not np.all(np.isfinite(chunk)):
             raise ValueError("stream values must be finite")
         m = len(chunk)
-        self._grow_to(self._n + m)
-        n = self._n
-        self._values[n : n + m] = chunk
+        self._ensure_room(m)
+        local = self._n - self._base
+        self._values[local : local + m] = chunk
         # Resume the running totals: cumsum([total, c0, c1, ...]) accumulates
         # left-associated exactly like np.cumsum over the full series would.
-        self._prefix[n + 1 : n + m + 1] = np.cumsum(
-            np.concatenate(([self._prefix[n]], chunk))
+        self._prefix[local + 1 : local + m + 1] = np.cumsum(
+            np.concatenate(([self._prefix[local]], chunk))
         )[1:]
-        self._prefix_sq[n + 1 : n + m + 1] = np.cumsum(
-            np.concatenate(([self._prefix_sq[n]], chunk**2))
+        self._prefix_sq[local + 1 : local + m + 1] = np.cumsum(
+            np.concatenate(([self._prefix_sq[local]], chunk**2))
         )[1:]
-        self._n = n + m
+        self._n += m
         return m
+
+    # ------------------------------------------------------------------
+    # Eviction.
+    # ------------------------------------------------------------------
+
+    def evict_to(self, global_index: int) -> int:
+        """Retire every point before ``global_index``; returns the new start.
+
+        Monotone and O(1) (physical compaction is deferred to the next time
+        the buffer needs room). Callers must not retire points still needed
+        by an unconsumed window — the streaming detectors guarantee this by
+        draining before trimming and requiring ``capacity >= window``.
+        """
+        global_index = int(global_index)
+        if global_index > self._n:
+            raise ValueError(
+                f"cannot evict to {global_index}: only {self._n} points seen"
+            )
+        if global_index > self._start:
+            self._start = global_index
+        return self._start
+
+    def trim(self) -> int:
+        """Apply the configured eviction policy; returns the new start.
+
+        A no-op for unbounded states. ``"sliding"`` retires to the exact
+        horizon ``len(self) - capacity``; ``"decay"`` rounds the horizon
+        down to a multiple of :attr:`generation_size`, so eviction advances
+        in generation steps and retention stays within
+        ``capacity + generation_size - 1`` points.
+        """
+        if self.capacity is None:
+            return self._start
+        target = self.horizon_start
+        if self.policy == "decay":
+            step = self.generation_size
+            target = (target // step) * step
+        return self.evict_to(max(target, self._start))
+
+    # ------------------------------------------------------------------
+    # Discretization.
+    # ------------------------------------------------------------------
 
     def paa_rows(
         self,
@@ -185,30 +348,49 @@ class SharedStreamState:
         window: int,
         paa_size: int,
         znorm_threshold: float = DEFAULT_ZNORM_THRESHOLD,
+        *,
+        stop: int | None = None,
     ) -> np.ndarray:
         """Z-normalized PAA rows of every completed window from ``first_start``.
 
-        Returns a ``(n_windows(window) - first_start, paa_size)`` matrix
-        computed in one numpy pass over the shared prefix sums; row ``i`` is
-        bitwise equal to the batch discretizer's row ``first_start + i``.
+        Returns a ``(stop - first_start, paa_size)`` matrix (``stop``
+        defaults to ``n_windows(window)`` and is clipped to it) computed in
+        one numpy pass over the shared prefix sums; row ``i`` is bitwise
+        equal to the batch discretizer's row ``first_start + i``.
+        ``first_start`` is a global window start and must lie at or after
+        the eviction horizon (:attr:`start`); because the retained prefix
+        sums are the absolute stream totals, rows for live windows are
+        bitwise identical to the unbounded state's rows. The ``stop`` bound
+        lets the streaming detectors drain huge chunks in fixed-size blocks
+        so transient memory stays bounded too.
         """
-        window = validate_window(window, self._n)
+        window = validate_window(window, self.live_length)
         paa_size = validate_paa_size(paa_size, window)
-        stop = self.n_windows(window)
+        completed = self.n_windows(window)
+        stop = completed if stop is None else min(int(stop), completed)
         first_start = int(first_start)
-        if not 0 <= first_start <= stop:
+        if first_start < self._start:
             raise ValueError(
-                f"first_start={first_start} outside the completed-window range [0, {stop}]"
+                f"first_start={first_start} precedes the eviction horizon "
+                f"{self._start}; those windows have been retired"
             )
+        if not first_start <= stop:
+            raise ValueError(
+                f"first_start={first_start} outside the completed-window range "
+                f"[{self._start}, {stop}]"
+            )
+        base = self._base
+        used = self._n - base
         return sliding_paa_rows(
-            self.prefix_sum,
-            self.prefix_sq,
-            self.values,
+            self._prefix[: used + 1],
+            self._prefix_sq[: used + 1],
+            self._values[:used],
             first_start,
             stop,
             window,
             paa_size,
             znorm_threshold,
+            origin=base,
         )
 
 

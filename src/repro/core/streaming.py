@@ -7,9 +7,9 @@ extends to streams. The streaming path is built on the execution engine
 :class:`~repro.core.engine.SharedStreamState` — a numpy-backed buffer with
 running prefix sums — and ``extend()`` computes all newly completed windows'
 z-normalized PAA rows and SAX symbols in one vectorized pass per distinct
-PAA size, feeding only the numerosity-kept words to each live Sequitur
-builder. Snapshotting the grammar at any moment yields the rule density
-curve over everything seen so far.
+PAA size, feeding only the numerosity-kept words to each live member.
+Snapshotting at any moment yields the rule density curve over the live
+range of the stream.
 
 :class:`StreamingGrammarDetector` is one such live member;
 :class:`StreamingEnsembleDetector` maintains a fixed parameter bag of
@@ -17,23 +17,53 @@ members over the *same shared stream state* (memory O(stream + N·w) rather
 than N copies of the stream) and combines their snapshot curves exactly as
 Algorithm 1 does (std filter -> max-normalize -> median).
 
-This is "future work" relative to the paper — nothing here changes the
-batch semantics: feeding a whole series point-by-point or in arbitrary
-chunks produces exactly the same density curve as the batch detector
-(covered by the streaming-parity tests, which are the contract).
+Bounded-memory streaming
+------------------------
+By default the stream state (and every member's token list and grammar)
+grows with the stream — the batch-parity mode, where feeding a whole series
+point-by-point or in arbitrary chunks produces exactly the same density
+curve as the batch detector (covered by the streaming-parity tests, which
+are the contract).
+
+``capacity=`` turns on eviction for infinite streams: the state becomes a
+compacting ring buffer retiring points past the horizon, members prune
+tokens whose windows slid out, and grammars forget accordingly. Memory is
+O(capacity + N·w) regardless of stream length. Two policies:
+
+- ``policy="sliding"`` (exact): the horizon is exactly the last
+  ``capacity`` points. Window discretization and the kept-token stream stay
+  bitwise identical to the unbounded path inside the horizon (the state
+  keeps the absolute prefix sums), and each snapshot *re-induces* the
+  grammar over exactly the live tokens — equivalently, every token whose
+  window slid out has been un-ingested. Density is renormalized over the
+  live horizon only.
+- ``policy="decay"`` (approximate, amortized): tokens are segmented into
+  generations (:class:`~repro.grammar.sequitur.GenerationalSequitur`), each
+  with its own live incremental Sequitur builder; the horizon advances in
+  generation steps and expired generations are dropped wholesale, rules
+  retired by refcount. Snapshots reuse the frozen grammars of sealed
+  generations (only the newest generation is re-frozen), at the cost of two
+  relaxed guarantees: retention overshoots the horizon by up to one
+  generation, and rules never span a generation boundary.
+
+Bounded detectors report anomalies in *absolute* stream positions; their
+``density_curve()`` covers ``[horizon_start, len(stream))``.
 """
 
 from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import replace
 
 import numpy as np
 
 from repro.core.anomaly import Anomaly, extract_candidates
 from repro.core.combiners import COMBINERS, combine_curves
-from repro.core.engine import SharedStreamState
+from repro.core.engine import EVICTION_POLICIES, SharedStreamState
 from repro.core.executors import ExecutorOwnerMixin, MemberExecutor
 from repro.core.selection import normalize_curve, select_by_std
 from repro.grammar.density import rule_density_curve
-from repro.grammar.sequitur import _SequiturBuilder
+from repro.grammar.sequitur import GenerationalSequitur, _SequiturBuilder, induce_grammar
 from repro.sax.alphabet import index_matrix_to_words
 from repro.sax.breakpoints import MultiResolutionAlphabet, gaussian_breakpoints
 from repro.sax.numerosity import STRATEGIES, TokenSequence
@@ -44,6 +74,30 @@ from repro.utils.validation import (
     validate_paa_size,
     validate_window,
 )
+
+#: Window starts discretized per drain block — bounds the transient PAA/
+#: symbol matrices even when one huge chunk arrives, so bounded-memory
+#: streams stay bounded during ingest as well as between chunks.
+_DRAIN_BLOCK = 65_536
+
+#: Dead tokens tolerated at the front of a member's kept lists before the
+#: lists are physically compacted (amortized O(1) per token).
+_PRUNE_SLACK = 1024
+
+
+def _make_state(
+    capacity: int | None,
+    policy: str,
+    segments: int,
+    window: int,
+) -> SharedStreamState:
+    """Build (and validate) the stream state for a detector's parameters."""
+    if capacity is not None and int(capacity) < int(window):
+        raise ValueError(
+            f"capacity={capacity} is smaller than one window ({window}); "
+            "at least one complete window must stay inside the horizon"
+        )
+    return SharedStreamState(capacity, policy=policy, segments=segments)
 
 
 class StreamingGrammarDetector:
@@ -58,6 +112,13 @@ class StreamingGrammarDetector:
     numerosity:
         Reduction strategy (``"exact"`` or ``"none"``), as in the batch
         pipeline.
+    capacity, policy, segments:
+        Bounded-memory streaming (see the module docstring): ``capacity``
+        bounds retention to (at least) the last ``capacity`` points and must
+        be at least ``window``; ``policy`` picks exact ``"sliding"`` or
+        generation-``"decay"`` grammar forgetting. Only valid when the
+        member owns its state (otherwise the shared state's configuration
+        governs).
     state:
         Optional :class:`~repro.core.engine.SharedStreamState` to attach to.
         When given, this member holds *no* copy of the stream — it only
@@ -84,6 +145,9 @@ class StreamingGrammarDetector:
         *,
         znorm_threshold: float = DEFAULT_ZNORM_THRESHOLD,
         numerosity: str = "exact",
+        capacity: int | None = None,
+        policy: str | None = None,
+        segments: int | None = None,
         state: SharedStreamState | None = None,
     ) -> None:
         if window < 2:
@@ -98,7 +162,24 @@ class StreamingGrammarDetector:
         self.znorm_threshold = float(znorm_threshold)
         self.numerosity = numerosity
         self._owns_state = state is None
-        self.state = SharedStreamState() if state is None else state
+        if state is None:
+            state = _make_state(
+                capacity,
+                "sliding" if policy is None else policy,
+                4 if segments is None else segments,
+                self.window,
+            )
+        elif capacity is not None or policy is not None or segments is not None:
+            raise ValueError(
+                "capacity/policy/segments belong to the stream state; a member "
+                "attached to a shared state inherits its eviction configuration"
+            )
+        elif state.capacity is not None and state.capacity < self.window:
+            raise ValueError(
+                f"shared state capacity={state.capacity} is smaller than one "
+                f"window ({self.window})"
+            )
+        self.state = state
         self._breakpoints = gaussian_breakpoints(self.alphabet_size)
         #: Window starts already discretized and fed to the grammar.
         self._consumed = 0
@@ -107,20 +188,50 @@ class StreamingGrammarDetector:
         self._last_symbols: np.ndarray | None = None
         self._kept_words: list[str] = []
         self._kept_offsets: list[int] = []
-        self._builder = _SequiturBuilder()
+        #: Index into the kept lists of the first *live* token.
+        self._live_from = 0
+        #: Monotone counters identifying the live token set (cache keys that
+        #: survive list compaction).
+        self._total_kept = 0
+        self._total_pruned = 0
+        #: Grammar backend, by mode: a live Sequitur builder (unbounded), a
+        #: snapshot-induction cache (sliding), or generation-segmented
+        #: builders dropped wholesale as the horizon passes them (decay).
+        self._builder: _SequiturBuilder | None = None
+        self._generations: GenerationalSequitur | None = None
+        self._snapshot_cache: tuple[tuple[int, int], "object"] | None = None
+        if self.state.capacity is None:
+            self._builder = _SequiturBuilder()
+        elif self.state.policy == "decay":
+            self._generations = GenerationalSequitur(self.state.generation_size)
 
     def __len__(self) -> int:
         return len(self.state)
 
     @property
+    def bounded(self) -> bool:
+        """Whether this member runs with a retention horizon."""
+        return self.state.capacity is not None
+
+    @property
+    def horizon_start(self) -> int:
+        """Global index of the first live stream point (0 when unbounded)."""
+        return self.state.start
+
+    @property
     def n_windows(self) -> int:
-        """Completed sliding windows so far."""
+        """Completed sliding windows so far (global count)."""
         return self.state.n_windows(self.window)
 
     @property
     def n_tokens(self) -> int:
-        """Tokens fed to the live grammar so far (after reduction)."""
-        return len(self._kept_words)
+        """Live tokens (after reduction and any horizon pruning)."""
+        return len(self._kept_words) - self._live_from
+
+    @property
+    def retired_tokens(self) -> int:
+        """Tokens whose windows slid out of the horizon (0 when unbounded)."""
+        return self._total_pruned
 
     def _require_owned_state(self) -> None:
         if not self._owns_state:
@@ -134,22 +245,59 @@ class StreamingGrammarDetector:
         self._require_owned_state()
         self.state.append(value)
         self._drain()
+        self._evict()
 
     def extend(self, values) -> None:
         """Consume a batch of observations in one vectorized pass."""
         self._require_owned_state()
         self.state.extend(values)
         self._drain()
+        self._evict()
 
     def _drain(self) -> None:
-        """Discretize every completed-but-unseen window and feed the grammar."""
-        if self._consumed >= self.state.n_windows(self.window):
+        """Discretize every completed-but-unseen window and feed the grammar.
+
+        Runs in fixed-size blocks so the transient PAA/symbol matrices stay
+        bounded no matter how large one chunk is; block boundaries are
+        invisible to the result (numerosity reduction carries
+        ``_last_symbols`` across them).
+        """
+        n_windows = self.state.n_windows(self.window)
+        while self._consumed < n_windows:
+            stop = min(self._consumed + _DRAIN_BLOCK, n_windows)
+            rows = self.state.paa_rows(
+                self._consumed, self.window, self.paa_size, self.znorm_threshold, stop=stop
+            )
+            symbols = np.searchsorted(self._breakpoints, rows, side="right")
+            self._ingest_symbols(symbols, self._consumed)
+
+    def _evict(self) -> None:
+        """Advance the retention horizon and forget what slid out."""
+        if self.state.capacity is None:
             return
-        rows = self.state.paa_rows(
-            self._consumed, self.window, self.paa_size, self.znorm_threshold
-        )
-        symbols = np.searchsorted(self._breakpoints, rows, side="right")
-        self._ingest_symbols(symbols, self._consumed)
+        start = self.state.trim()
+        self._forget_before(start)
+
+    def _forget_before(self, start: int) -> None:
+        """Prune tokens whose window start precedes ``start`` (amortized O(1)).
+
+        The kept-offset list is sorted, so the new live boundary is one
+        bisect away; the dead prefix is physically deleted only once it
+        outweighs the live part. Under the decay policy, grammar
+        generations that ended before ``start`` are dropped wholesale.
+        """
+        if start <= 0:
+            return
+        live_from = bisect_left(self._kept_offsets, start, lo=self._live_from)
+        if live_from != self._live_from:
+            self._total_pruned += live_from - self._live_from
+            self._live_from = live_from
+        if self._live_from > _PRUNE_SLACK and self._live_from * 2 > len(self._kept_words):
+            del self._kept_words[: self._live_from]
+            del self._kept_offsets[: self._live_from]
+            self._live_from = 0
+        if self._generations is not None:
+            self._generations.drop_before(start)
 
     def _ingest_symbols(self, symbols: np.ndarray, first_start: int) -> None:
         """Numerosity-reduce a block of per-window symbol rows and feed them.
@@ -174,36 +322,142 @@ class StreamingGrammarDetector:
         else:
             kept_idx = np.arange(count)
         words = index_matrix_to_words(symbols[kept_idx])
+        offsets = [int(i) + first_start for i in kept_idx]
         self._kept_words.extend(words)
-        self._kept_offsets.extend(int(i) + first_start for i in kept_idx)
-        feed = self._builder.feed
-        for word in words:
-            feed(word)
+        self._kept_offsets.extend(offsets)
+        self._total_kept += len(words)
+        if self._builder is not None:
+            feed = self._builder.feed
+            for word in words:
+                feed(word)
+        elif self._generations is not None:
+            feed_generation = self._generations.feed
+            for word, offset in zip(words, offsets):
+                feed_generation(word, offset)
         self._consumed = first_start + count
 
+    # ------------------------------------------------------------------
+    # Snapshots.
+    # ------------------------------------------------------------------
+
+    def _live_tokens(self) -> tuple[tuple[str, ...], np.ndarray]:
+        words = tuple(self._kept_words[self._live_from :])
+        offsets = np.asarray(self._kept_offsets[self._live_from :], dtype=np.int64)
+        return words, offsets
+
     def tokens(self) -> TokenSequence:
-        """Snapshot of the numerosity-reduced token sequence so far."""
-        if not self._kept_words:
+        """Snapshot of the live numerosity-reduced token sequence.
+
+        Unbounded members return every token seen; bounded members return
+        the tokens whose windows start inside the horizon — exactly the
+        unbounded token stream restricted to ``offset >= horizon_start``.
+        """
+        if self.n_windows == 0:
             raise ValueError(
                 f"no complete window yet ({len(self.state)} of {self.window} points)"
             )
-        return TokenSequence(
-            tuple(self._kept_words),
-            np.asarray(self._kept_offsets, dtype=np.int64),
-            self.n_windows,
-            self.window,
-        )
+        words, offsets = self._live_tokens()
+        if not words:
+            raise ValueError(
+                "no live tokens: every kept word's window starts before the "
+                f"eviction horizon {self.state.start}"
+            )
+        return TokenSequence(words, offsets, self.n_windows, self.window)
+
+    def _sliding_grammar(self, words: tuple[str, ...]):
+        """Grammar over exactly the live tokens (cached per live set)."""
+        key = (self._total_kept, self._total_pruned)
+        if self._snapshot_cache is not None and self._snapshot_cache[0] == key:
+            return self._snapshot_cache[1]
+        grammar = induce_grammar(words)
+        self._snapshot_cache = (key, grammar)
+        return grammar
 
     def density_curve(self) -> np.ndarray:
-        """Rule density curve over everything seen so far (snapshot)."""
-        tokens = self.tokens()
-        grammar = self._builder.freeze()
-        return rule_density_curve(grammar, tokens, len(self.state))
+        """Rule density curve over the live stream range (snapshot).
+
+        Unbounded: the full-stream curve, bitwise equal to the batch
+        pipeline's. Bounded: the curve over ``[horizon_start, len(self))``
+        — index ``i`` covers absolute point ``horizon_start + i`` — built
+        from the live tokens only and renormalized over the live horizon.
+        """
+        if self.n_windows == 0:
+            raise ValueError(
+                f"no complete window yet ({len(self.state)} of {self.window} points)"
+            )
+        if self._builder is not None:
+            return rule_density_curve(self._builder.freeze(), self.tokens(), len(self.state))
+        start = self.state.start
+        length = self.state.live_length
+        words, offsets = self._live_tokens()
+        if not words:
+            # Every kept token expired (e.g. one constant run spanning the
+            # whole horizon): no rules, zero density everywhere.
+            return np.zeros(length, dtype=np.float64)
+        tokens = TokenSequence(words, offsets, self.n_windows, self.window)
+        if self._generations is not None:
+            return _generation_density(
+                self._generations.live_grammars(),
+                words,
+                offsets,
+                self._generations.generation_size,
+                tokens,
+                start,
+                length,
+            )
+        grammar = self._sliding_grammar(words)
+        return rule_density_curve(grammar, tokens, length, horizon_start=start)
 
     def detect(self, k: int = 3) -> list[Anomaly]:
-        """Top-``k`` anomalies over the stream so far."""
+        """Top-``k`` anomalies over the live stream range.
+
+        Positions are absolute stream indices (a bounded member's curve
+        starts at :attr:`horizon_start`, and candidates are shifted back).
+        """
         curve = self.density_curve()
-        return extract_candidates(curve, self.window, k, minimize=True)
+        candidates = extract_candidates(curve, self.window, k, minimize=True)
+        start = self.state.start
+        if start:
+            candidates = [replace(a, position=a.position + start) for a in candidates]
+        return candidates
+
+
+def _generation_density(
+    generations,
+    words: tuple[str, ...],
+    offsets: np.ndarray,
+    generation_size: int,
+    tokens: TokenSequence,
+    start: int,
+    length: int,
+) -> np.ndarray:
+    """Sum of per-generation density curves over the live horizon.
+
+    Each live generation's frozen grammar covers exactly the live tokens
+    whose offsets fall in its ``generation_size`` point range (the horizon
+    only advances in whole generations, so no generation is partially
+    expired). Rules never span generations — the decay policy's relaxed
+    guarantee — so the curves simply add.
+    """
+    curve = np.zeros(length, dtype=np.float64)
+    for index, grammar, count in generations:
+        first = int(np.searchsorted(offsets, index * generation_size, side="left"))
+        stop = int(np.searchsorted(offsets, (index + 1) * generation_size, side="left"))
+        if stop - first != count:
+            raise RuntimeError(
+                f"generation {index} holds {count} tokens but {stop - first} "
+                "live tokens fall in its range; horizon and generations are "
+                "out of step"
+            )
+        if first == stop:
+            continue
+        generation_tokens = TokenSequence(
+            words[first:stop], offsets[first:stop], tokens.n_windows, tokens.window
+        )
+        curve += rule_density_curve(
+            grammar, generation_tokens, length, horizon_start=start
+        )
+    return curve
 
 
 def _member_snapshot_curve(member: "StreamingGrammarDetector") -> np.ndarray:
@@ -211,10 +465,38 @@ def _member_snapshot_curve(member: "StreamingGrammarDetector") -> np.ndarray:
     return member.density_curve()
 
 
-def _frozen_density_task(payload) -> np.ndarray:
-    """Process task: density curve of a grammar snapshot frozen in the parent."""
-    grammar, tokens, series_length = payload
-    return rule_density_curve(grammar, tokens, series_length)
+def _snapshot_density_task(payload) -> np.ndarray:
+    """Process task: density curve of a picklable member snapshot.
+
+    The live Sequitur state never leaves the parent process; what crosses
+    the boundary depends on the member's mode — a frozen grammar plus
+    tokens (unbounded), the live tokens to re-induce from (sliding), or the
+    per-generation frozen grammars (decay).
+    """
+    kind, data = payload
+    if kind == "frozen":
+        grammar, tokens, length = data
+        return rule_density_curve(grammar, tokens, length)
+    if kind == "sliding":
+        tokens, start, length = data
+        if tokens is None:
+            return np.zeros(length, dtype=np.float64)
+        grammar = induce_grammar(tokens.words)
+        return rule_density_curve(grammar, tokens, length, horizon_start=start)
+    if kind == "decay":
+        generations, tokens, generation_size, start, length = data
+        if tokens is None:
+            return np.zeros(length, dtype=np.float64)
+        return _generation_density(
+            generations,
+            tokens.words,
+            tokens.offsets,
+            generation_size,
+            tokens,
+            start,
+            length,
+        )
+    raise ValueError(f"unknown snapshot payload kind {kind!r}")
 
 
 class StreamingEnsembleDetector(ExecutorOwnerMixin):
@@ -224,7 +506,9 @@ class StreamingEnsembleDetector(ExecutorOwnerMixin):
     (including ``znorm_threshold`` and ``numerosity``, so a streaming
     ensemble configured like a batch one produces the *same* curve); the
     ``(w, a)`` bag is sampled once at construction (a stream has one life,
-    so the sample is fixed up front).
+    so the sample is fixed up front). ``capacity``/``policy``/``segments``
+    turn on bounded-memory streaming for infinite inputs (see the module
+    docstring); ``capacity`` must be at least ``window``.
 
     All members reference a single :class:`~repro.core.engine.SharedStreamState`
     — the stream is stored once, not per member — and ``extend()`` ingests
@@ -234,8 +518,8 @@ class StreamingEnsembleDetector(ExecutorOwnerMixin):
     ``executor`` parallelizes the *snapshot* side (``density_curve`` /
     ``detect``), where every member's grammar is turned into a rule density
     curve: thread workers call the live members directly, process workers
-    receive each member's frozen grammar snapshot (the live Sequitur state
-    never leaves this process). Ingest stays serial — it is already one
+    receive a picklable snapshot per member (the live Sequitur state never
+    leaves this process). Ingest stays serial — it is already one
     vectorized pass. Results are identical across backends.
     """
 
@@ -250,6 +534,9 @@ class StreamingEnsembleDetector(ExecutorOwnerMixin):
         combiner: str = "median",
         numerosity: str = "exact",
         znorm_threshold: float = DEFAULT_ZNORM_THRESHOLD,
+        capacity: int | None = None,
+        policy: str = "sliding",
+        segments: int = 4,
         seed: RandomState = None,
         executor: MemberExecutor | str | None = None,
     ) -> None:
@@ -280,7 +567,7 @@ class StreamingEnsembleDetector(ExecutorOwnerMixin):
         chosen = rng.choice(len(pool), size=count, replace=False)
         self.parameters = [pool[int(i)] for i in chosen]
         #: The single stream buffer every member references.
-        self.state = SharedStreamState()
+        self.state = _make_state(capacity, policy, segments, window)
         self._alphabet_table = MultiResolutionAlphabet(max_alphabet_size)
         self.members = [
             StreamingGrammarDetector(
@@ -302,6 +589,16 @@ class StreamingEnsembleDetector(ExecutorOwnerMixin):
     def __len__(self) -> int:
         return len(self.state)
 
+    @property
+    def bounded(self) -> bool:
+        """Whether the ensemble runs with a retention horizon."""
+        return self.state.capacity is not None
+
+    @property
+    def horizon_start(self) -> int:
+        """Global index of the first live stream point (0 when unbounded)."""
+        return self.state.start
+
     def append(self, value: float) -> None:
         """Feed one observation to the shared state (and every member)."""
         self.state.append(value)
@@ -313,23 +610,36 @@ class StreamingEnsembleDetector(ExecutorOwnerMixin):
         self._drain()
 
     def _drain(self) -> None:
-        """Vectorized ingest: one PAA + interval pass per distinct PAA size."""
+        """Vectorized ingest: one PAA + interval pass per distinct PAA size.
+
+        Large chunks are drained in fixed-size blocks (bounded transient
+        memory); once every member has consumed every completed window, the
+        retention horizon advances and members forget what slid out.
+        """
         n_windows = self.state.n_windows(self.window)
         for paa_size, members in self._by_paa_size.items():
             first = members[0]._consumed
-            if first >= n_windows:
-                continue
-            rows = self.state.paa_rows(first, self.window, paa_size, self.znorm_threshold)
-            intervals = self._alphabet_table.interval_indices(rows)
-            for member in members:
-                symbols = self._alphabet_table.symbols_for(intervals, member.alphabet_size)
-                member._ingest_symbols(symbols, first)
+            while first < n_windows:
+                stop = min(first + _DRAIN_BLOCK, n_windows)
+                rows = self.state.paa_rows(
+                    first, self.window, paa_size, self.znorm_threshold, stop=stop
+                )
+                intervals = self._alphabet_table.interval_indices(rows)
+                for member in members:
+                    symbols = self._alphabet_table.symbols_for(intervals, member.alphabet_size)
+                    member._ingest_symbols(symbols, first)
+                first = stop
+        if self.state.capacity is not None:
+            start = self.state.trim()
+            if start:
+                for member in self.members:
+                    member._forget_before(start)
 
     def _snapshot_curves(self) -> list[np.ndarray]:
         """Every member's snapshot curve, via the configured executor.
 
-        Curves are deterministic functions of each member's grammar and the
-        shared stream, so all backends return bitwise-identical results.
+        Curves are deterministic functions of each member's live tokens and
+        the shared stream, so all backends return bitwise-identical results.
         """
         executor = self.executor
         if executor is None or executor.kind == "serial":
@@ -338,23 +648,66 @@ class StreamingEnsembleDetector(ExecutorOwnerMixin):
             # Members are independent snapshot readers of the shared state;
             # threads can call them directly, zero serialization.
             return executor.map(_member_snapshot_curve, self.members)
-        # Process backend: the live Sequitur builders stay here — freeze a
-        # picklable (grammar, tokens, length) snapshot per member and ship
-        # only that.
+        # Process backend: ship a picklable snapshot per member; the live
+        # Sequitur builders stay here.
         length = len(self.state)
-        payloads = [
-            (member._builder.freeze(), member.tokens(), length) for member in self.members
-        ]
-        return executor.map(_frozen_density_task, payloads)
+        start = self.state.start
+        live_length = self.state.live_length
+        payloads = []
+        for member in self.members:
+            if member._builder is not None:
+                payloads.append(
+                    ("frozen", (member._builder.freeze(), member.tokens(), length))
+                )
+                continue
+            words, offsets = member._live_tokens()
+            tokens = (
+                TokenSequence(words, offsets, member.n_windows, member.window)
+                if words
+                else None
+            )
+            if member._generations is not None:
+                payloads.append(
+                    (
+                        "decay",
+                        (
+                            member._generations.live_grammars(),
+                            tokens,
+                            member._generations.generation_size,
+                            start,
+                            live_length,
+                        ),
+                    )
+                )
+            else:
+                payloads.append(("sliding", (tokens, start, live_length)))
+        return executor.map(_snapshot_density_task, payloads)
 
     def density_curve(self) -> np.ndarray:
-        """Ensemble rule density curve over the stream so far."""
+        """Ensemble rule density curve over the live stream range.
+
+        Bounded ensembles return the curve over ``[horizon_start,
+        len(self))``; index ``i`` covers absolute point
+        ``horizon_start + i``.
+        """
         curves = self._snapshot_curves()
         kept = select_by_std(curves, self.selectivity)
         survivors = [normalize_curve(curves[i]) for i in kept]
         return combine_curves(survivors, self.combiner)
 
     def detect(self, k: int = 3) -> list[Anomaly]:
-        """Top-``k`` anomalies over the stream so far."""
-        validate_window(self.window, len(self))
-        return extract_candidates(self.density_curve(), self.window, k, minimize=True)
+        """Top-``k`` anomalies over the live stream range (absolute positions)."""
+        validate_window(self.window, self.state.live_length)
+        curve = self.density_curve()
+        candidates = extract_candidates(curve, self.window, k, minimize=True)
+        start = self.state.start
+        if start:
+            candidates = [replace(a, position=a.position + start) for a in candidates]
+        return candidates
+
+
+__all__ = [
+    "EVICTION_POLICIES",
+    "StreamingEnsembleDetector",
+    "StreamingGrammarDetector",
+]

@@ -73,6 +73,8 @@ def rule_density_curve(
     grammar: Grammar,
     tokens: TokenSequence,
     series_length: int,
+    *,
+    horizon_start: int = 0,
 ) -> np.ndarray:
     """Rule density curve of a series from its grammar and token sequence.
 
@@ -88,7 +90,14 @@ def rule_density_curve(
     tokens:
         The numerosity-reduced token sequence, carrying window offsets.
     series_length:
-        Length ``N`` of the original series; the curve has this length.
+        Length ``N`` of the output curve. With ``horizon_start=0`` this is
+        the original series length.
+    horizon_start:
+        Origin of the curve in stream coordinates. The streaming eviction
+        layer renormalizes density over the live horizon only: curve index
+        ``i`` covers stream point ``horizon_start + i``, and token spans are
+        shifted (and clipped) accordingly. The default 0 is the batch
+        behaviour.
 
     Returns
     -------
@@ -101,8 +110,11 @@ def rule_density_curve(
             f"grammar expands to {expected} tokens but the token sequence "
             f"has {len(tokens)}; they must come from the same discretization"
         )
+    horizon_start = int(horizon_start)
     intervals = [
         tokens.token_span(occurrence.first_token, occurrence.last_token)
         for occurrence in grammar.rule_occurrences()
     ]
+    if horizon_start:
+        intervals = [(start - horizon_start, end - horizon_start) for start, end in intervals]
     return density_from_intervals(intervals, series_length)

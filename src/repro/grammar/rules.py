@@ -112,6 +112,20 @@ class Grammar:
         """
         return sum(len(rule.rhs) + 1 for rule in self.rules)
 
+    def rule_refcounts(self) -> list[int]:
+        """Number of references to each rule across all rule bodies.
+
+        ``refcounts[0]`` is always 0 (nothing references R0); by Sequitur's
+        rule-utility invariant every other rule has refcount >= 2. The
+        streaming eviction layer uses these counts to account for rules
+        retired when a grammar generation is dropped wholesale.
+        """
+        counts = [0] * len(self.rules)
+        for rule in self.rules:
+            for reference in rule.references():
+                counts[reference] += 1
+        return counts
+
     def __str__(self) -> str:
         return "\n".join(str(rule) for rule in self.rules)
 

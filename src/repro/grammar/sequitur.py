@@ -13,9 +13,11 @@ reference implementation: each rule body is a circular doubly-linked list
 anchored by a *guard* symbol, and a hash table maps digram keys to their
 single current occurrence. Amortized cost is O(1) per input token.
 
-The builder (:class:`_SequiturBuilder`) is internal; the public entry point
-is :func:`induce_grammar`, which returns a frozen
-:class:`repro.grammar.rules.Grammar`.
+The builder (:class:`_SequiturBuilder`) is internal; the public entry points
+are :func:`induce_grammar`, which returns a frozen
+:class:`repro.grammar.rules.Grammar`, and :class:`GenerationalSequitur`,
+the generation-segmented variant whose old generations can be retired
+wholesale (the streaming eviction layer's grammar forgetting).
 """
 
 from __future__ import annotations
@@ -316,6 +318,121 @@ class _SequiturBuilder:
             GrammarRule(index + 1, _rhs(rule)) for index, rule in enumerate(ordered_rules)
         )
         return Grammar(tuple(grammar_rules))
+
+
+class GenerationalSequitur:
+    """Generation-segmented Sequitur with wholesale rule retirement.
+
+    The streaming eviction layer's grammar-forgetting backend for the
+    ``"decay"`` policy: tokens are routed by their window offset into fixed
+    ``generation_size``-point generations, each owning an independent
+    Sequitur builder. A generation is *sealed* (frozen into an immutable
+    :class:`~repro.grammar.rules.Grammar`, its builder discarded) as soon as
+    the first token of the next generation arrives, and
+    :meth:`drop_before` retires whole sealed generations once the eviction
+    horizon passes them — their rules are reference-counted into the
+    retirement stats and forgotten wholesale, which is what keeps a live
+    grammar's memory proportional to the horizon instead of the stream.
+
+    The relaxation relative to a single grammar over the same tokens: rules
+    never span a generation boundary, so repeated structure crossing a
+    boundary is not compressed (and contributes less rule density there).
+    The sliding policy avoids this by re-inducing over the live tokens
+    instead; see :mod:`repro.core.streaming`.
+    """
+
+    def __init__(self, generation_size: int) -> None:
+        generation_size = int(generation_size)
+        if generation_size < 1:
+            raise ValueError(f"generation_size must be positive, got {generation_size}")
+        self.generation_size = generation_size
+        #: Sealed generations: ``{generation_index: (grammar, token_count)}``.
+        self._sealed: dict[int, tuple[Grammar, int]] = {}
+        self._current_index: int | None = None
+        self._current_builder: _SequiturBuilder | None = None
+        self._current_count = 0
+        #: Snapshot cache of the (still growing) current generation.
+        self._current_frozen: tuple[int, Grammar] | None = None
+        self.retired_generations = 0
+        self.retired_tokens = 0
+        #: Rules (excluding R0) dropped wholesale with their generation.
+        self.retired_rules = 0
+        #: Total rule references those retired rules had (each >= 2 by the
+        #: rule-utility invariant; see :meth:`Grammar.rule_refcounts`).
+        self.retired_rule_refs = 0
+
+    def generation_of(self, offset: int) -> int:
+        """Generation index owning the window offset ``offset``."""
+        return int(offset) // self.generation_size
+
+    def _seal_current(self) -> None:
+        if self._current_builder is None:
+            return
+        self._sealed[self._current_index] = (
+            self._current_builder.freeze(),
+            self._current_count,
+        )
+        self._current_builder = None
+        self._current_frozen = None
+        self._current_count = 0
+
+    def feed(self, word: str, offset: int) -> None:
+        """Route one token (with its window offset) to its generation.
+
+        Offsets must be fed in increasing order — they are window start
+        positions of a numerosity-reduced stream, which is naturally
+        monotone.
+        """
+        index = self.generation_of(offset)
+        if self._current_index is not None and index < self._current_index:
+            raise ValueError(
+                f"token offsets must be non-decreasing: generation {index} "
+                f"after generation {self._current_index}"
+            )
+        if index != self._current_index:
+            self._seal_current()
+            self._current_index = index
+        if self._current_builder is None:
+            self._current_builder = _SequiturBuilder()
+        self._current_builder.feed(word)
+        self._current_count += 1
+        self._current_frozen = None
+
+    def drop_before(self, offset: int) -> int:
+        """Retire every sealed generation ending at or before ``offset``.
+
+        Returns the number of generations dropped. Only *sealed* generations
+        are eligible (the current one is still growing and, with the decay
+        policy's aligned horizon, never expired).
+        """
+        boundary = int(offset)
+        dropped = 0
+        for index in sorted(self._sealed):
+            if (index + 1) * self.generation_size > boundary:
+                break
+            grammar, count = self._sealed.pop(index)
+            self.retired_generations += 1
+            self.retired_tokens += count
+            self.retired_rules += grammar.n_rules - 1
+            self.retired_rule_refs += sum(grammar.rule_refcounts())
+            dropped += 1
+        return dropped
+
+    def live_grammars(self) -> list[tuple[int, Grammar, int]]:
+        """``(generation_index, grammar, token_count)`` of every live generation.
+
+        Sealed generations return their cached frozen grammar; the current
+        generation is frozen on demand (cached until the next token).
+        Generations are returned oldest first.
+        """
+        live: list[tuple[int, Grammar, int]] = [
+            (index, grammar, count) for index, (grammar, count) in sorted(self._sealed.items())
+        ]
+        if self._current_builder is not None:
+            if self._current_frozen is None or self._current_frozen[0] != self._current_count:
+                self._current_frozen = (self._current_count, self._current_builder.freeze())
+            live.append((self._current_index, self._current_frozen[1], self._current_count))
+        return live
 
 
 def induce_grammar(tokens: Iterable[str] | Sequence[str]) -> Grammar:

@@ -37,19 +37,29 @@ def paa_naive(subsequence: np.ndarray, paa_size: int) -> np.ndarray:
     return upsampled.reshape(paa_size, n).mean(axis=1)
 
 
-def _fractional_prefix(prefix: np.ndarray, values: np.ndarray, positions: np.ndarray) -> np.ndarray:
+def _fractional_prefix(
+    prefix: np.ndarray,
+    values: np.ndarray,
+    positions: np.ndarray,
+    origin: int = 0,
+) -> np.ndarray:
     """Evaluate the piecewise-linear prefix sum ``F`` at fractional positions.
 
     ``F(k + f) = prefix[k] + f * values[k]`` for integer ``k`` and fractional
     part ``f`` in [0, 1); ``F`` interpolates the running sum so that
     ``F(b) - F(a)`` is the exact weighted sum of samples over ``[a, b)``.
+
+    ``origin`` supports evicted stream buffers: ``positions`` stay in global
+    stream coordinates (so the float arithmetic — and therefore every result
+    bit — is identical to the unevicted computation) while ``prefix`` and
+    ``values`` only cover the stream from global index ``origin`` on.
     """
     floor = np.floor(positions).astype(np.int64)
     frac = positions - floor
-    # Positions may land exactly on len(values); frac is 0 there, so clip the
-    # index used for the (zero-weighted) value lookup.
-    value_idx = np.minimum(floor, len(values) - 1)
-    return prefix[floor] + frac * values[value_idx]
+    # Positions may land exactly on the end of the values; frac is 0 there,
+    # so clip the index used for the (zero-weighted) value lookup.
+    value_idx = np.minimum(floor - origin, len(values) - 1)
+    return prefix[floor - origin] + frac * values[value_idx]
 
 
 def paa(subsequence: np.ndarray, paa_size: int) -> np.ndarray:
@@ -188,6 +198,8 @@ def sliding_paa_rows(
     window: int,
     paa_size: int,
     znorm_threshold: float = DEFAULT_ZNORM_THRESHOLD,
+    *,
+    origin: int = 0,
 ) -> np.ndarray:
     """Z-normalized PAA rows for window starts in ``[start, stop)``.
 
@@ -195,15 +207,25 @@ def sliding_paa_rows(
     (:class:`CumulativeStats`) and the streaming engine's shared stream state
     run the *same* floating-point operations — row ``i`` is bitwise equal to
     ``fast_paa(start + i, window, paa_size)``. Callers must guarantee
-    ``0 <= start <= stop`` and ``stop + window - 1 <= len(values)``.
+    ``origin <= start <= stop`` and ``stop + window - 1 <= origin +
+    len(values)``.
+
+    ``origin`` is the global stream index of ``values[0]``: an evicted
+    stream state passes its retained arrays with their offset, while
+    ``start``/``stop`` stay global. Window positions are then formed from
+    the *global* indices, which keeps the fractional-boundary float
+    arithmetic — and so every output bit — identical to the unevicted
+    computation (``start_local + relative`` and ``start_global + relative``
+    round differently for fractional segment widths).
     """
     starts = np.arange(start, stop)
     relative = np.arange(paa_size + 1) * (window / paa_size)
     positions = starts[:, None] + relative[None, :]
-    cumulative = _fractional_prefix(prefix_sum, values, positions)
+    cumulative = _fractional_prefix(prefix_sum, values, positions, origin)
     coefficients = np.diff(cumulative, axis=1) / (window / paa_size)
-    totals = prefix_sum[starts + window] - prefix_sum[starts]
-    totals_sq = prefix_sq[starts + window] - prefix_sq[starts]
+    local = starts - origin
+    totals = prefix_sum[local + window] - prefix_sum[local]
+    totals_sq = prefix_sq[local + window] - prefix_sq[local]
     means = totals / window
     if window == 1:
         stds = np.zeros_like(means)

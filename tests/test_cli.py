@@ -245,3 +245,147 @@ class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestStreamCommand:
+    def _feed_file(self, tmp_path, length=6000, anomaly_at=5200):
+        series = np.sin(np.linspace(0, 40 * np.pi * length / 2000, length))
+        series[anomaly_at : anomaly_at + 100] = np.sin(np.linspace(0, 8 * np.pi, 100))
+        path = tmp_path / "feed.csv"
+        save_series(path, series)
+        return path
+
+    def test_stream_bounded_reports_absolute_positions(self, tmp_path, capsys):
+        path = self._feed_file(tmp_path)
+        out = tmp_path / "stream.json"
+        code = main(
+            [
+                "stream", "--input", str(path), "--window", "100",
+                "--stream-capacity", "2000", "--eviction-policy", "sliding",
+                "--chunk-size", "512", "--ensemble-size", "6", "--seed", "1",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "live range [4000, 6000)" in captured
+        document = json.loads(out.read_text())
+        assert document["metadata"]["stream_capacity"] == 2000
+        assert document["metadata"]["eviction_policy"] == "sliding"
+        assert document["metadata"]["horizon_start"] == 4000
+        # Positions are absolute stream indices inside the live horizon.
+        for anomaly in document["anomalies"]:
+            assert 4000 <= anomaly["position"] < 6000
+        assert any(
+            5100 <= a["position"] <= 5300 for a in document["anomalies"]
+        )
+
+    def test_stream_decay_policy_runs(self, tmp_path, capsys):
+        path = self._feed_file(tmp_path)
+        code = main(
+            [
+                "stream", "--input", str(path), "--window", "100",
+                "--stream-capacity", "2000", "--eviction-policy", "decay",
+                "--ensemble-size", "5", "--seed", "0",
+            ]
+        )
+        assert code == 0
+        assert "decay eviction" in capsys.readouterr().out
+
+    def test_stream_unbounded_by_default(self, tmp_path, capsys):
+        path = self._feed_file(tmp_path, length=3000, anomaly_at=2000)
+        code = main(
+            [
+                "stream", "--input", str(path), "--window", "100",
+                "--ensemble-size", "5", "--seed", "0",
+            ]
+        )
+        assert code == 0
+        assert "live range [0, 3000)" in capsys.readouterr().out
+
+    def test_stream_capacity_below_window_is_clean_error(self, tmp_path, capsys):
+        path = self._feed_file(tmp_path, length=3000, anomaly_at=2000)
+        code = main(
+            [
+                "stream", "--input", str(path), "--window", "100",
+                "--stream-capacity", "50",
+            ]
+        )
+        assert code == 2
+        assert "smaller than one window" in capsys.readouterr().err
+
+    def test_stream_rejects_bad_chunk_size(self, tmp_path, capsys):
+        path = self._feed_file(tmp_path, length=3000, anomaly_at=2000)
+        code = main(
+            ["stream", "--input", str(path), "--window", "100", "--chunk-size", "0"]
+        )
+        assert code == 2
+        assert "chunk-size" in capsys.readouterr().err
+
+
+class TestExecutorLifecycle:
+    """CLI-created pools must die on every path — especially failing ones.
+
+    Regression tests for leaked ``/dev/shm`` segments when an input fails
+    mid-batch or mid-stream: the CLI wraps every executor/detector it builds
+    in an ``ExitStack``, so a worker exception (or a rejected chunk) still
+    releases the pool and every shared-memory segment it published.
+    """
+
+    def _series(self, length=1500, anomaly_at=700):
+        series = np.sin(np.linspace(0, 30 * np.pi, length))
+        series[anomaly_at : anomaly_at + 60] = np.sin(np.linspace(0, 6 * np.pi, 60))
+        return series
+
+    def test_failing_batch_leaves_no_shm(self, tmp_path, capsys, shm_segments):
+        good = tmp_path / "good.csv"
+        save_series(good, self._series())
+        bad = tmp_path / "bad.csv"
+        bad.write_text("1.0\nnan\n2.0\n" * 200)  # NaN fails inside the worker
+        before = shm_segments()
+        code = main(
+            [
+                "detect", "--input", str(good), str(bad), "--window", "60",
+                "--method", "ensemble", "--ensemble-size", "4", "--seed", "0",
+                "--executor", "process", "--n-jobs", "2",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "bad.csv" in err  # the failing file is named
+        assert shm_segments() == before  # no leaked segments on the error path
+
+    def test_failing_batch_without_executor_flag(self, tmp_path, capsys, shm_segments):
+        """Same regression via the default n_jobs pool (no --executor)."""
+        good = tmp_path / "good.csv"
+        save_series(good, self._series())
+        bad = tmp_path / "bad.csv"
+        save_series(bad, np.arange(10.0))  # far too short for the window
+        before = shm_segments()
+        code = main(
+            [
+                "detect", "--input", str(good), str(bad), "--window", "60",
+                "--method", "ensemble", "--ensemble-size", "4", "--seed", "0",
+                "--n-jobs", "2",
+            ]
+        )
+        assert code == 2
+        assert shm_segments() == before
+
+    def test_failing_stream_closes_executor(self, tmp_path, capsys, shm_segments):
+        """A chunk rejected mid-stream must tear down the snapshot pool."""
+        path = tmp_path / "feed.csv"
+        values = [f"{v:.6f}" for v in self._series(1200)]
+        values[900] = "nan"  # rejected by the stream state mid-feed
+        path.write_text("\n".join(values) + "\n")
+        before = shm_segments()
+        code = main(
+            [
+                "stream", "--input", str(path), "--window", "60",
+                "--ensemble-size", "4", "--seed", "0",
+                "--executor", "process", "--n-jobs", "2",
+            ]
+        )
+        assert code == 2
+        assert "finite" in capsys.readouterr().err
+        assert shm_segments() == before

@@ -28,7 +28,7 @@ def batch_series(rng) -> np.ndarray:
 class TestSharedStreamState:
     def test_append_matches_cumsum(self, rng):
         values = rng.standard_normal(300)
-        state = SharedStreamState(capacity=4)  # force several growth cycles
+        state = SharedStreamState(initial_capacity=4)  # force several growth cycles
         for value in values:
             state.append(float(value))
         assert len(state) == 300
@@ -40,7 +40,7 @@ class TestSharedStreamState:
         """The resumed running total must reproduce np.cumsum's exact
         left-associated float accumulation, no matter the chunking."""
         values = rng.standard_normal(1000) * 1e3
-        state = SharedStreamState(capacity=1)
+        state = SharedStreamState(initial_capacity=1)
         splits = [0, 1, 2, 10, 11, 500, 993, 1000]
         for start, stop in zip(splits[:-1], splits[1:]):
             state.extend(values[start:stop])
@@ -112,7 +112,7 @@ class TestCapacityBoundaries:
         assert np.array_equal(state.prefix_sq, np.concatenate(([0.0], np.cumsum(values**2))))
 
     def test_fill_to_exact_capacity_does_not_reallocate(self, rng):
-        state = SharedStreamState(capacity=4)
+        state = SharedStreamState(initial_capacity=4)
         buffer_before = state._values
         values = rng.standard_normal(4)
         state.extend(values)  # exactly full
@@ -121,7 +121,7 @@ class TestCapacityBoundaries:
         self._assert_prefix_integrity(state, values)
 
     def test_append_exactly_at_capacity_triggers_one_doubling(self, rng):
-        state = SharedStreamState(capacity=4)
+        state = SharedStreamState(initial_capacity=4)
         values = rng.standard_normal(5)
         for value in values[:4]:
             state.append(float(value))
@@ -131,7 +131,7 @@ class TestCapacityBoundaries:
         self._assert_prefix_integrity(state, values)
 
     def test_extend_spanning_one_growth(self, rng):
-        state = SharedStreamState(capacity=4)
+        state = SharedStreamState(initial_capacity=4)
         values = rng.standard_normal(7)
         state.extend(values[:3])
         assert len(state._values) == 4
@@ -140,7 +140,7 @@ class TestCapacityBoundaries:
         self._assert_prefix_integrity(state, values)
 
     def test_extend_spanning_two_growths(self, rng):
-        state = SharedStreamState(capacity=4)
+        state = SharedStreamState(initial_capacity=4)
         values = rng.standard_normal(14)
         state.extend(values[:5])  # 5 > 4: grow to max(5, 8) = 8
         assert len(state._values) == 8
@@ -149,7 +149,7 @@ class TestCapacityBoundaries:
         self._assert_prefix_integrity(state, values)
 
     def test_oversized_chunk_jumps_straight_to_required(self, rng):
-        state = SharedStreamState(capacity=4)
+        state = SharedStreamState(initial_capacity=4)
         values = rng.standard_normal(50)
         state.extend(values)  # 50 > 2 * 4: capacity jumps to required
         assert len(state._values) == 50
@@ -158,8 +158,8 @@ class TestCapacityBoundaries:
     def test_growth_preserves_prefix_sums_bitwise(self, rng):
         """The copied prefix arrays must stay bitwise equal to one cumsum."""
         values = rng.standard_normal(100) * 1e3
-        grown = SharedStreamState(capacity=1)  # many growth cycles
-        roomy = SharedStreamState(capacity=256)  # zero growth cycles
+        grown = SharedStreamState(initial_capacity=1)  # many growth cycles
+        roomy = SharedStreamState(initial_capacity=256)  # zero growth cycles
         for start in range(0, 100, 7):
             grown.extend(values[start : start + 7])
             roomy.extend(values[start : start + 7])

@@ -7,7 +7,6 @@ makes (the benches assert them at full scale with printed tables).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.ensemble import EnsembleGrammarDetector
