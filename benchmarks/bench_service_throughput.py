@@ -1,0 +1,183 @@
+"""Serving bench: micro-batched throughput vs batch-size-1 on the same pool.
+
+The serving subsystem's pitch is consolidation: many concurrent callers on
+one executor pool, coalesced into shared ``detect_batch`` calls. This bench
+measures exactly that claim at 32 concurrent clients:
+
+1. **batch-size-1 serving** — the same :class:`~repro.service.core.DetectService`
+   with ``max_batch_size=1`` and no coalescing window: every request is its
+   own engine call on the shared pool (the pre-serving behaviour, one
+   request at a time).
+2. **micro-batched serving** — ``max_batch_size=32`` with a small
+   coalescing window: concurrent requests ride one ``detect_batch`` call,
+   with per-request seeds (results stay bitwise identical — the parity
+   suite is the proof) and chunked worker tasks.
+3. **micro-batched + result cache** — the same requests repeated, answered
+   from the LRU by series digest.
+
+Small requests on purpose (48-point series, 9 single-member w-groups):
+this is the serving regime where per-request dispatch overhead rivals the
+detection itself, which is precisely what micro-batching amortizes — the
+same framing as ``bench_executor_reuse``'s short-series pool-reuse case.
+On multi-core machines the coalesced batch additionally packs the pool
+better than per-request member fan-out can.
+
+By default the measured speedup must be >= 2x (the PR's acceptance bar);
+REPRO_BENCH_STRICT=0 reports without asserting (what CI does — a shared
+runner's wall clock is too noisy to gate merges on). Scale knobs:
+REPRO_SVC_CLIENTS (default 32), REPRO_SVC_ROUNDS (best-of, default 3),
+REPRO_SVC_WORKERS (pool size, default 1).
+
+Results land in ``results/BENCH_service_throughput.json`` so CI can track
+the serving trajectory per PR alongside the other bench artifacts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+import numpy as np
+
+from benchlib import RESULTS_DIR
+from repro.evaluation.tables import format_table
+from repro.service import DetectService
+
+STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
+CLIENTS = int(os.environ.get("REPRO_SVC_CLIENTS", "32"))
+ROUNDS = int(os.environ.get("REPRO_SVC_ROUNDS", "3"))
+WORKERS = int(os.environ.get("REPRO_SVC_WORKERS", "1"))
+#: The acceptance bar: micro-batching must at least double throughput.
+REQUIRED_SPEEDUP = 2.0
+
+#: Small requests on purpose — see the module docstring. Nine distinct PAA
+#: sizes means batch-size-1 serving ships nine single-member group tasks
+#: through the pool per request; the micro-batched path ships chunked
+#: whole-series tasks instead.
+SERIES_POINTS = 48
+CONFIG = dict(window=10, ensemble_size=9, max_paa_size=10, max_alphabet_size=2)
+
+
+def _client_series(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0.0, 6.0 * np.pi, SERIES_POINTS)
+    return np.sin(t) + 0.05 * rng.standard_normal(SERIES_POINTS)
+
+
+async def _measure(
+    *, max_batch_size: int, batch_window: float, cache_entries: int, repeat_requests: bool
+) -> tuple[float, dict]:
+    """Best-of-ROUNDS throughput for one service configuration.
+
+    ``repeat_requests=False`` gives every round fresh series/seeds (nothing
+    cacheable); ``True`` re-sends one fixed request set every round, so
+    with a cache all rounds after the first are pure hits.
+    """
+    async with DetectService(
+        executor="process",
+        n_jobs=WORKERS,
+        batch_window=batch_window,
+        max_batch_size=max_batch_size,
+        max_pending=4 * CLIENTS,
+        cache_entries=cache_entries,
+        default_timeout=None,
+    ) as service:
+        await service.detect(_client_series(10**6), seed=0, **CONFIG)  # spawn the pool
+        best = 0.0
+        for round_index in range(ROUNDS):
+            salt = 0 if repeat_requests else 1000 * (round_index + 1)
+            series = [_client_series(salt + i) for i in range(CLIENTS)]
+            started = time.perf_counter()
+            await asyncio.gather(
+                *(
+                    service.detect(series[i], k=3, seed=salt + i, **CONFIG)
+                    for i in range(CLIENTS)
+                )
+            )
+            elapsed = time.perf_counter() - started
+            best = max(best, CLIENTS / elapsed)
+        return best, service.stats()["batcher"]
+
+
+def bench_service_micro_batching_throughput(report):
+    """Micro-batched vs batch-size-1 serving at CLIENTS concurrent callers."""
+    baseline_rps, baseline_stats = asyncio.run(
+        _measure(max_batch_size=1, batch_window=0.0, cache_entries=0, repeat_requests=False)
+    )
+    micro_rps, micro_stats = asyncio.run(
+        _measure(
+            max_batch_size=CLIENTS, batch_window=0.005, cache_entries=0, repeat_requests=False
+        )
+    )
+    cached_rps, _ = asyncio.run(
+        _measure(
+            max_batch_size=CLIENTS,
+            batch_window=0.005,
+            cache_entries=4 * CLIENTS,
+            repeat_requests=True,
+        )
+    )
+    speedup = micro_rps / baseline_rps
+    cache_speedup = cached_rps / baseline_rps
+
+    rows = [
+        [
+            "batch-size-1",
+            f"{baseline_rps:.0f}",
+            f"{baseline_stats['mean_batch_size']:.1f}",
+            "1.00x",
+        ],
+        [
+            "micro-batched",
+            f"{micro_rps:.0f}",
+            f"{micro_stats['mean_batch_size']:.1f}",
+            f"{speedup:.2f}x",
+        ],
+        ["micro + cache", f"{cached_rps:.0f}", "-", f"{cache_speedup:.2f}x"],
+    ]
+    text = format_table(
+        ["serving mode", "req/s", "mean batch", "speedup"],
+        rows,
+        title=(
+            f"Service throughput: {CLIENTS} concurrent clients, "
+            f"{SERIES_POINTS}-point requests, process pool x{WORKERS} "
+            f"(best of {ROUNDS})"
+        ),
+    )
+    report(text, "bench_service_throughput.txt")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "clients": CLIENTS,
+        "rounds": ROUNDS,
+        "workers": WORKERS,
+        "series_points": SERIES_POINTS,
+        "config": CONFIG,
+        "baseline_rps": baseline_rps,
+        "micro_batched_rps": micro_rps,
+        "cached_rps": cached_rps,
+        "speedup": speedup,
+        "cache_speedup": cache_speedup,
+        "baseline_mean_batch": baseline_stats["mean_batch_size"],
+        "micro_mean_batch": micro_stats["mean_batch_size"],
+        "required_speedup": REQUIRED_SPEEDUP,
+        "strict": STRICT,
+    }
+    (RESULTS_DIR / "BENCH_service_throughput.json").write_text(
+        json.dumps(payload, indent=1) + "\n"
+    )
+
+    # Coalescing must actually have happened for the comparison to mean
+    # anything — asserted unconditionally.
+    assert micro_stats["mean_batch_size"] > 2.0, micro_stats
+    assert baseline_stats["mean_batch_size"] == 1.0, baseline_stats
+    if STRICT:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"micro-batching speedup {speedup:.2f}x below the {REQUIRED_SPEEDUP}x bar "
+            f"(baseline {baseline_rps:.0f} req/s, micro {micro_rps:.0f} req/s)"
+        )
+        assert cache_speedup >= REQUIRED_SPEEDUP, (
+            f"cached serving speedup {cache_speedup:.2f}x below the bar"
+        )

@@ -1,0 +1,139 @@
+"""Drive the detect service: concurrent requests plus a streaming session.
+
+Starts ``python -m repro serve`` as a subprocess on an ephemeral port (pass
+``--url http://host:port`` to target an already-running server instead),
+then:
+
+1. fires 8 concurrent ``/detect`` requests from threads — arriving together,
+   they get coalesced into micro-batches (visible in ``/stats``);
+2. repeats one request to show the digest-keyed result cache;
+3. opens a streaming session, feeds it chunk by chunk, and polls between
+   chunks — the multi-tenant path;
+4. prints the batcher/cache counters and shuts the server down cleanly.
+
+Run: ``PYTHONPATH=src python examples/serve_client.py``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+WINDOW = 60
+CONFIG = {"window": WINDOW, "ensemble_size": 8, "max_paa_size": 6, "max_alphabet_size": 6}
+
+
+def make_series(seed: int, n: int = 800) -> list[float]:
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0.0, 16.0 * np.pi, n)
+    series = np.sin(t) + 0.05 * rng.standard_normal(n)
+    series[450:510] *= 0.15  # plant one damped cycle
+    return [float(v) for v in series]
+
+
+def call(url: str, method: str, path: str, body: dict | None = None) -> dict:
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        f"{url}{path}", data=data, method=method, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def start_server() -> tuple[subprocess.Popen, str]:
+    env = dict(os.environ)
+    src = str(Path(__file__).parent.parent / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--batch-window-ms", "5", "--max-batch", "16",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        match = re.search(r"serving on (http://[\d.]+:\d+)", line or "")
+        if match:
+            return process, match.group(1)
+    process.kill()
+    raise RuntimeError("server did not start")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--url", help="target an already-running server instead of spawning one")
+    args = parser.parse_args()
+
+    process = None
+    if args.url:
+        url = args.url.rstrip("/")
+    else:
+        process, url = start_server()
+        print(f"spawned server at {url}")
+
+    try:
+        # -- 1. concurrent one-shot requests (micro-batched together) -----
+        def one_request(i: int) -> dict:
+            return call(url, "POST", "/detect", {"series": make_series(i), "seed": i, "k": 3, **CONFIG})
+
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            responses = list(pool.map(one_request, range(8)))
+        elapsed = time.perf_counter() - started
+        print(f"\n8 concurrent detects in {elapsed * 1000:.0f} ms:")
+        for i, response in enumerate(responses):
+            top = response["anomalies"][0]
+            print(f"  client {i}: top anomaly at {top['position']} (score {top['score']:.4f})")
+
+        # -- 2. the result cache ------------------------------------------
+        repeat = one_request(0)
+        print(f"\nrepeat of client 0: cached={repeat['cached']}")
+
+        # -- 3. a streaming session ---------------------------------------
+        feed = make_series(99, 1600)
+        call(url, "POST", "/sessions", {"name": "demo", "seed": 7, **CONFIG})
+        for offset in range(0, 1600, 400):
+            call(url, "POST", "/sessions/demo/append", {"values": feed[offset : offset + 400]})
+            poll = call(url, "GET", "/sessions/demo/poll?k=1")
+            if poll["anomalies"]:
+                top = poll["anomalies"][0]
+                print(
+                    f"  after {poll['length']:4d} points: top anomaly at "
+                    f"{top['position']} (score {top['score']:.4f}, cached={poll['cached']})"
+                )
+        call(url, "DELETE", "/sessions/demo")
+
+        # -- 4. operational counters --------------------------------------
+        stats = call(url, "GET", "/stats")
+        batcher, cache = stats["batcher"], stats["cache"]
+        print(
+            f"\nstats: {batcher['dispatched']} requests in {batcher['batches']} batches "
+            f"(mean batch {batcher['mean_batch_size']:.1f}); "
+            f"cache {cache['hits']} hits / {cache['misses']} misses"
+        )
+    finally:
+        if process is not None:
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=30)
+            print("server shut down cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

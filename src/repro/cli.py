@@ -1,16 +1,18 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the library's main workflows:
+Five subcommands cover the library's main workflows:
 
 - ``detect`` — run a detector over one or more series files and print/save
   the ranked anomalies. Passing several ``--input`` files fans the batch out
   with :meth:`repro.core.ensemble.EnsembleGrammarDetector.detect_batch`;
   ``--executor {serial,thread,process}`` picks the execution backend (the
   process backend passes series through shared memory and reuses one pool
-  across the run) and ``--n-jobs`` sizes it. Results do not depend on the
-  backend, but each file in a batch gets its own seed spawned from
-  ``--seed``, so a file's batch result intentionally differs from a
-  single-file run with the same seed::
+  across the run) and ``--n-jobs`` sizes it. A file that fails to load or
+  detect does not abort the others: their results are still emitted, the
+  failing path(s) are reported on stderr, and the exit code is nonzero.
+  Results do not depend on the backend, but each file in a batch gets its
+  own seed spawned from ``--seed``, so a file's batch result intentionally
+  differs from a single-file run with the same seed::
 
       python -m repro detect --input series.csv --window 100 \\
           --method ensemble --top 3 --json out.json
@@ -36,6 +38,15 @@ Four subcommands cover the library's main workflows:
 
       python -m repro stream --input feed.csv --window 100 \\
           --stream-capacity 50000 --eviction-policy sliding --chunk-size 8192
+
+- ``serve`` — run the async serving subsystem (:mod:`repro.service`): a
+  long-lived HTTP endpoint that micro-batches concurrent ``detect``
+  requests onto one shared executor pool, hosts named multi-tenant
+  streaming sessions, and caches results by series digest. See the
+  README's "Serving" section::
+
+      python -m repro serve --port 8765 --executor process --n-jobs 4 \\
+          --batch-window-ms 2 --max-batch 16
 
 Series files are one value per line (CSV with a single column; a header
 line is tolerated). All commands are deterministic under ``--seed``.
@@ -168,7 +179,25 @@ def _emit_detections(anomalies, title: str, json_path, csv_path, metadata: dict)
 
 def _cmd_detect(args: argparse.Namespace) -> int:
     inputs = args.input
-    series_list = [load_series(path) for path in inputs]
+    # A batch run must not let one bad file abort the rest: every series
+    # that loads and detects cleanly is reported no matter what its
+    # neighbours do, failures are collected per file, and the exit code is
+    # nonzero iff anything failed (regression-tested in tests/test_cli.py).
+    failures: dict[int, str] = {}
+    series_list: list[np.ndarray | None] = []
+    for index, path in enumerate(inputs):
+        try:
+            series_list.append(load_series(path))
+        except (ValueError, OSError) as error:
+            # OSError covers the non-missing-file load failures too
+            # (IsADirectoryError, PermissionError, ...): any unreadable
+            # input is reported, not allowed to abort the batch.
+            if len(inputs) == 1:
+                raise
+            failures[index] = str(error)
+            series_list.append(None)
+    loadable = [(index, series) for index, series in enumerate(series_list) if series is not None]
+    results: list = [None] * len(inputs)
     # Every executor (and the shared memory it publishes) is released by the
     # stack on success and on every exception path — including a failure
     # between batch calls — so no pool or /dev/shm segment outlives the
@@ -177,37 +206,67 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         detector = build_detector(args.method, args.window, args, executor=args.executor)
         if hasattr(detector, "close"):
             stack.callback(detector.close)
-        if len(series_list) > 1 and hasattr(detector, "detect_batch"):
+        if len(inputs) > 1 and hasattr(detector, "detect_batch"):
             # Many independent series: the engine's batch fan-out over the
             # selected executor backend, identical to running each series
-            # serially. Labels make a failing file identifiable.
-            labels = [str(path) for path in inputs]
+            # serially. Labels make a failing file identifiable, and
+            # return_exceptions keeps one failing series from aborting the
+            # others — its error lands in its own result slot.
+            labels = [str(inputs[index]) for index, _ in loadable]
+            batch = [series for _, series in loadable]
             if isinstance(detector, EnsembleGrammarDetector):
                 # The ensemble detector owns its executor (built from
-                # --executor above) and reuses it across the batch.
-                results = detector.detect_batch(series_list, args.top, labels=labels)
+                # --executor above) and reuses it across the batch. Seeds
+                # are spawned over *all* inputs and passed explicitly, so a
+                # file's result never depends on whether a neighbour failed
+                # to load (matching the worker-failure path, which keeps
+                # full-batch seed positions).
+                from repro.utils.rng import spawn_rngs
+
+                all_seeds = spawn_rngs(args.seed, len(inputs))
+                outcomes = detector.detect_batch(
+                    batch,
+                    args.top,
+                    labels=labels,
+                    seeds=[all_seeds[index] for index, _ in loadable],
+                    return_exceptions=True,
+                )
             else:
-                results = detector.detect_batch(
-                    series_list,
+                outcomes = detector.detect_batch(
+                    batch,
                     args.top,
                     n_jobs=args.n_jobs,
                     executor=args.executor,
                     labels=labels,
+                    return_exceptions=True,
                 )
+            for (index, _), outcome in zip(loadable, outcomes):
+                if isinstance(outcome, BatchItemError):
+                    failures[index] = outcome.cause_message
+                else:
+                    results[index] = outcome
         else:
             if args.executor and not isinstance(detector, EnsembleGrammarDetector):
                 # Baselines have no intra-series parallelism: with one input
                 # (or no batch support) the flag would change nothing.
                 reason = (
                     f"{args.method} does not support batch detection"
-                    if len(series_list) > 1
+                    if len(inputs) > 1
                     else f"a single-series {args.method} run has nothing to parallelize"
                 )
                 print(f"note: --executor has no effect: {reason}", file=sys.stderr)
-            results = [detector.detect(series, args.top) for series in series_list]
-    for index, (path, series, anomalies) in enumerate(zip(inputs, series_list, results)):
+            for index, series in loadable:
+                try:
+                    results[index] = detector.detect(series, args.top)
+                except ValueError as error:
+                    if len(inputs) == 1:
+                        raise
+                    failures[index] = str(error)
+    for index, path in enumerate(inputs):
+        if results[index] is None:
+            continue
         _emit_detections(
-            anomalies,
+            results[index],
             title=f"{args.method} anomalies in {path} (window {args.window})",
             json_path=_numbered_path(args.json, index, len(inputs)) if args.json else None,
             csv_path=_numbered_path(args.csv, index, len(inputs)) if args.csv else None,
@@ -215,9 +274,19 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                 "input": str(path),
                 "method": args.method,
                 "window": args.window,
-                "series_length": len(series),
+                "series_length": len(series_list[index]),
             },
         )
+    for index in sorted(failures):
+        print(f"error: {inputs[index]}: {failures[index]}", file=sys.stderr)
+    if failures:
+        done = len(inputs) - len(failures)
+        print(
+            f"error: {len(failures)} of {len(inputs)} input file(s) failed "
+            f"({done} succeeded above)",
+            file=sys.stderr,
+        )
+        return 2
     return 0
 
 
@@ -362,6 +431,61 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here: the serving stack (asyncio, sessions, HTTP) is only
+    # needed by this command.
+    import asyncio
+
+    from repro.service import DetectService
+    from repro.service.http import serve
+
+    if args.batch_window_ms < 0:
+        raise ValueError(f"batch-window-ms must be non-negative, got {args.batch_window_ms}")
+    memory_budget = (
+        None if args.memory_budget_mb is None else int(args.memory_budget_mb * 1024 * 1024)
+    )
+    executor = args.executor
+    if executor is None and args.n_jobs > 1:
+        # Asking for workers without naming a backend: a long-lived service
+        # wants one reusable pool, not a fresh one per micro-batch.
+        executor = "process"
+
+    async def _main() -> None:
+        service = DetectService(
+            executor=executor,
+            n_jobs=args.n_jobs,
+            batch_window=args.batch_window_ms / 1000.0,
+            max_batch_size=args.max_batch,
+            max_pending=args.max_pending,
+            cache_entries=args.cache_entries,
+            max_sessions=args.max_sessions,
+            idle_timeout=args.idle_timeout,
+            memory_budget=memory_budget,
+            default_timeout=args.request_timeout,
+        )
+
+        def _ready(server) -> None:
+            # The exact line scripts and the smoke tests key on; printed
+            # only once the socket is bound (so --port 0 shows the real
+            # ephemeral port).
+            print(f"serving on http://{server.host}:{server.port}", flush=True)
+            print(
+                "endpoints: GET /healthz /stats /sessions | POST /detect "
+                "/detect_batch /sessions /sessions/<name>/append | "
+                "GET|POST /sessions/<name>/poll | DELETE /sessions/<name>",
+                flush=True,
+            )
+
+        await serve(service, args.host, args.port, ready=_ready)
+        print("serve: shut down cleanly", flush=True)
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover — non-Unix fallback path
+        pass
+    return 0
+
+
 def _add_detector_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
     parser.add_argument("--top", type=int, default=3, help="candidates to report (default 3)")
@@ -466,6 +590,79 @@ def build_parser() -> argparse.ArgumentParser:
     _add_detector_options(stream)
     stream.set_defaults(handler=_cmd_stream)
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the async detect service (micro-batched HTTP endpoint)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="bind port; 0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch coalescing window in milliseconds (default 2; 0 disables)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="largest number of requests coalesced into one batch (default 16)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=128,
+        help="backpressure bound: queued requests before 429 rejection (default 128)",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=256,
+        help="LRU result-cache capacity; 0 disables caching (default 256)",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        help="live streaming-session cap (default 64)",
+    )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="evict streaming sessions idle for this many seconds (default: never)",
+    )
+    serve.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        help="global memory budget for streaming sessions in MiB (default: unlimited)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="default per-request deadline in seconds (default 30)",
+    )
+    serve.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="worker count for the shared executor pool (default 1)",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=EXECUTOR_KINDS,
+        default=None,
+        help=(
+            "execution backend shared by all requests: serial, thread, or "
+            "process (shared-memory series passing, one reusable pool)"
+        ),
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
     evaluate = commands.add_parser("evaluate", help="run the paper's protocol on one dataset")
     evaluate.add_argument("--dataset", required=True, choices=sorted(DATASETS))
     evaluate.add_argument("--cases", type=int, default=5, help="test series to generate")
@@ -484,7 +681,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (ValueError, FileNotFoundError, KeyError, BatchItemError) as error:
+    except (ValueError, OSError, KeyError, BatchItemError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -128,6 +128,7 @@ class SharedStreamState:
         "_n",
         "_start",
         "_base",
+        "_version",
         "capacity",
         "policy",
         "segments",
@@ -166,6 +167,11 @@ class SharedStreamState:
         #: Global index of ``_values[0]`` (``_base <= _start``; the gap is a
         #: dead prefix compacted away lazily, so eviction is O(1) amortized).
         self._base = 0
+        #: Monotone counter bumped by every observable mutation (append/
+        #: extend and horizon advances) — the cache key the streaming
+        #: snapshot-curve memoization and the serving layer's poll cache use
+        #: to recognise "no new data since the last snapshot".
+        self._version = 0
 
     def __len__(self) -> int:
         """Total points ever seen (global stream length, retired included)."""
@@ -175,6 +181,28 @@ class SharedStreamState:
     def start(self) -> int:
         """Global index of the oldest retained point (0 until eviction)."""
         return self._start
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (bumps on ingest and horizon advances).
+
+        Two reads of the state under one version see exactly the same live
+        range and values, so any pure function of the state (a member's
+        snapshot density curve, the ensemble curve, a poll response) may be
+        memoized keyed on this counter. Deferred physical compaction does
+        *not* bump it — compaction preserves every observable value.
+        """
+        return self._version
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently allocated by the stream buffers.
+
+        Counts the values array plus both prefix-sum arrays (allocation
+        size, not just the live range) — the number the serving layer's
+        session memory budget accounts against.
+        """
+        return self._values.nbytes + self._prefix.nbytes + self._prefix_sq.nbytes
 
     @property
     def live_length(self) -> int:
@@ -270,6 +298,7 @@ class SharedStreamState:
         self._prefix[local + 1] = self._prefix[local] + value
         self._prefix_sq[local + 1] = self._prefix_sq[local] + value**2
         self._n += 1
+        self._version += 1
 
     def extend(self, values) -> int:
         """Consume a batch of observations in one vectorized pass.
@@ -298,6 +327,7 @@ class SharedStreamState:
             np.concatenate(([self._prefix_sq[local]], chunk**2))
         )[1:]
         self._n += m
+        self._version += 1
         return m
 
     # ------------------------------------------------------------------
@@ -319,6 +349,7 @@ class SharedStreamState:
             )
         if global_index > self._start:
             self._start = global_index
+            self._version += 1
         return self._start
 
     def trim(self) -> int:
@@ -513,6 +544,30 @@ def _detect_one_series(payload) -> list:
         raise _wrap_batch_error(index, label, error) from error
 
 
+def _detect_series_chunk(payload) -> list[tuple[int, list]]:
+    """Worker: run several per-series detections in one task.
+
+    Chunking amortizes the per-task executor round trip (submission,
+    payload pickling, result sync) across ``chunksize`` series — the lever
+    that makes micro-batched serving of *small* requests pay, where one
+    IPC round trip per series would rival the detection itself. Each item
+    is computed exactly as :func:`_detect_one_series` would, so results are
+    independent of the chunking.
+    """
+    items, contain_errors = payload
+    results: list[tuple[int, list]] = []
+    for item in items:
+        _, _, _, _, _, index, _ = item
+        if contain_errors:
+            try:
+                results.append((index, _detect_one_series(item)))
+            except BatchItemError as error:
+                results.append((index, error))
+        else:
+            results.append((index, _detect_one_series(item)))
+    return results
+
+
 def iter_detect_batch(
     detector,
     series_iterable: Iterable[np.ndarray],
@@ -521,6 +576,9 @@ def iter_detect_batch(
     n_jobs: int | None = None,
     executor: MemberExecutor | str | None = None,
     labels: Sequence[str] | None = None,
+    seeds: Sequence | None = None,
+    return_exceptions: bool = False,
+    chunksize: int = 1,
 ) -> Iterator[tuple[int, list]]:
     """Yield ``(index, anomalies)`` per series *as results complete*.
 
@@ -531,21 +589,57 @@ def iter_detect_batch(
     ``detect_batch``'s — same clone configuration, same spawned seed — so
     consumers may stream them into storage and re-order later.
 
+    ``seeds`` overrides the per-series seed derivation entirely: instead of
+    spawning children from ``detector.seed``, series ``i`` is detected by a
+    clone seeded with exactly ``seeds[i]`` (one entry per series; ints and
+    ``numpy.random.Generator`` instances both work). This is how the
+    serving subsystem keeps a micro-batched request bitwise identical to a
+    direct ``detect()`` call with that request's seed, no matter which
+    requests happened to be coalesced around it.
+
     A failing series raises :class:`BatchItemError` naming its index (and
     label, when ``labels`` is given); abandoning the iterator cancels
-    pending work and releases any shared-memory segments. Arguments are
-    validated here, eagerly — the returned iterator only defers execution.
+    pending work and releases any shared-memory segments. With
+    ``return_exceptions=True`` the error is *yielded* as that series'
+    result instead and every other series still completes — the contract
+    behind partial batch results in the CLI and the serving layer.
+
+    ``chunksize`` packs that many per-series detections into each worker
+    task (``multiprocessing.Pool.map``-style): per-task dispatch overhead
+    is amortized across the chunk, which is what makes pooled batches of
+    *small* series pay. Results are independent of the chunking; only
+    delivery granularity changes (a chunk's results arrive together).
+    Arguments are validated here, eagerly — the returned iterator only
+    defers execution.
     """
     series_list = [np.ascontiguousarray(series, dtype=np.float64) for series in series_iterable]
     labels = _check_labels(labels, len(series_list))
     validate_executor_spec(executor)
     n_jobs = _resolve_n_jobs(detector.n_jobs if n_jobs is None else n_jobs)
+    chunksize = int(chunksize)
+    if chunksize < 1:
+        raise ValueError(f"chunksize must be a positive integer, got {chunksize}")
     kwargs = detector.clone_kwargs()
-    # spawn_rngs derives deterministic, independent (and picklable)
-    # per-series generators from the detector's seed; a Generator seed draws
-    # children from its own stream (advancing it).
-    seeds = spawn_rngs(detector.seed, len(series_list))
-    return _iter_detect_batch(kwargs, seeds, series_list, int(k), n_jobs, executor, labels)
+    if seeds is None:
+        # spawn_rngs derives deterministic, independent (and picklable)
+        # per-series generators from the detector's seed; a Generator seed
+        # draws children from its own stream (advancing it).
+        seeds = spawn_rngs(detector.seed, len(series_list))
+    else:
+        seeds = list(seeds)
+        if len(seeds) != len(series_list):
+            raise ValueError(f"got {len(seeds)} seeds for {len(series_list)} series")
+    return _iter_detect_batch(
+        kwargs,
+        seeds,
+        series_list,
+        int(k),
+        n_jobs,
+        executor,
+        labels,
+        return_exceptions,
+        chunksize,
+    )
 
 
 def _iter_detect_batch(
@@ -556,6 +650,8 @@ def _iter_detect_batch(
     n_jobs: int,
     executor: MemberExecutor | str | None,
     labels: list[str] | None,
+    return_exceptions: bool = False,
+    chunksize: int = 1,
 ) -> Iterator[tuple[int, list]]:
     """The deferred half of :func:`iter_detect_batch` (validated inputs)."""
     if not series_list:
@@ -569,7 +665,14 @@ def _iter_detect_batch(
         for index, (seed, series) in enumerate(zip(seeds, series_list)):
             label = None if labels is None else labels[index]
             payload = (kwargs, seed, series, k, member_jobs, index, label)
-            yield index, _detect_one_series(payload)
+            if return_exceptions:
+                try:
+                    result = _detect_one_series(payload)
+                except BatchItemError as error:
+                    result = error
+                yield index, result
+            else:
+                yield index, _detect_one_series(payload)
         return
     with ExitStack() as stack:
         if owned:
@@ -587,6 +690,9 @@ def _iter_detect_batch(
                 )
                 yield 0, clone.detect(series_list[0], k)
             except Exception as error:
+                if return_exceptions:
+                    yield 0, _wrap_batch_error(0, label, error)
+                    return
                 raise _wrap_batch_error(0, label, error) from error
             return
         handles = share_series_batch(pool, stack, series_list, labels)
@@ -602,7 +708,31 @@ def _iter_detect_batch(
             )
             for index, (seed, handle) in enumerate(zip(seeds, handles))
         ]
-        yield from pool.imap_unordered(_detect_one_series, payloads)
+        if chunksize > 1:
+            chunks = [
+                (payloads[offset : offset + chunksize], return_exceptions)
+                for offset in range(0, len(payloads), chunksize)
+            ]
+            for chunk_index, chunk_result in pool.imap_unordered(
+                _detect_series_chunk, chunks, return_exceptions=return_exceptions
+            ):
+                if isinstance(chunk_result, BaseException):
+                    # The whole chunk task died (e.g. a broken pool): under
+                    # error containment every item in it fails in place.
+                    for item in chunks[chunk_index][0]:
+                        index, label = item[5], item[6]
+                        yield index, _wrap_batch_error(index, label, chunk_result)
+                    continue
+                yield from chunk_result
+            return
+        for index, result in pool.imap_unordered(
+            _detect_one_series, payloads, return_exceptions=return_exceptions
+        ):
+            if isinstance(result, BaseException):
+                result = _wrap_batch_error(
+                    index, None if labels is None else labels[index], result
+                )
+            yield index, result
 
 
 def detect_batch(
@@ -613,6 +743,9 @@ def detect_batch(
     n_jobs: int | None = None,
     executor: MemberExecutor | str | None = None,
     labels: Sequence[str] | None = None,
+    seeds: Sequence | None = None,
+    return_exceptions: bool = False,
+    chunksize: int = 1,
 ) -> list[list]:
     """Top-``k`` anomalies of many independent series, optionally in parallel.
 
@@ -641,6 +774,18 @@ def detect_batch(
     labels:
         Optional per-series labels (file paths, ids); a failing series
         raises :class:`BatchItemError` carrying its index and label.
+    seeds:
+        Optional explicit per-series seeds (one per series) overriding the
+        spawn-from-``detector.seed`` derivation; see
+        :func:`iter_detect_batch`.
+    return_exceptions:
+        When true, a failing series fills its result slot with the
+        :class:`BatchItemError` instead of aborting the batch; every other
+        series still completes.
+    chunksize:
+        Per-series detections packed into each worker task (amortizes the
+        per-task dispatch overhead for batches of small series); see
+        :func:`iter_detect_batch`. Results are independent of the value.
 
     Returns
     -------
@@ -649,7 +794,15 @@ def detect_batch(
     """
     pairs = list(
         iter_detect_batch(
-            detector, series_iterable, k, n_jobs=n_jobs, executor=executor, labels=labels
+            detector,
+            series_iterable,
+            k,
+            n_jobs=n_jobs,
+            executor=executor,
+            labels=labels,
+            seeds=seeds,
+            return_exceptions=return_exceptions,
+            chunksize=chunksize,
         )
     )
     results: list[list] = [None] * len(pairs)  # type: ignore[list-item]

@@ -268,19 +268,33 @@ class EnsembleGrammarDetector(ExecutorOwnerMixin):
         n_jobs: int | None = None,
         executor=None,
         labels=None,
+        seeds=None,
+        return_exceptions: bool = False,
+        chunksize: int = 1,
     ) -> list[list[Anomaly]]:
         """Top-``k`` anomalies of many independent series (the serving shape).
 
         Each series is handled by a fresh clone of this detector whose seed
-        derives deterministically from ``self.seed``, so results are
-        identical whether the batch runs serially, across a process pool, or
-        on any executor backend (``n_jobs=None`` defers to ``self.n_jobs``;
-        ``executor=None`` defers to the detector's own executor). See
+        derives deterministically from ``self.seed`` (or is taken verbatim
+        from ``seeds``), so results are identical whether the batch runs
+        serially, across a process pool, or on any executor backend
+        (``n_jobs=None`` defers to ``self.n_jobs``; ``executor=None`` defers
+        to the detector's own executor). With ``return_exceptions=True`` a
+        failing series yields its :class:`~repro.core.executors.BatchItemError`
+        in place instead of aborting the batch. See
         :func:`repro.core.engine.detect_batch`.
         """
         executor = self.executor if executor is None else executor
         return detect_batch(
-            self, series_iterable, k, n_jobs=n_jobs, executor=executor, labels=labels
+            self,
+            series_iterable,
+            k,
+            n_jobs=n_jobs,
+            executor=executor,
+            labels=labels,
+            seeds=seeds,
+            return_exceptions=return_exceptions,
+            chunksize=chunksize,
         )
 
     def iter_detect_batch(
@@ -291,6 +305,9 @@ class EnsembleGrammarDetector(ExecutorOwnerMixin):
         n_jobs: int | None = None,
         executor=None,
         labels=None,
+        seeds=None,
+        return_exceptions: bool = False,
+        chunksize: int = 1,
     ):
         """Yield ``(index, anomalies)`` per series as results complete.
 
@@ -301,7 +318,15 @@ class EnsembleGrammarDetector(ExecutorOwnerMixin):
         """
         executor = self.executor if executor is None else executor
         return iter_detect_batch(
-            self, series_iterable, k, n_jobs=n_jobs, executor=executor, labels=labels
+            self,
+            series_iterable,
+            k,
+            n_jobs=n_jobs,
+            executor=executor,
+            labels=labels,
+            seeds=seeds,
+            return_exceptions=return_exceptions,
+            chunksize=chunksize,
         )
 
 

@@ -220,6 +220,15 @@ class MemberExecutor(abc.ABC):
     def closed(self) -> bool:
         return self._closed
 
+    def worker_pids(self) -> tuple[int, ...]:
+        """PIDs of live worker *processes* (empty for in-process backends).
+
+        The serving subsystem exposes these through its ``/stats`` endpoint
+        so operators (and the shutdown leak tests) can verify that closing
+        the service leaves no orphaned workers behind.
+        """
+        return ()
+
     def close(self) -> None:
         """Release pooled resources (idempotent)."""
         self._closed = True
@@ -259,13 +268,23 @@ class MemberExecutor(abc.ABC):
 
     @abc.abstractmethod
     def imap_unordered(
-        self, fn: Callable[[Any], Any], payloads: Sequence[Any]
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        *,
+        return_exceptions: bool = False,
     ) -> Iterator[tuple[int, Any]]:
         """Yield ``(index, fn(payloads[index]))`` as tasks complete.
 
         Abandoning the iterator cancels tasks that have not started and
         waits for running ones, so resources published to the workers (e.g.
         shared-memory series) can be withdrawn safely afterwards.
+
+        With ``return_exceptions=True`` a task failure does not abort the
+        iteration: the raised exception is yielded as that task's result
+        instead, and every remaining task still runs. This is what lets the
+        batch layers report *partial* failures (one corrupt series in a
+        batch fails that series, not the batch).
         """
 
 
@@ -281,9 +300,20 @@ class SerialExecutor(MemberExecutor):
         self._check_open()
         return [fn(payload) for payload in payloads]
 
-    def imap_unordered(self, fn, payloads):
+    def imap_unordered(self, fn, payloads, *, return_exceptions=False):
         self._check_open()  # at the call, as the interface promises
-        return ((index, fn(payload)) for index, payload in enumerate(payloads))
+        if not return_exceptions:
+            return ((index, fn(payload)) for index, payload in enumerate(payloads))
+
+        def _iterate():
+            for index, payload in enumerate(payloads):
+                try:
+                    result = fn(payload)
+                except Exception as error:
+                    result = error
+                yield index, result
+
+        return _iterate()
 
 
 class _PooledExecutor(MemberExecutor):
@@ -334,21 +364,27 @@ class _PooledExecutor(MemberExecutor):
         finally:
             _drain_futures(futures)
 
-    def imap_unordered(self, fn, payloads):
+    def imap_unordered(self, fn, payloads, *, return_exceptions=False):
         # Submit eagerly (and run the closed check at the call, as the
         # interface promises); only the draining is deferred to iteration.
         pool = self._ensure_pool()
         futures = {pool.submit(fn, payload): index for index, payload in enumerate(payloads)}
-        return self._drain_unordered(futures)
+        return self._drain_unordered(futures, return_exceptions)
 
     @staticmethod
-    def _drain_unordered(futures: dict) -> Iterator[tuple[int, Any]]:
+    def _drain_unordered(
+        futures: dict, return_exceptions: bool = False
+    ) -> Iterator[tuple[int, Any]]:
         try:
             pending = set(futures)
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    yield futures[future], future.result()
+                    if return_exceptions:
+                        error = future.exception()
+                        yield futures[future], future.result() if error is None else error
+                    else:
+                        yield futures[future], future.result()
         finally:
             _drain_futures(list(futures))
 
@@ -399,6 +435,13 @@ class ProcessExecutor(_PooledExecutor):
 
     def _create_pool(self):
         return ProcessPoolExecutor(max_workers=self._max_workers)
+
+    def worker_pids(self) -> tuple[int, ...]:
+        pool = self._pool
+        processes = getattr(pool, "_processes", None) if pool is not None else None
+        if not processes:
+            return ()
+        return tuple(sorted(processes))
 
     def share_series(self, series: np.ndarray) -> SeriesHandle:
         self._check_open()
@@ -671,16 +714,24 @@ class StatelessBatchMixin:
         n_jobs: int | None = 1,
         executor: MemberExecutor | str | None = None,
         labels: Sequence[str] | None = None,
+        return_exceptions: bool = False,
     ) -> list[list]:
         """Run :meth:`detect` over many independent series.
 
         Results are in input order and identical across executor backends;
         series reach process workers via shared memory, and a failing series
-        raises :class:`BatchItemError` naming its index/label. See
+        raises :class:`BatchItemError` naming its index/label (or fills its
+        result slot with the error under ``return_exceptions=True``). See
         :func:`detect_many`.
         """
         return detect_many(
-            self, series_iterable, k, n_jobs=n_jobs, executor=executor, labels=labels
+            self,
+            series_iterable,
+            k,
+            n_jobs=n_jobs,
+            executor=executor,
+            labels=labels,
+            return_exceptions=return_exceptions,
         )
 
 
@@ -692,6 +743,7 @@ def detect_many(
     n_jobs: int | None = 1,
     executor: MemberExecutor | str | None = None,
     labels: Sequence[str] | None = None,
+    return_exceptions: bool = False,
 ) -> list[list]:
     """Run a *stateless* detector over many independent series.
 
@@ -702,7 +754,9 @@ def detect_many(
     discord, HOT SAX, RRA, and fixed-parameter GI detectors. The detector is
     pickled into process workers; the series travel via shared memory.
     Results are in input order and identical across backends; failures raise
-    :class:`BatchItemError`.
+    :class:`BatchItemError` — or, with ``return_exceptions=True``, land in
+    the failing series' result slot as the :class:`BatchItemError` itself
+    while every other series still completes.
     """
     series_list = [np.asarray(series, dtype=np.float64) for series in series_iterable]
     labels = _check_labels(labels, len(series_list))
@@ -714,7 +768,14 @@ def detect_many(
         results = []
         for index, series in enumerate(series_list):
             label = None if labels is None else labels[index]
-            results.append(_detect_many_task((detector, series, int(k), index, label)))
+            payload = (detector, series, int(k), index, label)
+            if return_exceptions:
+                try:
+                    results.append(_detect_many_task(payload))
+                except BatchItemError as error:
+                    results.append(error)
+            else:
+                results.append(_detect_many_task(payload))
         return results
     results = [None] * len(series_list)  # type: ignore[list-item]
     with ExitStack() as stack:
@@ -731,6 +792,12 @@ def detect_many(
             )
             for index, handle in enumerate(handles)
         ]
-        for index, anomalies in pool.imap_unordered(_detect_many_task, payloads):
+        for index, anomalies in pool.imap_unordered(
+            _detect_many_task, payloads, return_exceptions=return_exceptions
+        ):
+            if isinstance(anomalies, BaseException):
+                anomalies = _wrap_batch_error(
+                    index, None if labels is None else labels[index], anomalies
+                )
             results[index] = anomalies
     return results

@@ -200,6 +200,9 @@ class StreamingGrammarDetector:
         self._builder: _SequiturBuilder | None = None
         self._generations: GenerationalSequitur | None = None
         self._snapshot_cache: tuple[tuple[int, int], "object"] | None = None
+        #: Last snapshot curve, keyed by the shared state's version counter:
+        #: repeated ``density_curve()`` polls without new data are O(1).
+        self._curve_cache: tuple[int, np.ndarray] | None = None
         if self.state.capacity is None:
             self._builder = _SequiturBuilder()
         elif self.state.policy == "decay":
@@ -232,6 +235,20 @@ class StreamingGrammarDetector:
     def retired_tokens(self) -> int:
         """Tokens whose windows slid out of the horizon (0 when unbounded)."""
         return self._total_pruned
+
+    def memory_bytes(self) -> int:
+        """O(1) estimate of this member's retained bytes (tokens + offsets).
+
+        Counts the kept word strings (CPython ASCII ``str`` overhead plus
+        ``paa_size`` characters) and the kept-offset ints, *excluding* the
+        shared stream state — the state is stored once per stream and
+        accounted separately via
+        :attr:`~repro.core.engine.SharedStreamState.nbytes`. An estimate,
+        not an exact measurement: it is what the serving layer's session
+        memory budget accounts against.
+        """
+        kept = len(self._kept_words)
+        return kept * (49 + self.paa_size) + kept * 36
 
     def _require_owned_state(self) -> None:
         if not self._owns_state:
@@ -380,11 +397,26 @@ class StreamingGrammarDetector:
         pipeline's. Bounded: the curve over ``[horizon_start, len(self))``
         — index ``i`` covers absolute point ``horizon_start + i`` — built
         from the live tokens only and renormalized over the live horizon.
+
+        The last snapshot is memoized keyed on the shared state's
+        :attr:`~repro.core.engine.SharedStreamState.version`, so repeated
+        polls without new data return the cached curve without re-inducing
+        anything. The returned array is the cached object — treat it as
+        read-only.
         """
         if self.n_windows == 0:
             raise ValueError(
                 f"no complete window yet ({len(self.state)} of {self.window} points)"
             )
+        version = self.state.version
+        if self._curve_cache is not None and self._curve_cache[0] == version:
+            return self._curve_cache[1]
+        curve = self._compute_density_curve()
+        self._curve_cache = (version, curve)
+        return curve
+
+    def _compute_density_curve(self) -> np.ndarray:
+        """The uncached snapshot computation behind :meth:`density_curve`."""
         if self._builder is not None:
             return rule_density_curve(self._builder.freeze(), self.tokens(), len(self.state))
         start = self.state.start
@@ -585,6 +617,11 @@ class StreamingEnsembleDetector(ExecutorOwnerMixin):
         self._by_paa_size: dict[int, list[StreamingGrammarDetector]] = {}
         for member in self.members:
             self._by_paa_size.setdefault(member.paa_size, []).append(member)
+        #: Snapshot memoization keyed by the state's version counter: the
+        #: combined ensemble curve, and the last ``detect(k)`` result, so
+        #: high-frequency polling without new data is O(1).
+        self._curve_cache: tuple[int, np.ndarray] | None = None
+        self._detect_cache: tuple[int, int, list] | None = None
 
     def __len__(self) -> int:
         return len(self.state)
@@ -683,27 +720,56 @@ class StreamingEnsembleDetector(ExecutorOwnerMixin):
                 payloads.append(("sliding", (tokens, start, live_length)))
         return executor.map(_snapshot_density_task, payloads)
 
+    def memory_bytes(self) -> int:
+        """O(1) estimate of the bytes this ensemble retains.
+
+        The shared stream buffers (stored once, referenced by every member)
+        plus each member's token/offset estimate — the quantity the serving
+        layer's global session memory budget sums over its live sessions.
+        """
+        return self.state.nbytes + sum(member.memory_bytes() for member in self.members)
+
     def density_curve(self) -> np.ndarray:
         """Ensemble rule density curve over the live stream range.
 
         Bounded ensembles return the curve over ``[horizon_start,
         len(self))``; index ``i`` covers absolute point
         ``horizon_start + i``.
+
+        The combined curve is memoized keyed on the shared state's
+        :attr:`~repro.core.engine.SharedStreamState.version`: polling
+        without new data returns the cached array (treat it as read-only)
+        without touching the members or the executor. Parity is unaffected
+        — the cache only ever replays a value the uncached path computed.
         """
+        version = self.state.version
+        if self._curve_cache is not None and self._curve_cache[0] == version:
+            return self._curve_cache[1]
         curves = self._snapshot_curves()
         kept = select_by_std(curves, self.selectivity)
         survivors = [normalize_curve(curves[i]) for i in kept]
-        return combine_curves(survivors, self.combiner)
+        curve = combine_curves(survivors, self.combiner)
+        self._curve_cache = (version, curve)
+        return curve
 
     def detect(self, k: int = 3) -> list[Anomaly]:
-        """Top-``k`` anomalies over the live stream range (absolute positions)."""
+        """Top-``k`` anomalies over the live stream range (absolute positions).
+
+        Repeated polls without new data are O(1): the result is memoized
+        keyed on ``(state.version, k)`` on top of the curve memoization.
+        """
         validate_window(self.window, self.state.live_length)
+        version = self.state.version
+        k = int(k)
+        if self._detect_cache is not None and self._detect_cache[:2] == (version, k):
+            return list(self._detect_cache[2])
         curve = self.density_curve()
         candidates = extract_candidates(curve, self.window, k, minimize=True)
         start = self.state.start
         if start:
             candidates = [replace(a, position=a.position + start) for a in candidates]
-        return candidates
+        self._detect_cache = (version, k, candidates)
+        return list(candidates)
 
 
 __all__ = [

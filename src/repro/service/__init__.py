@@ -1,0 +1,60 @@
+"""Async serving subsystem: micro-batched detection as a long-lived service.
+
+The deployment mode the ROADMAP's "heavy traffic from millions of users"
+north star implies: one long-lived process that
+
+- **coalesces** concurrent one-shot ``detect`` requests into micro-batches
+  on a single shared executor pool
+  (:class:`~repro.service.batching.MicroBatcher`), with backpressure and
+  per-request deadlines;
+- **hosts** many named multi-tenant streaming sessions
+  (:class:`~repro.service.sessions.StreamSessionManager`) with idle
+  eviction and a global memory budget;
+- **caches** results by series content digest and detector configuration
+  (:class:`~repro.service.cache.LRUCache`), and answers repeated streaming
+  polls from the stream-version memoization;
+- serves it all over a dependency-free stdlib HTTP front end
+  (:mod:`repro.service.http`; CLI: ``python -m repro serve``).
+
+Served results are **bitwise identical** to the equivalent direct
+``detect()``/streaming calls — the parity suite enforces it across every
+executor backend. The transport-agnostic core
+(:class:`~repro.service.core.DetectService`) is also the seam a future
+cross-machine dispatch backend plugs into: replace the in-process executor
+with a cluster one and the batching/session/caching layers carry over.
+"""
+
+from repro.service.batching import MicroBatcher
+from repro.service.cache import LRUCache, series_digest
+from repro.service.core import DetectResult, DetectService
+from repro.service.errors import (
+    BadRequest,
+    DeadlineExceeded,
+    MemoryBudgetExceeded,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+    SessionExists,
+    SessionNotFound,
+)
+from repro.service.http import ServiceHTTPServer, serve
+from repro.service.sessions import StreamSessionManager
+
+__all__ = [
+    "BadRequest",
+    "DeadlineExceeded",
+    "DetectResult",
+    "DetectService",
+    "LRUCache",
+    "MemoryBudgetExceeded",
+    "MicroBatcher",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "ServiceOverloaded",
+    "SessionExists",
+    "SessionNotFound",
+    "StreamSessionManager",
+    "serve",
+    "series_digest",
+]

@@ -1,0 +1,116 @@
+"""Result caching for the serving layer.
+
+Two pieces:
+
+- :func:`series_digest` — a stable content hash of a float64 series
+  (BLAKE2b over the raw little-endian bytes plus the length). Two requests
+  carrying bitwise-equal series collide on purpose: that is the cache key's
+  job. The digest is what lets the service key results by *content* rather
+  than by request identity, so a million users polling the same dashboard
+  series hit one cache line.
+- :class:`LRUCache` — a small thread-safe LRU map. The serving core keys it
+  by ``(series digest, detector config fingerprint, k, seed)`` for one-shot
+  detects and by ``(session epoch, stream version, k)`` for streaming
+  polls, so identical requests and repeated polls without new data skip
+  recomputation entirely. Thread-safe because entries are written from the
+  micro-batcher's worker threads while the event loop reads.
+
+Cached values are returned as-is (no deep copy): the service stores only
+immutable-by-convention payloads (tuples of frozen :class:`~repro.core.anomaly.Anomaly`
+records, response dicts that handlers serialize without mutating).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+import numpy as np
+
+__all__ = ["LRUCache", "series_digest"]
+
+
+def series_digest(series: np.ndarray) -> str:
+    """Stable content hash of a 1-D float64 series (hex string).
+
+    Bitwise-equal series produce equal digests on every platform this
+    library supports (the bytes are hashed in little-endian order
+    regardless of host endianness).
+    """
+    series = np.ascontiguousarray(series, dtype=np.float64)
+    if series.ndim != 1:
+        raise ValueError(f"series must be 1-dimensional, got shape {series.shape}")
+    if series.dtype.byteorder == ">":  # pragma: no cover — big-endian hosts
+        series = series.astype("<f8")
+    h = hashlib.blake2b(digest_size=16)
+    h.update(len(series).to_bytes(8, "little"))
+    h.update(series.tobytes())
+    return h.hexdigest()
+
+
+class LRUCache:
+    """A bounded, thread-safe least-recently-used cache.
+
+    ``max_entries=0`` disables caching entirely (every ``get`` misses,
+    ``put`` is a no-op) — the switch the parity tests use to compare cached
+    against uncached serving.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        max_entries = int(max_entries)
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be non-negative, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> tuple[bool, Any]:
+        """Look up ``key``; returns ``(hit, value)`` and refreshes recency."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return True, self._entries[key]
+            self.misses += 1
+            return False, None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry when full."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,406 @@
+"""The transport-agnostic serving core: batching + sessions + caching.
+
+:class:`DetectService` is the object a front end (the stdlib HTTP server in
+:mod:`repro.service.http`, or any other transport) drives. It owns:
+
+- one **executor** (any :class:`~repro.core.executors.MemberExecutor`
+  backend, or the inline ``n_jobs`` semantics) shared by *every* request —
+  the consolidation a long-lived service exists for: one pool, spawned
+  once, amortized across all callers;
+- a :class:`~repro.service.batching.MicroBatcher` that coalesces concurrent
+  ``detect`` requests with equal detector configurations into single
+  ``detect_batch`` calls with per-request seeds, bounded queueing
+  (429-style rejection) and per-request deadlines;
+- a :class:`~repro.service.sessions.StreamSessionManager` hosting named
+  streaming sessions with idle eviction and a global memory budget;
+- an :class:`~repro.service.cache.LRUCache` keyed by series digest +
+  config fingerprint (one-shot detects) and stream version (polls).
+
+Parity contract
+---------------
+A served request is **bitwise identical** to the equivalent direct call:
+
+- ``await service.detect(series, window=w, seed=s, k=k)`` equals
+  ``EnsembleGrammarDetector(window=w, seed=s, ...).detect(series, k)`` —
+  the batch runner passes each request's seed verbatim through
+  ``detect_batch(..., seeds=...)``, so coalescing never changes results;
+- ``await service.detect_many(series_list, seed=s)`` equals
+  ``EnsembleGrammarDetector(seed=s, ...).detect_batch(series_list)`` — the
+  same ``SeedSequence.spawn`` derivation, submitted per item;
+- session ``append``/``poll`` equals driving one
+  :class:`~repro.core.streaming.StreamingEnsembleDetector` with the same
+  chunks — the session *is* that detector.
+
+The parity suite (``tests/test_service.py``/``tests/test_service_http.py``)
+enforces all three across the serial/thread/process backends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.anomaly import Anomaly
+from repro.core.engine import detect_batch
+from repro.core.ensemble import EnsembleGrammarDetector
+from repro.core.executors import (
+    BatchItemError,
+    MemberExecutor,
+    make_executor,
+    validate_executor_spec,
+)
+from repro.service.batching import MicroBatcher
+from repro.service.cache import LRUCache, series_digest
+from repro.service.errors import BadRequest
+from repro.service.sessions import StreamSessionManager
+from repro.utils.rng import spawn_rngs
+
+__all__ = ["DetectResult", "DetectService"]
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class DetectResult:
+    """One served detection: the ranked candidates plus cache provenance."""
+
+    anomalies: tuple[Anomaly, ...]
+    cached: bool
+
+    def payload(self) -> dict:
+        """JSON-shaped response body."""
+        return {
+            "anomalies": [
+                {"rank": a.rank, "position": a.position, "length": a.length, "score": a.score}
+                for a in self.anomalies
+            ],
+            "cached": self.cached,
+        }
+
+
+class _DetectItem:
+    """One request inside a coalesced batch: series, exact seed, and spec.
+
+    The detector kwargs/k ride on the item (one shared dict per config —
+    cheap references) rather than in a service-level registry, so serving
+    a long tail of distinct configurations leaves no permanent per-config
+    state behind.
+    """
+
+    __slots__ = ("series", "seed", "kwargs", "k")
+
+    def __init__(self, series: np.ndarray, seed, kwargs: dict, k: int) -> None:
+        self.series = series
+        self.seed = seed
+        self.kwargs = kwargs
+        self.k = k
+
+
+class DetectService:
+    """Async, multi-tenant serving core over the detection engine.
+
+    Parameters
+    ----------
+    executor:
+        Execution backend shared by every request: a backend name from
+        :data:`~repro.core.executors.EXECUTOR_KINDS` (the service creates
+        and owns it), a live :class:`~repro.core.executors.MemberExecutor`
+        (borrowed; the caller closes it), or ``None`` for the inline
+        ``n_jobs`` semantics.
+    n_jobs:
+        Pool size for a spec-built executor (and the ``n_jobs`` passed to
+        the batch engine when ``executor`` is ``None``).
+    batch_window, max_batch_size, max_pending:
+        Micro-batching knobs — see
+        :class:`~repro.service.batching.MicroBatcher`.
+    cache_entries:
+        LRU result-cache capacity (0 disables caching).
+    max_sessions, idle_timeout, memory_budget:
+        Streaming-session policies — see
+        :class:`~repro.service.sessions.StreamSessionManager`.
+    default_timeout:
+        Deadline (seconds) applied to requests that do not carry their own;
+        ``None`` waits indefinitely.
+    """
+
+    def __init__(
+        self,
+        *,
+        executor: MemberExecutor | str | None = None,
+        n_jobs: int | None = 1,
+        batch_window: float = 0.002,
+        max_batch_size: int = 16,
+        max_pending: int = 128,
+        cache_entries: int = 256,
+        max_sessions: int = 64,
+        idle_timeout: float | None = None,
+        memory_budget: int | None = None,
+        default_timeout: float | None = 30.0,
+    ) -> None:
+        validate_executor_spec(executor)
+        self.n_jobs = n_jobs
+        self._owns_executor = isinstance(executor, str)
+        if isinstance(executor, str):
+            self._executor: MemberExecutor | None = make_executor(
+                executor, None if n_jobs in (None, 1) else n_jobs
+            )
+        else:
+            self._executor = executor
+        self.default_timeout = default_timeout
+        self.cache = LRUCache(cache_entries)
+        self.batcher = MicroBatcher(
+            self._run_batch,
+            batch_window=batch_window,
+            max_batch_size=max_batch_size,
+            max_pending=max_pending,
+        )
+        self.sessions = StreamSessionManager(
+            max_sessions=max_sessions,
+            idle_timeout=idle_timeout,
+            memory_budget=memory_budget,
+            executor=self._executor,
+            cache=self.cache if self.cache.enabled else None,
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Request normalization.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _normalize_config(config: dict) -> tuple[dict, tuple]:
+        """Validate a request's detector configuration; return (kwargs, fingerprint).
+
+        Constructing the (cheap, lazy) detector runs the full constructor
+        validation; ``clone_kwargs()`` then canonicalizes defaults, so two
+        requests spelling the same configuration differently share one
+        fingerprint — and one micro-batch group and cache line.
+        """
+        try:
+            template = EnsembleGrammarDetector(**config)
+        except (ValueError, TypeError) as error:
+            raise BadRequest(f"invalid detector configuration: {error}") from error
+        kwargs = template.clone_kwargs()
+        fingerprint = tuple(sorted(kwargs.items()))
+        return kwargs, fingerprint
+
+    @staticmethod
+    def _normalize_series(series) -> np.ndarray:
+        series = np.ascontiguousarray(series, dtype=np.float64)
+        if series.ndim != 1:
+            raise BadRequest(f"series must be 1-dimensional, got shape {series.shape}")
+        if series.size < 2:
+            raise BadRequest(f"series must hold at least 2 observations, got {series.size}")
+        return series
+
+    # ------------------------------------------------------------------
+    # One-shot detection.
+    # ------------------------------------------------------------------
+
+    async def detect(
+        self,
+        series,
+        *,
+        k: int = 3,
+        seed=0,
+        timeout=_UNSET,
+        use_cache: bool = True,
+        **config: Any,
+    ) -> DetectResult:
+        """Detect anomalies in one series (micro-batched, cached, deadlined).
+
+        ``config`` holds the :class:`~repro.core.ensemble.EnsembleGrammarDetector`
+        parameters (``window`` is required). Bitwise identical to
+        ``EnsembleGrammarDetector(**config, seed=seed).detect(series, k)``.
+        """
+        kwargs, fingerprint = self._normalize_config(config)
+        return await self._submit_detect(
+            series, kwargs, fingerprint, k=k, seed=seed, timeout=timeout, use_cache=use_cache
+        )
+
+    async def _submit_detect(
+        self, series, kwargs: dict, fingerprint: tuple, *, k, seed, timeout, use_cache
+    ) -> DetectResult:
+        """The post-config-normalization half of :meth:`detect`.
+
+        Split out so :meth:`detect_many` can validate one shared
+        configuration once and submit every series through it.
+        """
+        series = self._normalize_series(series)
+        k = int(k)
+        if k < 1:
+            raise BadRequest(f"k must be positive, got {k}")
+        if timeout is _UNSET:
+            timeout = self.default_timeout
+        # Generator seeds are neither hashable-stable nor reusable; only
+        # int/None-seeded requests are cacheable.
+        cache_key = None
+        if use_cache and self.cache.enabled and (seed is None or isinstance(seed, int)):
+            cache_key = ("detect", series_digest(series), fingerprint, k, seed)
+            hit, value = self.cache.get(cache_key)
+            if hit:
+                return DetectResult(anomalies=value, cached=True)
+        group = (fingerprint, k)
+        anomalies = await self.batcher.submit(
+            group, _DetectItem(series, seed, kwargs, k), timeout=timeout
+        )
+        anomalies = tuple(anomalies)
+        if cache_key is not None:
+            self.cache.put(cache_key, anomalies)
+        return DetectResult(anomalies=anomalies, cached=False)
+
+    async def detect_many(
+        self,
+        series_list: Sequence,
+        *,
+        k: int = 3,
+        seed=0,
+        timeout=_UNSET,
+        **config: Any,
+    ) -> list[DetectResult | BatchItemError]:
+        """Detect over many series as one request (partial results on failure).
+
+        Per-item seeds derive from ``seed`` exactly like
+        :func:`repro.core.engine.detect_batch` derives them, so the result
+        list is bitwise identical to a direct
+        ``EnsembleGrammarDetector(seed=seed, **config).detect_batch(series_list, k)``
+        — except that a failing series yields a
+        :class:`~repro.core.executors.BatchItemError` in its slot instead
+        of failing the whole request.
+        """
+        series_list = list(series_list)
+        seeds = spawn_rngs(seed, len(series_list))
+        # One shared configuration: validate and fingerprint it once, not
+        # once per series.
+        kwargs, fingerprint = self._normalize_config(config)
+        results = await asyncio.gather(
+            *(
+                self._submit_detect(
+                    series,
+                    kwargs,
+                    fingerprint,
+                    k=k,
+                    seed=child,
+                    timeout=timeout,
+                    use_cache=False,
+                )
+                for series, child in zip(series_list, seeds)
+            ),
+            return_exceptions=True,
+        )
+        out: list[DetectResult | BatchItemError] = []
+        for index, result in enumerate(results):
+            if isinstance(result, BaseException):
+                if not isinstance(result, Exception):
+                    raise result
+                if isinstance(result, BatchItemError):
+                    # Re-attribute: the wrapped index points into whatever
+                    # micro-batch the item landed in, not this request.
+                    result = BatchItemError(index, None, result.cause_message)
+                else:
+                    result = BatchItemError(index, None, result)
+                out.append(result)
+            else:
+                out.append(result)
+        return out
+
+    def _batch_chunksize(self, count: int) -> int:
+        """Task granularity for one coalesced batch.
+
+        Aim for ~2 chunks per worker so the pool stays balanced while the
+        per-task dispatch overhead is amortized across the chunk — the
+        knob that makes micro-batching of *small* requests pay (see
+        ``chunksize`` in :func:`repro.core.engine.iter_detect_batch`).
+        """
+        if self._executor is None or self._executor.kind == "serial":
+            return 1
+        workers = max(1, self._executor.max_workers)
+        return max(1, -(-count // (2 * workers)))
+
+    def _run_batch(self, group: tuple, items: Sequence[_DetectItem]) -> list[tuple[int, Any]]:
+        """Blocking batch runner (worker thread): one coalesced detect batch.
+
+        Every item runs with *its own* seed through the engine's explicit
+        ``seeds=`` path on the shared executor; a per-item failure comes
+        back as that slot's :class:`~repro.core.executors.BatchItemError`.
+        All items share the group's config by construction, so the first
+        item's spec speaks for the batch.
+        """
+        kwargs, k = items[0].kwargs, items[0].k
+        template = EnsembleGrammarDetector(**kwargs, seed=0)
+        results = detect_batch(
+            template,
+            [item.series for item in items],
+            k,
+            n_jobs=self.n_jobs,
+            executor=self._executor,
+            seeds=[item.seed for item in items],
+            return_exceptions=True,
+            chunksize=self._batch_chunksize(len(items)),
+        )
+        return list(enumerate(results))
+
+    # ------------------------------------------------------------------
+    # Streaming sessions (delegation).
+    # ------------------------------------------------------------------
+
+    async def create_session(self, name: str, **config: Any) -> dict:
+        return await self.sessions.create(name, **config)
+
+    async def append(self, name: str, values) -> dict:
+        return await self.sessions.append(name, values)
+
+    async def poll(self, name: str, k: int = 3) -> dict:
+        return await self.sessions.poll(name, k)
+
+    async def close_session(self, name: str) -> dict:
+        return await self.sessions.close(name)
+
+    def list_sessions(self) -> list[dict]:
+        return self.sessions.list()
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle.
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Operational counters for the ``/stats`` endpoint."""
+        if self._executor is None:
+            executor_info: dict = {"kind": "inline", "n_jobs": self.n_jobs}
+        else:
+            executor_info = {
+                "kind": self._executor.kind,
+                "max_workers": self._executor.max_workers,
+                "worker_pids": list(self._executor.worker_pids()),
+            }
+        return {
+            "closed": self._closed,
+            "executor": executor_info,
+            "batcher": self.batcher.stats(),
+            "cache": self.cache.stats(),
+            "sessions": self.sessions.stats(),
+        }
+
+    async def aclose(self) -> None:
+        """Graceful shutdown: drain batches, close sessions, release the pool.
+
+        Order matters for the leak guarantees: the batcher is closed first
+        (in-flight batches finish on their worker threads, releasing every
+        shared-memory segment they published), then sessions, then — only
+        once nothing can submit new work — the owned executor pool is shut
+        down, reaping its worker processes. Idempotent.
+        """
+        self._closed = True
+        await self.batcher.aclose()
+        await self.sessions.aclose()
+        if self._executor is not None and self._owns_executor:
+            await asyncio.to_thread(self._executor.close)
+
+    async def __aenter__(self) -> "DetectService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()

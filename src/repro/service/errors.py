@@ -1,0 +1,99 @@
+"""Service-level error taxonomy with an HTTP status mapping.
+
+Every failure the serving core can produce is a :class:`ServiceError`
+subclass carrying a stable machine-readable ``code`` and the HTTP status
+the front end maps it to. The core raises these from plain ``async``
+methods (it knows nothing about HTTP); the front end turns them into JSON
+error responses, and embedded callers can catch them directly.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BadRequest",
+    "DeadlineExceeded",
+    "MemoryBudgetExceeded",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceOverloaded",
+    "SessionExists",
+    "SessionNotFound",
+    "error_payload",
+]
+
+
+class ServiceError(Exception):
+    """Base class of every serving-layer failure.
+
+    Attributes
+    ----------
+    status:
+        The HTTP status code the front end responds with.
+    code:
+        Stable machine-readable error identifier (kebab-case), independent
+        of the human-readable message.
+    """
+
+    status = 500
+    code = "internal-error"
+
+
+class BadRequest(ServiceError):
+    """The request is malformed or carries invalid parameters."""
+
+    status = 400
+    code = "bad-request"
+
+
+class SessionNotFound(ServiceError):
+    """No live streaming session under the requested name."""
+
+    status = 404
+    code = "session-not-found"
+
+
+class SessionExists(ServiceError):
+    """A streaming session with the requested name already exists."""
+
+    status = 409
+    code = "session-exists"
+
+
+class ServiceOverloaded(ServiceError):
+    """Backpressure: the pending-request queue is full (retry later)."""
+
+    status = 429
+    code = "overloaded"
+
+
+class ServiceClosed(ServiceError):
+    """The service is shutting down and no longer accepts work."""
+
+    status = 503
+    code = "service-closed"
+
+
+class DeadlineExceeded(ServiceError):
+    """The request's deadline passed before a result was produced."""
+
+    status = 504
+    code = "deadline-exceeded"
+
+
+class MemoryBudgetExceeded(ServiceError):
+    """Admitting the request would exceed the global session memory budget."""
+
+    status = 507
+    code = "memory-budget-exceeded"
+
+
+def error_payload(error: BaseException) -> dict:
+    """JSON-shaped description of an error (the front end's response body)."""
+    if isinstance(error, ServiceError):
+        return {"error": {"code": error.code, "message": str(error)}}
+    return {
+        "error": {
+            "code": "detection-failed",
+            "message": f"{type(error).__name__}: {error}",
+        }
+    }

@@ -1,0 +1,432 @@
+"""Thin asyncio HTTP/1.1 front end over :class:`~repro.service.core.DetectService`.
+
+Pure stdlib (``asyncio.start_server`` + ``json``) — the library adds no
+server dependency; the front end is deliberately minimal (JSON in/out,
+keep-alive, content-length bodies) and every behaviour that matters lives
+in the transport-agnostic core where it is unit-tested directly.
+
+Endpoints
+---------
+==========  ==============================  =======================================
+Method      Path                            Meaning
+==========  ==============================  =======================================
+GET         ``/healthz``                    liveness probe
+GET         ``/stats``                      batcher/cache/session/executor counters
+POST        ``/detect``                     one series; micro-batched + cached
+POST        ``/detect_batch``               many series; partial results on failure
+GET         ``/sessions``                   list live streaming sessions
+POST        ``/sessions``                   create a named streaming session
+POST        ``/sessions/{name}/append``     feed a chunk into a session
+GET/POST    ``/sessions/{name}/poll``       snapshot-detect (``?k=3`` / body ``k``)
+DELETE      ``/sessions/{name}``            close a session
+==========  ==============================  =======================================
+
+Request/response floats survive bitwise: ``json`` serializes via
+``float.__repr__`` (shortest round-tripping form), so a served score
+compares equal to the directly computed one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+from typing import Any, Callable
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.executors import BatchItemError
+from repro.service.core import DetectService
+from repro.service.errors import BadRequest, ServiceError, error_payload
+
+__all__ = ["ServiceHTTPServer", "serve"]
+
+#: Largest accepted request body (a 64 MiB JSON series is ~4M points).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Header lines accepted per request (past this the request is rejected).
+MAX_HEADER_COUNT = 256
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+    507: "Insufficient Storage",
+}
+
+#: Detector-configuration keys a detect request may carry (everything else
+#: in the body is rejected, catching typos early).
+CONFIG_KEYS = (
+    "window",
+    "max_paa_size",
+    "max_alphabet_size",
+    "ensemble_size",
+    "selectivity",
+    "combiner",
+    "numerosity",
+    "znorm_threshold",
+)
+
+#: Session-configuration keys accepted by ``POST /sessions``.
+SESSION_CONFIG_KEYS = CONFIG_KEYS + ("capacity", "policy", "segments", "seed")
+
+
+class _HttpError(Exception):
+    """Protocol-level failure mapped straight to a status/body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _split_config(payload: dict, allowed: tuple[str, ...], reserved: tuple[str, ...]) -> dict:
+    """Extract detector config keys from a request body; reject strays."""
+    config = {key: payload[key] for key in allowed if key in payload}
+    strays = set(payload) - set(allowed) - set(reserved)
+    if strays:
+        raise BadRequest(f"unknown request field(s): {sorted(strays)}")
+    return config
+
+
+class ServiceHTTPServer:
+    """One bound HTTP server over a :class:`DetectService`."""
+
+    def __init__(self, service: DetectService, host: str = "127.0.0.1", port: int = 8765) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+
+    async def start(self) -> None:
+        """Bind and start accepting; ``port=0`` resolves to the bound port."""
+        self._server = await asyncio.start_server(self._client_connected, self.host, self.port)
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def aclose(self) -> None:
+        """Stop accepting, then drop connections parked between requests."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+
+    # ------------------------------------------------------------------
+    # Connection handling.
+    # ------------------------------------------------------------------
+
+    def _client_connected(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.get_running_loop().create_task(self._serve_connection(reader, writer))
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as error:
+                    await self._respond(
+                        writer,
+                        error.status,
+                        {"error": {"code": "http", "message": str(error)}},
+                        keep_alive=False,
+                    )
+                    return
+                except (ValueError, asyncio.LimitOverrunError):
+                    # A request or header line over the StreamReader limit
+                    # (64 KiB) surfaces as ValueError from readline();
+                    # answer with a status instead of dropping the socket.
+                    await self._respond(
+                        writer,
+                        431,
+                        {
+                            "error": {
+                                "code": "http",
+                                "message": "request line or header section too large",
+                            }
+                        },
+                        keep_alive=False,
+                    )
+                    return
+                if request is None:
+                    return
+                method, path, query, payload, keep_alive = request
+                status, body = await self._dispatch(method, path, query, payload)
+                await self._respond(writer, status, body, keep_alive=keep_alive)
+                if not keep_alive:
+                    return
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):  # client went away mid-request/response
+            return
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Parse one request; ``None`` on a cleanly closed connection."""
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split()
+        except ValueError:
+            raise _HttpError(400, "malformed request line") from None
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) >= MAX_HEADER_COUNT:
+                raise _HttpError(431, f"more than {MAX_HEADER_COUNT} header lines")
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "malformed Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        payload: Any = None
+        if body:
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError as error:
+                raise _HttpError(400, f"request body is not valid JSON: {error}") from None
+        parts = urlsplit(target)
+        query = {key: values[-1] for key, values in parse_qs(parts.query).items()}
+        keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+        return method.upper(), parts.path, query, payload, keep_alive
+
+    # ------------------------------------------------------------------
+    # Routing.
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, query: dict, payload) -> tuple[int, dict]:
+        try:
+            handler, args = self._route(method, path)
+            return await handler(payload, query, *args)
+        except ServiceError as error:
+            return error.status, error_payload(error)
+        except BatchItemError as error:
+            return 422, error_payload(error)
+        except (ValueError, TypeError, KeyError) as error:
+            return 400, error_payload(BadRequest(str(error)))
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # pragma: no cover — last-resort guard
+            return 500, error_payload(error)
+
+    def _route(self, method: str, path: str) -> tuple[Callable, tuple]:
+        segments = [segment for segment in path.split("/") if segment]
+        if path == "/healthz" and method == "GET":
+            return self._handle_healthz, ()
+        if path == "/stats" and method == "GET":
+            return self._handle_stats, ()
+        if path == "/detect" and method == "POST":
+            return self._handle_detect, ()
+        if path == "/detect_batch" and method == "POST":
+            return self._handle_detect_batch, ()
+        if path == "/sessions":
+            if method == "GET":
+                return self._handle_sessions_list, ()
+            if method == "POST":
+                return self._handle_session_create, ()
+            raise _MethodNotAllowed()
+        if len(segments) == 2 and segments[0] == "sessions" and method == "DELETE":
+            return self._handle_session_close, (segments[1],)
+        if len(segments) == 3 and segments[0] == "sessions":
+            name, action = segments[1], segments[2]
+            if action == "append" and method == "POST":
+                return self._handle_session_append, (name,)
+            if action == "poll" and method in ("GET", "POST"):
+                return self._handle_session_poll, (name,)
+        raise _NotFound(method, path)
+
+    # ------------------------------------------------------------------
+    # Handlers.
+    # ------------------------------------------------------------------
+
+    async def _handle_healthz(self, payload, query) -> tuple[int, dict]:
+        return 200, {"status": "ok"}
+
+    async def _handle_stats(self, payload, query) -> tuple[int, dict]:
+        return 200, self.service.stats()
+
+    @staticmethod
+    def _require_object(payload) -> dict:
+        if not isinstance(payload, dict):
+            raise BadRequest("request body must be a JSON object")
+        return payload
+
+    async def _handle_detect(self, payload, query) -> tuple[int, dict]:
+        payload = self._require_object(payload)
+        if "series" not in payload:
+            raise BadRequest("missing required field 'series'")
+        config = _split_config(payload, CONFIG_KEYS, ("series", "k", "seed", "timeout"))
+        if "window" not in config:
+            raise BadRequest("missing required field 'window'")
+        kwargs: dict = {}
+        if "timeout" in payload and payload["timeout"] is not None:
+            kwargs["timeout"] = float(payload["timeout"])
+        result = await self.service.detect(
+            payload["series"],
+            k=payload.get("k", 3),
+            seed=payload.get("seed", 0),
+            **kwargs,
+            **config,
+        )
+        return 200, result.payload()
+
+    async def _handle_detect_batch(self, payload, query) -> tuple[int, dict]:
+        payload = self._require_object(payload)
+        series_list = payload.get("series")
+        if not isinstance(series_list, list) or not series_list:
+            raise BadRequest("'series' must be a non-empty list of series arrays")
+        config = _split_config(payload, CONFIG_KEYS, ("series", "k", "seed", "timeout"))
+        if "window" not in config:
+            raise BadRequest("missing required field 'window'")
+        kwargs = {}
+        if "timeout" in payload and payload["timeout"] is not None:
+            kwargs["timeout"] = float(payload["timeout"])
+        results = await self.service.detect_many(
+            series_list,
+            k=payload.get("k", 3),
+            seed=payload.get("seed", 0),
+            **kwargs,
+            **config,
+        )
+        documents = []
+        failed = 0
+        for result in results:
+            if isinstance(result, BatchItemError):
+                failed += 1
+                documents.append(error_payload(result))
+            else:
+                documents.append(result.payload())
+        return 200, {"results": documents, "failed": failed}
+
+    async def _handle_sessions_list(self, payload, query) -> tuple[int, dict]:
+        return 200, {"sessions": self.service.list_sessions()}
+
+    async def _handle_session_create(self, payload, query) -> tuple[int, dict]:
+        payload = self._require_object(payload)
+        name = payload.get("name")
+        if not isinstance(name, str):
+            raise BadRequest("missing required string field 'name'")
+        config = _split_config(payload, SESSION_CONFIG_KEYS, ("name",))
+        if "window" not in config:
+            raise BadRequest("missing required field 'window'")
+        return 200, await self.service.create_session(name, **config)
+
+    async def _handle_session_append(self, payload, query, name: str) -> tuple[int, dict]:
+        payload = self._require_object(payload)
+        values = payload.get("values")
+        if not isinstance(values, list) or not values:
+            raise BadRequest("'values' must be a non-empty list of numbers")
+        return 200, await self.service.append(name, values)
+
+    async def _handle_session_poll(self, payload, query, name: str) -> tuple[int, dict]:
+        k = 3
+        if isinstance(payload, dict) and "k" in payload:
+            k = payload["k"]
+        elif "k" in query:
+            k = query["k"]
+        return 200, await self.service.poll(name, int(k))
+
+    async def _handle_session_close(self, payload, query, name: str) -> tuple[int, dict]:
+        return 200, {"closed": await self.service.close_session(name)}
+
+    # ------------------------------------------------------------------
+    # Response writing.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter, status: int, body: dict, *, keep_alive: bool
+    ) -> None:
+        data = json.dumps(body).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + data)
+        await writer.drain()
+
+
+class _NotFound(ServiceError):
+    status = 404
+    code = "not-found"
+
+    def __init__(self, method: str, path: str) -> None:
+        super().__init__(f"no route for {method} {path}")
+
+
+class _MethodNotAllowed(ServiceError):
+    status = 405
+    code = "method-not-allowed"
+
+    def __init__(self) -> None:
+        super().__init__("method not allowed on this path")
+
+
+async def serve(
+    service: DetectService,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    ready: Callable[["ServiceHTTPServer"], None] | None = None,
+) -> None:
+    """Run the HTTP front end until SIGTERM/SIGINT, then shut down gracefully.
+
+    Graceful means leak-free: stop accepting, drain in-flight micro-batches
+    (their worker threads release every shared-memory segment), close all
+    streaming sessions, shut the executor pool down (reaping its worker
+    processes), and only then return. ``ready`` is called once the socket
+    is bound — the CLI uses it to print the resolved address.
+    """
+    server = ServiceHTTPServer(service, host, port)
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    registered: list[signal.Signals] = []
+    for signame in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signame, stop.set)
+            registered.append(signame)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover — non-Unix
+            pass
+    try:
+        if ready is not None:
+            ready(server)
+        await stop.wait()
+    finally:
+        for signame in registered:
+            loop.remove_signal_handler(signame)
+        await server.aclose()
+        await service.aclose()

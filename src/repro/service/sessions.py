@@ -1,0 +1,384 @@
+"""Multi-tenant streaming sessions: many named detectors, one process.
+
+A *session* is one live
+:class:`~repro.core.streaming.StreamingEnsembleDetector` hosted under a
+caller-chosen name, fed incrementally through ``append`` and queried
+through ``poll``. The manager hosts many such sessions at once — the
+deployment shape where one serving process watches thousands of independent
+feeds — and enforces the global resource policies a long-lived multi-tenant
+process needs:
+
+- **Capacity** — at most ``max_sessions`` live sessions; creating more
+  fails with 409/429-style errors rather than growing unboundedly.
+- **Idle eviction** — sessions untouched for ``idle_timeout`` seconds are
+  closed by a background reaper, so abandoned tenants release their memory.
+- **Memory budget** — the summed
+  :meth:`~repro.core.streaming.StreamingEnsembleDetector.memory_bytes`
+  estimate across live sessions is kept under ``memory_budget`` bytes:
+  session creation and appends that would blow the budget are rejected
+  with :class:`~repro.service.errors.MemoryBudgetExceeded`. Bounded
+  sessions (``capacity=``, PR 3) have flat retention, so the budget chiefly
+  polices unbounded ones.
+
+Per-session operations are serialized by an ``asyncio.Lock`` (appends and
+polls on *different* sessions overlap freely; the heavy work runs on worker
+threads), and results are bitwise identical to driving the same
+``StreamingEnsembleDetector`` directly — the session *is* that detector.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import re
+from typing import Any
+
+import numpy as np
+
+from repro.core.executors import MemberExecutor
+from repro.core.streaming import StreamingEnsembleDetector
+from repro.service.cache import LRUCache
+from repro.service.errors import (
+    BadRequest,
+    MemoryBudgetExceeded,
+    ServiceClosed,
+    ServiceOverloaded,
+    SessionExists,
+    SessionNotFound,
+)
+
+__all__ = ["StreamSessionManager"]
+
+#: Session names must be URL-path-safe (they appear in endpoint paths).
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+_session_epochs = itertools.count()
+
+
+def _anomalies_payload(anomalies) -> list[dict]:
+    """JSON-shaped ranked candidates (scores round-trip bitwise via repr)."""
+    return [
+        {"rank": a.rank, "position": a.position, "length": a.length, "score": a.score}
+        for a in anomalies
+    ]
+
+
+class _Session:
+    """One live streaming session (a detector plus bookkeeping)."""
+
+    __slots__ = (
+        "name",
+        "detector",
+        "config",
+        "lock",
+        "epoch",
+        "created_at",
+        "last_used",
+        "appended",
+        "polls",
+    )
+
+    def __init__(self, name: str, detector: StreamingEnsembleDetector, config: dict) -> None:
+        self.name = name
+        self.detector = detector
+        self.config = config
+        self.lock = asyncio.Lock()
+        #: Distinguishes reincarnations of one name in cache keys.
+        self.epoch = next(_session_epochs)
+        loop = asyncio.get_running_loop()
+        self.created_at = loop.time()
+        self.last_used = self.created_at
+        self.appended = 0
+        self.polls = 0
+
+    def info(self) -> dict:
+        detector = self.detector
+        return {
+            "name": self.name,
+            "config": dict(self.config),
+            "length": len(detector),
+            "appended": self.appended,
+            "polls": self.polls,
+            "horizon_start": detector.horizon_start,
+            "live_length": detector.state.live_length,
+            "bounded": detector.bounded,
+            "version": detector.state.version,
+            "memory_bytes": detector.memory_bytes(),
+        }
+
+
+class StreamSessionManager:
+    """Host and police many named streaming sessions.
+
+    Parameters
+    ----------
+    max_sessions:
+        Live-session cap.
+    idle_timeout:
+        Seconds of inactivity before the reaper evicts a session
+        (``None`` disables idle eviction).
+    memory_budget:
+        Global byte budget across all live sessions (``None`` = unlimited),
+        accounted with the detectors' O(1) ``memory_bytes()`` estimates.
+    executor:
+        Optional shared :class:`~repro.core.executors.MemberExecutor` given
+        to every session's detector for snapshot fan-out. Borrowed, never
+        closed here.
+    cache:
+        Optional :class:`~repro.service.cache.LRUCache` for poll responses,
+        keyed by ``(session epoch, stream version, k)`` — a poll with no
+        new data since the last one is answered without touching the
+        detector at all.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_sessions: int = 64,
+        idle_timeout: float | None = None,
+        memory_budget: int | None = None,
+        executor: MemberExecutor | None = None,
+        cache: LRUCache | None = None,
+    ) -> None:
+        max_sessions = int(max_sessions)
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be positive, got {max_sessions}")
+        if idle_timeout is not None:
+            idle_timeout = float(idle_timeout)
+            if idle_timeout <= 0:
+                raise ValueError(f"idle_timeout must be positive, got {idle_timeout}")
+        if memory_budget is not None:
+            memory_budget = int(memory_budget)
+            if memory_budget < 1:
+                raise ValueError(f"memory_budget must be positive, got {memory_budget}")
+        self.max_sessions = max_sessions
+        self.idle_timeout = idle_timeout
+        self.memory_budget = memory_budget
+        self._executor = executor
+        self._cache = cache
+        self._sessions: dict[str, _Session] = {}
+        self._reaper: asyncio.Task | None = None
+        self._closed = False
+        self.evicted_idle = 0
+
+    # ------------------------------------------------------------------
+    # Lookup / accounting.
+    # ------------------------------------------------------------------
+
+    def _get(self, name: str) -> _Session:
+        try:
+            return self._sessions[name]
+        except KeyError:
+            raise SessionNotFound(f"no streaming session named {name!r}") from None
+
+    def _check_still_registered(self, name: str, session: _Session) -> None:
+        """Re-validate after acquiring a session lock.
+
+        A close/evict racing this request may have won the lock first and
+        removed the session; operating on the orphaned detector would
+        silently discard the caller's data behind a 200. The identity check
+        also refuses a same-named session created in between.
+        """
+        if self._sessions.get(name) is not session:
+            raise SessionNotFound(f"streaming session {name!r} was closed")
+
+    def memory_used(self) -> int:
+        """Summed memory estimate of every live session (bytes)."""
+        return sum(session.detector.memory_bytes() for session in self._sessions.values())
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    # ------------------------------------------------------------------
+    # Session lifecycle.
+    # ------------------------------------------------------------------
+
+    async def create(self, name: str, **config: Any) -> dict:
+        """Create a named session; returns its info document.
+
+        ``config`` is passed to
+        :class:`~repro.core.streaming.StreamingEnsembleDetector` (window,
+        ensemble parameters, ``capacity``/``policy``/``segments`` for
+        bounded retention, ``seed``); invalid parameters surface as
+        :class:`~repro.service.errors.BadRequest`.
+        """
+        if self._closed:
+            raise ServiceClosed("service is shutting down")
+        if not isinstance(name, str) or not _NAME_PATTERN.match(name):
+            raise BadRequest(
+                "session names must be 1-64 characters from [A-Za-z0-9._-], "
+                f"got {name!r}"
+            )
+        if name in self._sessions:
+            raise SessionExists(f"streaming session {name!r} already exists")
+        if len(self._sessions) >= self.max_sessions:
+            raise ServiceOverloaded(
+                f"{len(self._sessions)} live sessions (limit {self.max_sessions})"
+            )
+        if self.memory_budget is not None and self.memory_used() >= self.memory_budget:
+            raise MemoryBudgetExceeded(
+                f"session memory budget exhausted ({self.memory_used()} of "
+                f"{self.memory_budget} bytes in use)"
+            )
+        try:
+            detector = StreamingEnsembleDetector(executor=self._executor, **config)
+        except (ValueError, TypeError) as error:
+            raise BadRequest(f"invalid session configuration: {error}") from error
+        session = _Session(name, detector, dict(config))
+        self._sessions[name] = session
+        self._ensure_reaper()
+        return session.info()
+
+    async def close(self, name: str) -> dict:
+        """Close and drop one session; returns its final info document."""
+        session = self._get(name)
+        async with session.lock:
+            self._check_still_registered(name, session)
+            self._sessions.pop(name, None)
+            info = session.info()
+            session.detector.close()
+        return info
+
+    async def aclose(self) -> None:
+        """Close every session and stop the reaper (idempotent)."""
+        self._closed = True
+        reaper, self._reaper = self._reaper, None
+        if reaper is not None:
+            reaper.cancel()
+            try:
+                await reaper
+            except asyncio.CancelledError:
+                pass
+        for name in list(self._sessions):
+            try:
+                await self.close(name)
+            except SessionNotFound:  # pragma: no cover — concurrent close
+                pass
+
+    # ------------------------------------------------------------------
+    # Data plane.
+    # ------------------------------------------------------------------
+
+    async def append(self, name: str, values) -> dict:
+        """Feed a chunk into a session (vectorized ingest on a worker thread)."""
+        session = self._get(name)
+        chunk = np.ascontiguousarray(values, dtype=np.float64)
+        if chunk.ndim != 1:
+            raise BadRequest(f"chunks must be 1-dimensional, got shape {chunk.shape}")
+        async with session.lock:
+            self._check_still_registered(name, session)
+            if self.memory_budget is not None:
+                # Bounded sessions retain a flat window, so only the
+                # transient chunk counts; unbounded sessions grow by the
+                # chunk plus its prefix sums and tokens (upper estimate).
+                growth = chunk.nbytes if session.detector.bounded else 4 * chunk.nbytes
+                projected = self.memory_used() + growth
+                if projected > self.memory_budget:
+                    raise MemoryBudgetExceeded(
+                        f"append of {len(chunk)} points would use ~{projected} bytes "
+                        f"(budget {self.memory_budget}); close sessions or use "
+                        "bounded retention (capacity=)"
+                    )
+            try:
+                await asyncio.to_thread(session.detector.extend, chunk)
+            except ValueError as error:
+                raise BadRequest(str(error)) from error
+            session.appended += len(chunk)
+            session.last_used = asyncio.get_running_loop().time()
+            return {
+                "name": name,
+                "appended": int(len(chunk)),
+                "length": len(session.detector),
+                "horizon_start": session.detector.horizon_start,
+                "live_length": session.detector.state.live_length,
+                "version": session.detector.state.version,
+            }
+
+    async def poll(self, name: str, k: int = 3) -> dict:
+        """Snapshot-detect on a session; absolute stream positions.
+
+        Responses are cached keyed by the session's stream version — a
+        repeated poll with no appends in between is answered from the LRU
+        (and even on a miss, the detector-level snapshot memoization makes
+        the recompute O(1) when nothing changed).
+        """
+        session = self._get(name)
+        k = int(k)
+        if k < 1:
+            raise BadRequest(f"k must be positive, got {k}")
+        async with session.lock:
+            self._check_still_registered(name, session)
+            session.polls += 1
+            session.last_used = asyncio.get_running_loop().time()
+            cache_key = None
+            if self._cache is not None:
+                cache_key = ("poll", session.epoch, session.detector.state.version, k)
+                hit, value = self._cache.get(cache_key)
+                if hit:
+                    return dict(value, cached=True)
+            try:
+                anomalies = await asyncio.to_thread(session.detector.detect, k)
+            except ValueError as error:
+                raise BadRequest(str(error)) from error
+            payload = {
+                "name": name,
+                "anomalies": _anomalies_payload(anomalies),
+                "length": len(session.detector),
+                "horizon_start": session.detector.horizon_start,
+                "live_length": session.detector.state.live_length,
+                "version": session.detector.state.version,
+            }
+            if cache_key is not None:
+                self._cache.put(cache_key, payload)
+            return dict(payload, cached=False)
+
+    # ------------------------------------------------------------------
+    # Idle eviction.
+    # ------------------------------------------------------------------
+
+    def _ensure_reaper(self) -> None:
+        if self.idle_timeout is None or self._closed:
+            return
+        if self._reaper is None or self._reaper.done():
+            self._reaper = asyncio.get_running_loop().create_task(self._reap_idle())
+
+    async def _reap_idle(self) -> None:
+        interval = max(self.idle_timeout / 4.0, 0.05)
+        while self._sessions and not self._closed:
+            await asyncio.sleep(interval)
+            await self.evict_idle()
+
+    async def evict_idle(self) -> list[str]:
+        """Evict sessions idle past the timeout; returns the evicted names."""
+        if self.idle_timeout is None:
+            return []
+        now = asyncio.get_running_loop().time()
+        evicted = []
+        for name, session in list(self._sessions.items()):
+            if session.lock.locked():  # in use right now — not idle
+                continue
+            if now - session.last_used > self.idle_timeout:
+                try:
+                    await self.close(name)
+                except SessionNotFound:  # pragma: no cover — concurrent close
+                    continue
+                evicted.append(name)
+                self.evicted_idle += 1
+        return evicted
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def list(self) -> list[dict]:
+        return [session.info() for session in self._sessions.values()]
+
+    def stats(self) -> dict:
+        return {
+            "sessions": len(self._sessions),
+            "max_sessions": self.max_sessions,
+            "memory_used": self.memory_used(),
+            "memory_budget": self.memory_budget,
+            "idle_timeout": self.idle_timeout,
+            "evicted_idle": self.evicted_idle,
+        }

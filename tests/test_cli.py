@@ -389,3 +389,190 @@ class TestExecutorLifecycle:
         assert code == 2
         assert "finite" in capsys.readouterr().err
         assert shm_segments() == before
+
+
+class TestPartialBatchFailure:
+    """One bad file in a multi-file batch must not abort the others.
+
+    Regression tests for the PR 4 bugfix: `detect` with several --input
+    files now emits every successful result, names the failing path(s) on
+    stderr, and exits nonzero — instead of discarding the whole batch on
+    the first BatchItemError.
+    """
+
+    def _write_good(self, path, length=1500):
+        series = np.sin(np.linspace(0, 30 * np.pi, length))
+        series[700:760] = np.sin(np.linspace(0, 6 * np.pi, 60))
+        save_series(path, series)
+
+    def test_corrupt_middle_file_still_reports_neighbours(self, tmp_path, capsys):
+        first = tmp_path / "first.csv"
+        corrupt = tmp_path / "corrupt.csv"
+        last = tmp_path / "last.csv"
+        self._write_good(first)
+        corrupt.write_text("1.0\nnot-a-number\n2.0\n")
+        self._write_good(last)
+        code = main(
+            [
+                "detect", "--input", str(first), str(corrupt), str(last),
+                "--window", "60", "--method", "ensemble",
+                "--ensemble-size", "4", "--seed", "0",
+            ]
+        )
+        assert code != 0
+        captured = capsys.readouterr()
+        # Both healthy files were fully reported...
+        assert "first.csv" in captured.out
+        assert "last.csv" in captured.out
+        # ...the corrupt one was named on stderr with its parse error...
+        assert "corrupt.csv" in captured.err
+        assert "not-a-number" in captured.err
+        assert "1 of 3 input file(s) failed" in captured.err
+        # ...and never leaked into stdout as a result.
+        assert "corrupt.csv" not in captured.out
+
+    def test_worker_failure_mid_batch(self, tmp_path, capsys):
+        """A series that loads but fails inside the worker is also contained."""
+        good = tmp_path / "good.csv"
+        short = tmp_path / "short.csv"
+        tail = tmp_path / "tail.csv"
+        self._write_good(good)
+        save_series(short, np.arange(10.0))  # loads, but window=60 rejects it
+        self._write_good(tail)
+        code = main(
+            [
+                "detect", "--input", str(good), str(short), str(tail),
+                "--window", "60", "--method", "ensemble",
+                "--ensemble-size", "4", "--seed", "0", "--n-jobs", "2",
+            ]
+        )
+        assert code != 0
+        captured = capsys.readouterr()
+        assert "good.csv" in captured.out
+        assert "tail.csv" in captured.out
+        assert "short.csv" in captured.err
+
+    def test_partial_failure_with_executor_no_shm_leak(self, tmp_path, capsys, shm_segments):
+        good = tmp_path / "good.csv"
+        bad = tmp_path / "bad.csv"
+        self._write_good(good)
+        bad.write_text("1.0\nnan\n2.0\n" * 200)  # NaN fails inside the worker
+        before = shm_segments()
+        code = main(
+            [
+                "detect", "--input", str(good), str(bad),
+                "--window", "60", "--method", "ensemble",
+                "--ensemble-size", "4", "--seed", "0",
+                "--executor", "process", "--n-jobs", "2",
+            ]
+        )
+        assert code != 0
+        captured = capsys.readouterr()
+        assert "good.csv" in captured.out  # the healthy file was reported
+        assert "bad.csv" in captured.err
+        assert shm_segments() == before
+
+    def test_json_sidecars_written_for_successes_only(self, tmp_path, capsys):
+        good = tmp_path / "good.csv"
+        bad = tmp_path / "bad.csv"
+        self._write_good(good)
+        bad.write_text("oops\nnope\n")
+        out = tmp_path / "out.json"
+        code = main(
+            [
+                "detect", "--input", str(good), str(bad),
+                "--window", "60", "--method", "ensemble",
+                "--ensemble-size", "4", "--seed", "0",
+                "--json", str(out),
+            ]
+        )
+        assert code != 0
+        capsys.readouterr()
+        assert (tmp_path / "out.0.json").exists()  # slot 0: the good file
+        assert not (tmp_path / "out.1.json").exists()  # slot 1 failed
+
+    def test_single_bad_file_still_hard_fails(self, tmp_path, capsys):
+        """With exactly one input the old contract stands: error + exit 2."""
+        bad = tmp_path / "bad.csv"
+        bad.write_text("1.0\nnot-a-number\n2.0\n")
+        code = main(
+            ["detect", "--input", str(bad), "--window", "60", "--method", "ensemble"]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "not-a-number" in captured.err
+        assert not captured.out.strip()
+
+    def test_all_good_files_exit_zero(self, tmp_path, capsys):
+        paths = []
+        for name in ("a.csv", "b.csv"):
+            path = tmp_path / name
+            self._write_good(path)
+            paths.append(str(path))
+        code = main(
+            [
+                "detect", "--input", *paths, "--window", "60",
+                "--method", "ensemble", "--ensemble-size", "4", "--seed", "0",
+            ]
+        )
+        assert code == 0
+        assert "failed" not in capsys.readouterr().err
+
+    def test_survivor_results_independent_of_neighbour_load_failure(self, tmp_path, capsys):
+        """A file's batch result must not depend on a neighbour failing to load.
+
+        Seeds are spawned over all inputs and passed explicitly, so slot i
+        sees the same seed whether its neighbours loaded, failed in the
+        worker, or failed at load time.
+        """
+        first = tmp_path / "first.csv"
+        middle_good = tmp_path / "middle.csv"
+        last = tmp_path / "last.csv"
+        self._write_good(first)
+        self._write_good(middle_good, length=1400)
+        self._write_good(last)
+
+        def run_batch(middle_path):
+            out = tmp_path / "out.json"
+            code = main(
+                [
+                    "detect", "--input", str(first), str(middle_path), str(last),
+                    "--window", "60", "--method", "ensemble",
+                    "--ensemble-size", "4", "--seed", "5", "--json", str(out),
+                ]
+            )
+            capsys.readouterr()
+            results = {}
+            for index in (0, 1, 2):
+                sidecar = tmp_path / f"out.{index}.json"
+                if sidecar.exists():
+                    results[index] = sidecar.read_text()
+                    sidecar.unlink()
+            return code, results
+
+        code_ok, all_good = run_batch(middle_good)
+        assert code_ok == 0 and set(all_good) == {0, 1, 2}
+        corrupt = tmp_path / "corrupt.csv"
+        corrupt.write_text("1.0\nbroken\n2.0\n")
+        code_bad, partial = run_batch(corrupt)
+        assert code_bad != 0 and set(partial) == {0, 2}
+        # Survivors' detections are bitwise identical to the all-good run.
+        assert partial[0] == all_good[0]
+        assert partial[2] == all_good[2]
+
+    def test_directory_input_contained(self, tmp_path, capsys):
+        """A non-file input (IsADirectoryError) is contained like any other."""
+        good = tmp_path / "good.csv"
+        self._write_good(good)
+        folder = tmp_path / "folder.csv"
+        folder.mkdir()
+        code = main(
+            [
+                "detect", "--input", str(good), str(folder), "--window", "60",
+                "--method", "ensemble", "--ensemble-size", "4", "--seed", "0",
+            ]
+        )
+        assert code != 0
+        captured = capsys.readouterr()
+        assert "good.csv" in captured.out
+        assert "folder.csv" in captured.err

@@ -364,3 +364,119 @@ class TestDetectBatch:
         assert clone.combiner == "mean"
         assert clone.numerosity == "none"
         assert clone.znorm_threshold == 0.05
+
+
+class TestExplicitSeedsAndPartialResults:
+    """The serving-layer contracts of detect_batch: seeds= and return_exceptions=."""
+
+    def _series(self, seed, length=900):
+        rng = np.random.default_rng(seed)
+        series = np.sin(np.linspace(0, 18 * np.pi, length))
+        series += 0.05 * rng.standard_normal(length)
+        return series
+
+    def test_explicit_seeds_equal_direct_detect(self, executor_kind):
+        """seeds=[s...] makes batch slot i equal a direct detect() with seed s."""
+        batch = [self._series(i) for i in range(3)]
+        detector = EnsembleGrammarDetector(window=60, ensemble_size=5, seed=999)
+        results = detector.detect_batch(
+            batch, 3, seeds=[7, 8, 9], executor=executor_kind, n_jobs=2
+        )
+        for seed, series, anomalies in zip([7, 8, 9], batch, results):
+            direct = EnsembleGrammarDetector(window=60, ensemble_size=5, seed=seed)
+            assert anomalies == direct.detect(series, 3)
+
+    def test_explicit_seeds_independent_of_batch_composition(self):
+        """Coalescing extra series around a request never changes its result."""
+        target = self._series(0)
+        detector = EnsembleGrammarDetector(window=60, ensemble_size=5, seed=0)
+        alone = detector.detect_batch([target], 3, seeds=[42])
+        packed = detector.detect_batch(
+            [self._series(1), target, self._series(2)], 3, seeds=[1, 42, 3]
+        )
+        assert packed[1] == alone[0]
+
+    def test_seed_count_mismatch_rejected(self):
+        detector = EnsembleGrammarDetector(window=60, ensemble_size=4, seed=0)
+        with pytest.raises(ValueError, match="2 seeds for 1 series"):
+            detector.detect_batch([self._series(0)], 3, seeds=[1, 2])
+
+    def test_return_exceptions_contains_failure(self, executor_kind):
+        """One bad series fills its slot with the error; the others complete."""
+        batch = [self._series(0), np.arange(10.0), self._series(2)]
+        detector = EnsembleGrammarDetector(window=60, ensemble_size=5, seed=3)
+        results = detector.detect_batch(
+            batch,
+            3,
+            executor=executor_kind,
+            n_jobs=2,
+            labels=["a", "b", "c"],
+            return_exceptions=True,
+        )
+        assert isinstance(results[1], BatchItemError)
+        assert results[1].index == 1
+        assert results[1].label == "b"
+        # Healthy slots match the spawned-seed derivation of the full batch.
+        from repro.utils.rng import spawn_rngs
+
+        seeds = spawn_rngs(3, 3)
+        expected = detector.detect_batch(
+            [batch[0], batch[2]], 3, seeds=[seeds[0], seeds[2]]
+        )
+        assert results[0] == expected[0]
+        assert results[2] == expected[1]
+
+    def test_iter_detect_batch_return_exceptions(self, executor_kind):
+        batch = [self._series(0), np.arange(10.0)]
+        detector = EnsembleGrammarDetector(window=60, ensemble_size=4, seed=0)
+        outcomes = dict(
+            iter_detect_batch(
+                detector, batch, 2, executor=executor_kind, n_jobs=2, return_exceptions=True
+            )
+        )
+        assert isinstance(outcomes[1], BatchItemError)
+        assert not isinstance(outcomes[0], BaseException)
+
+    def test_without_flag_still_raises(self):
+        batch = [self._series(0), np.arange(10.0)]
+        detector = EnsembleGrammarDetector(window=60, ensemble_size=4, seed=0)
+        with pytest.raises(BatchItemError):
+            detector.detect_batch(batch, 2)
+
+
+class TestStreamStateVersion:
+    """The version counter behind snapshot memoization and poll caching."""
+
+    def test_bumps_on_ingest(self):
+        state = SharedStreamState()
+        v0 = state.version
+        state.append(1.0)
+        assert state.version == v0 + 1
+        state.extend([2.0, 3.0, 4.0])
+        assert state.version == v0 + 2
+        state.extend([])  # empty chunk: no observable change
+        assert state.version == v0 + 2
+
+    def test_bumps_on_horizon_advance_only(self):
+        state = SharedStreamState(capacity=8)
+        state.extend(np.arange(8.0))
+        before = state.version
+        state.trim()  # horizon still 0: nothing retired
+        assert state.version == before
+        state.extend(np.arange(4.0))
+        after_extend = state.version
+        state.trim()
+        assert state.start == 4
+        assert state.version == after_extend + 1
+
+    def test_rejected_chunk_does_not_bump(self):
+        state = SharedStreamState()
+        state.extend([1.0, 2.0])
+        before = state.version
+        with pytest.raises(ValueError, match="finite"):
+            state.extend([3.0, np.nan])
+        assert state.version == before
+
+    def test_nbytes_counts_the_three_buffers(self):
+        state = SharedStreamState(initial_capacity=16)
+        assert state.nbytes == 16 * 8 + 2 * (17 * 8)

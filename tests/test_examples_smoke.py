@@ -23,6 +23,7 @@ FAST_EXAMPLES = [
     "motif_discovery.py",
     "streaming_detection.py",
     "real_ucr_data.py",
+    "serve_client.py",
 ]
 
 
