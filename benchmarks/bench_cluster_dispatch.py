@@ -1,0 +1,170 @@
+"""Cluster dispatch bench: 1 scheduler + N CLI workers vs the process pool.
+
+Three questions, answered on one machine so the comparison is fair:
+
+1. **Scaling curve** — the same ``detect_batch`` through a
+   :class:`ClusterExecutor` with 1 and with N local workers: does adding
+   workers scale the way adding process-pool workers does?
+2. **Backend tax** — the same batch through a :class:`ProcessExecutor` of
+   the same width: what does crossing a TCP socket (instead of a fork +
+   shared memory) cost end to end?
+3. **Dispatch overhead** — a burst of near-empty tasks over one shared
+   series: the per-task round-trip cost (lease + pickle + TCP + result)
+   in isolation, per backend.
+
+Parity is asserted unconditionally — every backend must reproduce the
+serial reference bitwise, the repo's signature guarantee. Timing gates
+only run under ``REPRO_BENCH_STRICT=1`` *and* with at least 2 CPUs (a
+single-core machine cannot show scaling). Scale knobs:
+``REPRO_CLUSTER_SERIES`` (default 6), ``REPRO_CLUSTER_POINTS`` (default
+2000), ``REPRO_CLUSTER_WORKERS`` (default 2). Writes
+``benchmarks/results/BENCH_cluster_dispatch.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from benchlib import RESULTS_DIR
+from repro.core.cluster import ClusterExecutor
+from repro.core.ensemble import EnsembleGrammarDetector
+from repro.core.executors import ProcessExecutor, resolve_series
+from repro.datasets.generators import random_walk
+from repro.evaluation.tables import format_table
+from repro.utils.timing import Timer
+
+STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
+SERIES = int(os.environ.get("REPRO_CLUSTER_SERIES", "6"))
+POINTS = int(os.environ.get("REPRO_CLUSTER_POINTS", "2000"))
+WORKERS = int(os.environ.get("REPRO_CLUSTER_WORKERS", "2"))
+WINDOW = 100
+ENSEMBLE = 8
+SEED = 5
+OVERHEAD_TASKS = 40
+
+#: Generous bring-up waits for shared CI runners.
+CLUSTER_KWARGS = dict(worker_wait=120.0, lease_timeout=30.0)
+
+
+def _touch_task(payload):
+    """Near-empty worker task: materialize the shared series, return a sum.
+
+    The work is negligible on purpose — timing a burst of these isolates
+    the per-task dispatch round trip of each backend.
+    """
+    return float(resolve_series(payload)[::500].sum())
+
+
+def _make_batch() -> list[np.ndarray]:
+    return [random_walk(POINTS, seed=seed) for seed in range(SERIES)]
+
+
+def _detector(executor=None) -> EnsembleGrammarDetector:
+    return EnsembleGrammarDetector(
+        window=WINDOW, ensemble_size=ENSEMBLE, seed=SEED, executor=executor
+    )
+
+
+def _timed_batch(executor, batch):
+    with Timer() as timer:
+        results = _detector(executor).detect_batch(batch, 3)
+    return results, timer.elapsed
+
+
+def _timed_overhead(executor, series) -> float:
+    with executor.share_series(series) as handle:
+        payloads = [handle.ref] * OVERHEAD_TASKS
+        expected = _touch_task(np.asarray(series))
+        with Timer() as timer:
+            results = executor.map(_touch_task, payloads)
+    assert all(value == expected for value in results)
+    return timer.elapsed / OVERHEAD_TASKS
+
+
+def bench_cluster_dispatch(report):
+    """Scaling + overhead of the TCP cluster backend vs the process pool."""
+    batch = _make_batch()
+    series = batch[0]
+    reference, serial_time = _timed_batch(None, batch)
+
+    rows = []
+    payload: dict = {
+        "series": SERIES,
+        "points": POINTS,
+        "workers": WORKERS,
+        "window": WINDOW,
+        "ensemble": ENSEMBLE,
+        "serial_batch_s": serial_time,
+        "strict": STRICT,
+        "cpus": os.cpu_count(),
+    }
+    rows.append(["serial", "-", f"{serial_time * 1e3:.0f}", "1.00x", "-"])
+
+    with ProcessExecutor(WORKERS) as process_pool:
+        process_results, process_time = _timed_batch(process_pool, batch)
+        assert process_results == reference, "process backend broke parity"
+        process_overhead = _timed_overhead(process_pool, series)
+    payload["process_batch_s"] = process_time
+    payload["process_dispatch_ms_per_task"] = process_overhead * 1e3
+    rows.append(
+        [
+            f"process x{WORKERS}",
+            "-",
+            f"{process_time * 1e3:.0f}",
+            f"{serial_time / process_time:.2f}x",
+            f"{process_overhead * 1e3:.2f}",
+        ]
+    )
+
+    cluster_times: dict[int, float] = {}
+    for workers in sorted({1, WORKERS}):
+        with ClusterExecutor(workers, **CLUSTER_KWARGS) as cluster:
+            cluster.start(wait=True)
+            cluster_results, cluster_time = _timed_batch(cluster, batch)
+            assert cluster_results == reference, "cluster backend broke parity"
+            cluster_overhead = _timed_overhead(cluster, series)
+            retried = cluster.stats()["tasks_retried"]
+        cluster_times[workers] = cluster_time
+        payload[f"cluster_{workers}w_batch_s"] = cluster_time
+        payload[f"cluster_{workers}w_dispatch_ms_per_task"] = cluster_overhead * 1e3
+        payload[f"cluster_{workers}w_retries"] = retried
+        rows.append(
+            [
+                f"cluster x{workers}",
+                f"{workers}",
+                f"{cluster_time * 1e3:.0f}",
+                f"{serial_time / cluster_time:.2f}x",
+                f"{cluster_overhead * 1e3:.2f}",
+            ]
+        )
+
+    scaling = (
+        cluster_times[1] / cluster_times[WORKERS] if WORKERS in cluster_times else 1.0
+    )
+    payload["cluster_scaling"] = scaling
+    text = format_table(
+        ["backend", "workers", "batch ms", "vs serial", "dispatch ms/task"],
+        rows,
+        title=(
+            f"Cluster dispatch: {SERIES} x {POINTS}-point series, "
+            f"ensemble {ENSEMBLE}, window {WINDOW} "
+            f"(overhead over {OVERHEAD_TASKS} empty tasks)"
+        ),
+    )
+    report(text, "bench_cluster_dispatch.txt")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_cluster_dispatch.json").write_text(
+        json.dumps(payload, indent=1) + "\n"
+    )
+
+    # Bitwise parity was asserted above, unconditionally. The timing gate
+    # needs real parallel hardware to be meaningful.
+    if STRICT and (os.cpu_count() or 1) >= 2 and WORKERS >= 2:
+        assert scaling > 1.05, (
+            f"adding workers did not scale: 1 worker {cluster_times[1] * 1e3:.0f}ms "
+            f"vs {WORKERS} workers {cluster_times[WORKERS] * 1e3:.0f}ms"
+        )

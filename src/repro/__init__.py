@@ -36,6 +36,7 @@ from repro.core import (
     Anomaly,
     AnomalyDetector,
     BatchItemError,
+    ClusterExecutor,
     EnsembleGrammarDetector,
     EnsembleReport,
     GrammarAnomalyDetector,
@@ -46,6 +47,7 @@ from repro.core import (
     StreamingEnsembleDetector,
     StreamingGrammarDetector,
     ThreadExecutor,
+    as_executor,
     make_executor,
 )
 from repro.discord import DiscordDetector, HotSaxDetector, hotsax_discords, matrix_profile_stomp
@@ -64,6 +66,7 @@ __all__ = [
     "Anomaly",
     "AnomalyDetector",
     "BatchItemError",
+    "ClusterExecutor",
     "DiscordDetector",
     "EnsembleGrammarDetector",
     "EnsembleReport",
@@ -79,6 +82,7 @@ __all__ = [
     "StreamingGrammarDetector",
     "ThreadExecutor",
     "__version__",
+    "as_executor",
     "discover_motifs",
     "discretize",
     "hotsax_discords",

@@ -42,16 +42,32 @@ Five subcommands cover the library's main workflows:
 - ``serve`` — run the async serving subsystem (:mod:`repro.service`): a
   long-lived HTTP endpoint that micro-batches concurrent ``detect``
   requests onto one shared executor pool, hosts named multi-tenant
-  streaming sessions, and caches results by series digest. See the
-  README's "Serving" section::
+  streaming sessions, and caches results by series digest. See
+  ``docs/serving.md``::
 
       python -m repro serve --port 8765 --executor process --n-jobs 4 \\
           --batch-window-ms 2 --max-batch 16
 
+- ``worker`` — join a cluster scheduler as one task-at-a-time worker
+  (:mod:`repro.core.cluster`). Any command run with ``--executor cluster
+  --scheduler HOST:PORT`` (including ``serve``) binds a scheduler at that
+  address; workers on any reachable machine dial in. See
+  ``docs/deployment.md``::
+
+      python -m repro worker --connect 10.0.0.5:9123
+
+Every subcommand that executes work accepts the same ``--executor`` flag,
+parsed by one shared helper: ``serial``, ``thread``, ``process``, or
+``cluster`` (``--scheduler HOST:PORT`` binds a fixed address for remote
+workers; without it a local mini-cluster of ``--n-jobs`` workers is
+spawned). Unknown names are rejected up front with the list of valid
+choices. Results are bitwise identical across backends.
+
 Series files are one value per line (CSV with a single column; a header
 line is tolerated). All commands are deterministic under ``--seed``.
 Executors the CLI creates are context-managed: every pool (and any shared
-memory it published) is released on success *and* on error paths.
+memory or worker fleet it manages) is released on success *and* on error
+paths.
 """
 
 from __future__ import annotations
@@ -65,10 +81,16 @@ from pathlib import Path
 import numpy as np
 
 from repro import __version__
+from repro.core.cluster import ClusterError, run_worker
 from repro.core.detector import GrammarAnomalyDetector
 from repro.core.engine import EVICTION_POLICIES
 from repro.core.ensemble import EnsembleGrammarDetector
-from repro.core.executors import EXECUTOR_KINDS, BatchItemError, make_executor
+from repro.core.executors import (
+    BatchItemError,
+    MemberExecutor,
+    as_executor,
+    validate_executor_spec,
+)
 from repro.core.streaming import StreamingEnsembleDetector
 from repro.datasets.generators import random_walk, synthetic_ecg, synthetic_eeg
 from repro.datasets.planting import make_corpus, make_test_case
@@ -111,6 +133,85 @@ def load_series(path: str | Path) -> np.ndarray:
 def save_series(path: str | Path, series: np.ndarray) -> None:
     """Write a one-column series file."""
     Path(path).write_text("\n".join(f"{x:.8g}" for x in series) + "\n")
+
+
+#: The one ``--executor`` help string every subcommand shares (the parsing
+#: helper below is the single place executor flags are interpreted).
+EXECUTOR_HELP = (
+    "execution backend: 'serial' (inline reference), 'thread' "
+    "(GIL-releasing numpy work), 'process' (shared-memory series passing, "
+    "reusable pool), or 'cluster' (dispatch to `repro worker` processes "
+    "over TCP; spawns --n-jobs local workers, or binds --scheduler "
+    "HOST:PORT for remote ones). Results are bitwise identical across "
+    "backends. Default: derive from --n-jobs"
+)
+
+
+def _executor_argument(value: str) -> str:
+    """Argparse type for ``--executor``: reject unknown names with the choices."""
+    try:
+        validate_executor_spec(value)
+    except (ValueError, TypeError) as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return value
+
+
+def _add_executor_options(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared execution-backend flags (one help string, one parser)."""
+    parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="worker count for member/batch execution (default 1)",
+    )
+    parser.add_argument(
+        "--executor",
+        type=_executor_argument,
+        default=None,
+        metavar="BACKEND",
+        help=EXECUTOR_HELP,
+    )
+    parser.add_argument(
+        "--scheduler",
+        metavar="HOST:PORT",
+        default=None,
+        help=(
+            "with --executor cluster: bind the scheduler at this address and "
+            "wait for externally started `repro worker --connect HOST:PORT` "
+            "processes instead of spawning local ones"
+        ),
+    )
+
+
+def open_cli_executor(args: argparse.Namespace, stack: ExitStack) -> MemberExecutor | None:
+    """Build the executor the shared flags ask for; ``None`` means inline.
+
+    The single place CLI executor flags become a live backend: the
+    executor is registered on ``stack`` so every subcommand releases its
+    pool (or worker fleet) on success and on error paths alike. With
+    ``--executor cluster --scheduler HOST:PORT`` the scheduler is bound
+    immediately and the worker bring-up line is printed to stderr.
+    """
+    spec = args.executor
+    scheduler = getattr(args, "scheduler", None)
+    if spec is None:
+        if scheduler:
+            raise ValueError("--scheduler requires --executor cluster")
+        return None
+    if scheduler:
+        if spec != "cluster":
+            raise ValueError(f"--scheduler requires --executor cluster, not {spec!r}")
+        spec = f"cluster:{scheduler}"
+    executor = as_executor(spec, None if args.n_jobs <= 1 else args.n_jobs)
+    stack.enter_context(executor)
+    if scheduler:
+        host, port = executor.start(wait=False)
+        print(
+            f"cluster: scheduler listening on {host}:{port} — start workers "
+            f"with: python -m repro worker --connect {host}:{port}",
+            file=sys.stderr,
+        )
+    return executor
 
 
 def build_detector(
@@ -203,7 +304,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     # between batch calls — so no pool or /dev/shm segment outlives the
     # command (regression-tested in tests/test_cli.py).
     with ExitStack() as stack:
-        detector = build_detector(args.method, args.window, args, executor=args.executor)
+        executor = open_cli_executor(args, stack)
+        detector = build_detector(args.method, args.window, args, executor=executor)
         if hasattr(detector, "close"):
             stack.callback(detector.close)
         if len(inputs) > 1 and hasattr(detector, "detect_batch"):
@@ -236,7 +338,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                     batch,
                     args.top,
                     n_jobs=args.n_jobs,
-                    executor=args.executor,
+                    executor=executor,
                     labels=labels,
                     return_exceptions=True,
                 )
@@ -342,11 +444,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     # backend is named); member-level parallelism inside pooled tasks is
     # disabled by the harness, so --n-jobs bounds total workers.
     with ExitStack() as stack:
-        executor = None
-        if args.executor:
-            executor = stack.enter_context(
-                make_executor(args.executor, None if args.n_jobs <= 1 else args.n_jobs)
-            )
+        executor = open_cli_executor(args, stack)
         results = evaluate_methods_on_corpus(
             corpus, factories, k=args.top, executor=executor
         )
@@ -374,13 +472,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if args.chunk_size < 1:
         raise ValueError(f"chunk-size must be positive, got {args.chunk_size}")
     with ExitStack() as stack:
-        executor = None
-        if args.executor:
-            # Built here, so owned here: entering it on the stack guarantees
-            # the pool dies even when a mid-stream chunk is rejected.
-            executor = stack.enter_context(
-                make_executor(args.executor, None if args.n_jobs <= 1 else args.n_jobs)
-            )
+        # Built here, so owned here: entering it on the stack guarantees
+        # the pool dies even when a mid-stream chunk is rejected.
+        executor = open_cli_executor(args, stack)
         detector = stack.enter_context(
             StreamingEnsembleDetector(
                 args.window,
@@ -444,13 +538,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     memory_budget = (
         None if args.memory_budget_mb is None else int(args.memory_budget_mb * 1024 * 1024)
     )
-    executor = args.executor
-    if executor is None and args.n_jobs > 1:
+    if args.executor is None and args.n_jobs > 1:
         # Asking for workers without naming a backend: a long-lived service
         # wants one reusable pool, not a fresh one per micro-batch.
-        executor = "process"
+        args.executor = "process"
 
-    async def _main() -> None:
+    async def _main(executor: MemberExecutor | None) -> None:
         service = DetectService(
             executor=executor,
             n_jobs=args.n_jobs,
@@ -479,11 +572,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         await serve(service, args.host, args.port, ready=_ready)
         print("serve: shut down cleanly", flush=True)
 
-    try:
-        asyncio.run(_main())
-    except KeyboardInterrupt:  # pragma: no cover — non-Unix fallback path
-        pass
+    # The executor is built (and torn down) here rather than inside the
+    # service, so `serve` shares the exact flag semantics of every other
+    # subcommand — including `--executor cluster --scheduler HOST:PORT`,
+    # which lets the HTTP front end dispatch to a worker fleet.
+    with ExitStack() as stack:
+        executor = open_cli_executor(args, stack)
+        try:
+            asyncio.run(_main(executor))
+        except KeyboardInterrupt:  # pragma: no cover — non-Unix fallback path
+            pass
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    return run_worker(
+        args.connect,
+        authkey=args.authkey,
+        name=args.name,
+        heartbeat=args.heartbeat,
+        connect_retry=args.connect_retry,
+    )
 
 
 def _add_detector_options(parser: argparse.ArgumentParser) -> None:
@@ -495,22 +604,7 @@ def _add_detector_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--selectivity", type=float, default=0.4, help="member keep fraction tau")
     parser.add_argument("--paa-size", type=int, default=4, help="w for gi/rra methods")
     parser.add_argument("--alphabet-size", type=int, default=4, help="a for gi/rra methods")
-    parser.add_argument(
-        "--n-jobs",
-        type=int,
-        default=1,
-        help="worker count for ensemble member/batch execution (default 1)",
-    )
-    parser.add_argument(
-        "--executor",
-        choices=EXECUTOR_KINDS,
-        default=None,
-        help=(
-            "execution backend: serial, thread (GIL-releasing numpy work), or "
-            "process (shared-memory series passing, reusable pool); default "
-            "derives from --n-jobs"
-        ),
-    )
+    _add_executor_options(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -646,22 +740,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="default per-request deadline in seconds (default 30)",
     )
-    serve.add_argument(
-        "--n-jobs",
-        type=int,
-        default=1,
-        help="worker count for the shared executor pool (default 1)",
+    _add_executor_options(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
+    worker = commands.add_parser(
+        "worker",
+        help="join a cluster scheduler and execute dispatched tasks",
     )
-    serve.add_argument(
-        "--executor",
-        choices=EXECUTOR_KINDS,
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="scheduler address (printed by --executor cluster --scheduler)",
+    )
+    worker.add_argument(
+        "--name", default=None, help="worker name shown in scheduler stats"
+    )
+    worker.add_argument(
+        "--authkey",
         default=None,
         help=(
-            "execution backend shared by all requests: serial, thread, or "
-            "process (shared-memory series passing, one reusable pool)"
+            "shared connection secret; defaults to $REPRO_CLUSTER_AUTHKEY, "
+            "then a development constant"
         ),
     )
-    serve.set_defaults(handler=_cmd_serve)
+    worker.add_argument(
+        "--heartbeat",
+        type=float,
+        default=5.0,
+        help="seconds between keep-alive heartbeats while computing (default 5)",
+    )
+    worker.add_argument(
+        "--connect-retry",
+        type=float,
+        default=10.0,
+        help="seconds to keep retrying the initial connection (default 10)",
+    )
+    worker.set_defaults(handler=_cmd_worker)
 
     evaluate = commands.add_parser("evaluate", help="run the paper's protocol on one dataset")
     evaluate.add_argument("--dataset", required=True, choices=sorted(DATASETS))
@@ -681,9 +796,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (ValueError, OSError, KeyError, BatchItemError) as error:
+    except (ValueError, OSError, KeyError, BatchItemError, ClusterError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:  # pragma: no cover — workers stopped by ^C
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,6 +16,9 @@ its ensemble variant (Sections 5–6).
 - :mod:`repro.core.executors` — the pluggable execution backends
   (serial/thread/process) with shared-memory series passing and reusable
   pools.
+- :mod:`repro.core.cluster` — the cross-machine backends behind the same
+  interface: the stdlib TCP cluster executor (scheduler + ``repro worker``
+  fleet) and the import-guarded dask adapter.
 - :mod:`repro.core.engine` — the execution engine: shared stream state for
   streaming ensembles, executor-driven member execution, and the
   :func:`~repro.core.engine.detect_batch` /
@@ -34,13 +37,16 @@ from repro.core.engine import (
     detect_many,
     iter_detect_batch,
 )
+from repro.core.cluster import ClusterExecutor, DaskExecutor
 from repro.core.ensemble import EnsembleGrammarDetector, EnsembleReport, combine_and_detect
 from repro.core.executors import (
     EXECUTOR_KINDS,
+    EXECUTOR_SPECS,
     MemberExecutor,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
+    as_executor,
     make_executor,
 )
 from repro.core.multiresolution import MultiResolutionDiscretizer
@@ -51,8 +57,11 @@ __all__ = [
     "Anomaly",
     "AnomalyDetector",
     "BatchItemError",
+    "ClusterExecutor",
+    "DaskExecutor",
     "EVICTION_POLICIES",
     "EXECUTOR_KINDS",
+    "EXECUTOR_SPECS",
     "EnsembleGrammarDetector",
     "EnsembleReport",
     "GrammarAnomalyDetector",
@@ -64,6 +73,7 @@ __all__ = [
     "StreamingEnsembleDetector",
     "StreamingGrammarDetector",
     "ThreadExecutor",
+    "as_executor",
     "combine_and_detect",
     "combine_curves",
     "detect_batch",

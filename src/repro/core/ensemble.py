@@ -63,6 +63,7 @@ class EnsembleReport:
 
     @property
     def ensemble_size(self) -> int:
+        """Number of sampled members in this run."""
         return len(self.parameters)
 
 

@@ -56,6 +56,7 @@ import numpy as np
 __all__ = [
     "BatchItemError",
     "EXECUTOR_KINDS",
+    "EXECUTOR_SPECS",
     "ExecutorOwnerMixin",
     "MemberExecutor",
     "ProcessExecutor",
@@ -64,14 +65,21 @@ __all__ = [
     "SharedSeriesRef",
     "StatelessBatchMixin",
     "ThreadExecutor",
+    "as_executor",
     "detect_many",
     "make_executor",
     "open_executor",
     "resolve_series",
 ]
 
-#: The registered executor backends (the CLI's ``--executor`` choices).
+#: The in-process executor backends (what the parity suite parametrizes
+#: over by default; the distributed backends live in
+#: :mod:`repro.core.cluster` and are named via :data:`EXECUTOR_SPECS`).
 EXECUTOR_KINDS = ("serial", "thread", "process")
+
+#: Every spec form :func:`as_executor` accepts — the single source of the
+#: CLI help and of "unknown executor" error messages.
+EXECUTOR_SPECS = ("serial", "thread", "process", "cluster[:HOST:PORT]", "dask[:ADDRESS]")
 
 #: Prefix of every shared-memory segment this library creates (leak checks
 #: in the test suite key on it).
@@ -134,6 +142,11 @@ def resolve_series(ref) -> np.ndarray:
         finally:
             segment.close()
         return series
+    resolver = getattr(ref, "resolve", None)
+    if resolver is not None:
+        # Self-resolving references (the cluster backend's content-addressed
+        # blob refs) materialize themselves from worker-local storage.
+        return np.asarray(resolver(), dtype=np.float64)
     return np.asarray(ref, dtype=np.float64)
 
 
@@ -218,6 +231,7 @@ class MemberExecutor(abc.ABC):
 
     @property
     def closed(self) -> bool:
+        """Whether :meth:`close` has been called (closed executors refuse work)."""
         return self._closed
 
     def worker_pids(self) -> tuple[int, ...]:
@@ -297,10 +311,12 @@ class SerialExecutor(MemberExecutor):
         super().__init__(1 if max_workers is None else max_workers)
 
     def map(self, fn, payloads):
+        """Run ``fn`` over ``payloads`` inline; the reference semantics."""
         self._check_open()
         return [fn(payload) for payload in payloads]
 
     def imap_unordered(self, fn, payloads, *, return_exceptions=False):
+        """Yield ``(index, result)`` pairs lazily, in submission order."""
         self._check_open()  # at the call, as the interface promises
         if not return_exceptions:
             return ((index, fn(payload)) for index, payload in enumerate(payloads))
@@ -437,6 +453,7 @@ class ProcessExecutor(_PooledExecutor):
         return ProcessPoolExecutor(max_workers=self._max_workers)
 
     def worker_pids(self) -> tuple[int, ...]:
+        """PIDs of the live pool processes (empty before the lazy spawn)."""
         pool = self._pool
         processes = getattr(pool, "_processes", None) if pool is not None else None
         if not processes:
@@ -444,6 +461,7 @@ class ProcessExecutor(_PooledExecutor):
         return tuple(sorted(processes))
 
     def share_series(self, series: np.ndarray) -> SeriesHandle:
+        """Publish ``series`` once via shared memory (inline fallback off-POSIX)."""
         self._check_open()
         if self._use_shared_memory:
             series = _as_series_1d(series)  # input errors must raise, not disable shm
@@ -465,27 +483,85 @@ _EXECUTOR_CLASSES = {
 }
 
 
+def _split_spec(spec: str) -> tuple[str, str | None]:
+    """Split an executor spec into ``(backend name, optional address)``."""
+    base, sep, argument = spec.partition(":")
+    return base, (argument if sep else None)
+
+
+def _check_spec(spec: str) -> None:
+    """Validate an executor spec string without constructing anything."""
+    base, argument = _split_spec(spec)
+    if base in _EXECUTOR_CLASSES:
+        if argument is not None:
+            raise ValueError(
+                f"executor {base!r} takes no address; expected one of {EXECUTOR_SPECS}"
+            )
+        return
+    if base == "cluster":
+        if argument is not None:
+            # Function-level import: cluster.py imports this module at load
+            # time, so the reverse import must stay out of module scope.
+            from repro.core.cluster import parse_address
+
+            parse_address(argument)
+        return
+    if base == "dask":
+        return
+    raise ValueError(f"unknown executor {spec!r}; expected one of {EXECUTOR_SPECS}")
+
+
+def as_executor(spec: str, max_workers: int | None = None) -> MemberExecutor:
+    """Instantiate an executor backend from a spec string.
+
+    Accepted forms (see :data:`EXECUTOR_SPECS`):
+
+    - ``"serial"`` / ``"thread"`` / ``"process"`` — the in-process backends;
+    - ``"cluster"`` — a self-contained localhost cluster: bind an ephemeral
+      port and spawn ``max_workers`` local worker subprocesses;
+    - ``"cluster:HOST:PORT"`` — bind ``HOST:PORT`` and wait for externally
+      started ``python -m repro worker`` processes (fleet mode);
+    - ``"dask"`` / ``"dask:ADDRESS"`` — the dask adapter (requires the
+      ``distributed`` package; raises a clear error without it).
+
+    Results are bitwise identical across every backend; the spec only
+    chooses where the work runs.
+    """
+    _check_spec(spec)
+    base, argument = _split_spec(spec)
+    if base in _EXECUTOR_CLASSES:
+        return _EXECUTOR_CLASSES[base](max_workers)
+    if base == "cluster":
+        from repro.core.cluster import ClusterExecutor
+
+        if argument is None:
+            return ClusterExecutor(max_workers)
+        return ClusterExecutor(max_workers, bind=argument)
+    from repro.core.cluster import DaskExecutor
+
+    return DaskExecutor(argument, max_workers)
+
+
 def make_executor(kind: str, max_workers: int | None = None) -> MemberExecutor:
-    """Instantiate a registered executor backend by name."""
-    try:
-        executor_class = _EXECUTOR_CLASSES[kind]
-    except KeyError:
-        raise ValueError(
-            f"unknown executor {kind!r}; expected one of {EXECUTOR_KINDS}"
-        ) from None
-    return executor_class(max_workers)
+    """Instantiate a registered executor backend by name (or full spec).
+
+    The historical name for :func:`as_executor`; both accept every form in
+    :data:`EXECUTOR_SPECS`.
+    """
+    if not isinstance(kind, str):
+        raise TypeError(f"executor spec must be a string, got {type(kind).__name__}")
+    return as_executor(kind, max_workers)
 
 
 def validate_executor_spec(executor) -> None:
-    """Reject anything that is not ``None``, a backend name, or an executor."""
+    """Reject anything that is not ``None``, a valid spec string, or an executor."""
     if executor is None or isinstance(executor, MemberExecutor):
         return
     if isinstance(executor, str):
-        if executor not in _EXECUTOR_CLASSES:
-            raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTOR_KINDS}")
+        _check_spec(executor)
         return
     raise TypeError(
-        f"executor must be None, one of {EXECUTOR_KINDS}, or a MemberExecutor, "
+        f"executor must be None, one of {EXECUTOR_SPECS}, or a MemberExecutor, "
         f"got {type(executor).__name__}"
     )
 
@@ -536,7 +612,7 @@ def open_executor(executor, max_workers: int | None = None):
         return
     if not isinstance(executor, str):
         raise TypeError(
-            f"executor must be a MemberExecutor or one of {EXECUTOR_KINDS}, "
+            f"executor must be a MemberExecutor or one of {EXECUTOR_SPECS}, "
             f"got {type(executor).__name__}"
         )
     owned = make_executor(executor, max_workers)

@@ -127,6 +127,7 @@ class MicroBatcher:
 
     @property
     def closed(self) -> bool:
+        """Whether :meth:`aclose` has begun (new submissions are refused)."""
         return self._closed
 
     async def submit(self, key: Hashable, payload: Any, *, timeout: float | None = None):

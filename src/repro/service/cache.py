@@ -71,6 +71,7 @@ class LRUCache:
 
     @property
     def enabled(self) -> bool:
+        """Whether caching is on (``max_entries=0`` disables it)."""
         return self.max_entries > 0
 
     def __len__(self) -> int:
@@ -102,10 +103,12 @@ class LRUCache:
                 self.evictions += 1
 
     def clear(self) -> None:
+        """Drop every cached entry (counters are kept)."""
         with self._lock:
             self._entries.clear()
 
     def stats(self) -> dict:
+        """Hit/miss/eviction counters for the ``/stats`` endpoint."""
         with self._lock:
             return {
                 "entries": len(self._entries),

@@ -49,7 +49,7 @@ from repro.core.ensemble import EnsembleGrammarDetector
 from repro.core.executors import (
     BatchItemError,
     MemberExecutor,
-    make_executor,
+    as_executor,
     validate_executor_spec,
 )
 from repro.service.batching import MicroBatcher
@@ -105,11 +105,13 @@ class DetectService:
     Parameters
     ----------
     executor:
-        Execution backend shared by every request: a backend name from
-        :data:`~repro.core.executors.EXECUTOR_KINDS` (the service creates
-        and owns it), a live :class:`~repro.core.executors.MemberExecutor`
-        (borrowed; the caller closes it), or ``None`` for the inline
-        ``n_jobs`` semantics.
+        Execution backend shared by every request: a spec string from
+        :data:`~repro.core.executors.EXECUTOR_SPECS` — including
+        ``"cluster:HOST:PORT"``, which puts a worker fleet behind the
+        service with no other change — (the service creates and owns it),
+        a live :class:`~repro.core.executors.MemberExecutor` (borrowed;
+        the caller closes it), or ``None`` for the inline ``n_jobs``
+        semantics.
     n_jobs:
         Pool size for a spec-built executor (and the ``n_jobs`` passed to
         the batch engine when ``executor`` is ``None``).
@@ -144,7 +146,7 @@ class DetectService:
         self.n_jobs = n_jobs
         self._owns_executor = isinstance(executor, str)
         if isinstance(executor, str):
-            self._executor: MemberExecutor | None = make_executor(
+            self._executor: MemberExecutor | None = as_executor(
                 executor, None if n_jobs in (None, 1) else n_jobs
             )
         else:
@@ -348,18 +350,23 @@ class DetectService:
     # ------------------------------------------------------------------
 
     async def create_session(self, name: str, **config: Any) -> dict:
+        """Create a named streaming session (see :class:`StreamSessionManager`)."""
         return await self.sessions.create(name, **config)
 
     async def append(self, name: str, values) -> dict:
+        """Feed a chunk into a session (507 semantics on budget breach)."""
         return await self.sessions.append(name, values)
 
     async def poll(self, name: str, k: int = 3) -> dict:
+        """Snapshot-detect on a session; cached per stream version."""
         return await self.sessions.poll(name, k)
 
     async def close_session(self, name: str) -> dict:
+        """Close a session and release its stream state."""
         return await self.sessions.close(name)
 
     def list_sessions(self) -> list[dict]:
+        """Summaries of every live streaming session."""
         return self.sessions.list()
 
     # ------------------------------------------------------------------

@@ -371,9 +371,11 @@ class StreamSessionManager:
     # ------------------------------------------------------------------
 
     def list(self) -> list[dict]:
+        """Summaries of every live session (name, length, memory)."""
         return [session.info() for session in self._sessions.values()]
 
     def stats(self) -> dict:
+        """Session counts and memory accounting for the ``/stats`` endpoint."""
         return {
             "sessions": len(self._sessions),
             "max_sessions": self.max_sessions,

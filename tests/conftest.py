@@ -12,10 +12,12 @@ from repro.core.executors import EXECUTOR_KINDS
 def pytest_addoption(parser: pytest.Parser) -> None:
     parser.addoption(
         "--executor",
-        choices=EXECUTOR_KINDS,
+        choices=EXECUTOR_KINDS + ("cluster",),
         default=None,
         help="restrict executor-parametrized tests to one backend "
-        "(e.g. --executor process under a constrained taskset)",
+        "(e.g. --executor process under a constrained taskset, or "
+        "--executor cluster to run the parity suite over a localhost "
+        "scheduler + worker fleet)",
     )
 
 

@@ -247,6 +247,105 @@ class TestParser:
             main([])
 
 
+class TestUnifiedExecutorFlag:
+    """Regression tests: one shared --executor parser across subcommands.
+
+    Executor flags used to be wired per subcommand (with argparse
+    ``choices`` in some places and ad-hoc strings in others); they are now
+    parsed by one helper with a single help string, and unknown names fail
+    up front naming every valid choice.
+    """
+
+    COMMANDS_WITH_EXECUTOR = ("detect", "stream", "evaluate", "serve")
+
+    def _help_for(self, command: str) -> str:
+        parser = build_parser()
+        subparsers = parser._subparsers._group_actions[0]
+        return subparsers.choices[command].format_help()
+
+    def test_every_subcommand_documents_the_same_backends(self):
+        for command in self.COMMANDS_WITH_EXECUTOR:
+            text = self._help_for(command)
+            assert "--executor" in text
+            assert "--scheduler" in text
+            for backend in ("serial", "thread", "process", "cluster"):
+                assert f"'{backend}'" in text, (command, backend)
+
+    def test_executor_help_identical_across_subcommands(self):
+        from repro.cli import EXECUTOR_HELP
+
+        for command in self.COMMANDS_WITH_EXECUTOR:
+            parser = build_parser()
+            sub = parser._subparsers._group_actions[0].choices[command]
+            actions = {a.dest: a for a in sub._actions}
+            assert actions["executor"].help == EXECUTOR_HELP, command
+
+    def test_unknown_executor_rejected_with_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["detect", "--input", "x.csv", "--window", "10",
+                  "--executor", "bogus"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown executor 'bogus'" in err
+        for backend in ("serial", "thread", "process", "cluster"):
+            assert backend in err
+
+    def test_unknown_executor_rejected_on_every_subcommand(self, capsys):
+        cases = {
+            "detect": ["detect", "--input", "x.csv", "--window", "10"],
+            "stream": ["stream", "--input", "x.csv", "--window", "10"],
+            "evaluate": ["evaluate", "--dataset", "Wafer"],
+            "serve": ["serve"],
+        }
+        for command in self.COMMANDS_WITH_EXECUTOR:
+            with pytest.raises(SystemExit) as excinfo:
+                main(cases[command] + ["--executor", "nope"])
+            assert excinfo.value.code == 2, command
+            assert "unknown executor" in capsys.readouterr().err, command
+
+    def test_scheduler_without_cluster_is_clean_error(self, series_file, capsys):
+        code = main(
+            ["detect", "--input", str(series_file), "--window", "100",
+             "--executor", "process", "--scheduler", "127.0.0.1:9"]
+        )
+        assert code == 2
+        assert "--scheduler requires --executor cluster" in capsys.readouterr().err
+
+    def test_scheduler_without_executor_is_clean_error(self, series_file, capsys):
+        code = main(
+            ["detect", "--input", str(series_file), "--window", "100",
+             "--scheduler", "127.0.0.1:9"]
+        )
+        assert code == 2
+        assert "--scheduler requires --executor cluster" in capsys.readouterr().err
+
+    def test_worker_subcommand_in_top_level_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "worker" in capsys.readouterr().out
+
+    def test_detect_with_cluster_executor_matches_serial(self, tmp_path, capsys):
+        """End to end through the CLI: a localhost cluster batch is bitwise
+        identical to the serial run of the same command."""
+        first = np.sin(np.linspace(0, 30 * np.pi, 1200))
+        first[600:660] = np.sin(np.linspace(0, 6 * np.pi, 60))
+        second = np.sin(np.linspace(0, 30 * np.pi, 1200))
+        second[300:360] = np.sin(np.linspace(0, 6 * np.pi, 60))
+        paths = [tmp_path / "a.csv", tmp_path / "b.csv"]
+        save_series(paths[0], first)
+        save_series(paths[1], second)
+        base = [
+            "detect", "--input", str(paths[0]), str(paths[1]),
+            "--window", "60", "--ensemble-size", "5", "--seed", "2",
+        ]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--executor", "cluster", "--n-jobs", "2"]) == 0
+        clustered = capsys.readouterr().out
+        assert clustered == serial
+
+
 class TestStreamCommand:
     def _feed_file(self, tmp_path, length=6000, anomaly_at=5200):
         series = np.sin(np.linspace(0, 40 * np.pi * length / 2000, length))

@@ -60,15 +60,31 @@ class TestRegistry:
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown executor"):
-            make_executor("dask", 2)
+            make_executor("celery", 2)
+
+    def test_dask_spec_is_import_guarded(self):
+        """'dask' is a valid spec, but without the dependency it fails clearly."""
+        validate_executor_spec("dask")
+        validate_executor_spec("dask:tcp://10.0.0.1:8786")
+        try:
+            import distributed  # noqa: F401
+        except ImportError:
+            with pytest.raises(RuntimeError, match="distributed"):
+                make_executor("dask", 2)
 
     def test_validate_executor_spec(self):
         validate_executor_spec(None)
         validate_executor_spec("thread")
+        validate_executor_spec("cluster")
+        validate_executor_spec("cluster:127.0.0.1:9123")
         executor = SerialExecutor()
         validate_executor_spec(executor)
         with pytest.raises(ValueError, match="unknown executor"):
             validate_executor_spec("ray")
+        with pytest.raises(ValueError, match="HOST:PORT"):
+            validate_executor_spec("cluster:no-port")
+        with pytest.raises(ValueError, match="takes no address"):
+            validate_executor_spec("process:127.0.0.1:1")
         with pytest.raises(TypeError, match="MemberExecutor"):
             validate_executor_spec(42)
 
