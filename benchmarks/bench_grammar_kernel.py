@@ -1,0 +1,276 @@
+"""Native-speed grammar core: kernel and streaming hot-path bench (ISSUE 6).
+
+Three measurements, written to ``results/BENCH_grammar_kernel.json``:
+
+1. **Grammar stage, per token** — the id-based ``FastSequitur`` (batched
+   ``feed_many`` + fused ``occurrence_spans``) against the reference
+   ``_SequiturBuilder`` oracle (per-word ``feed`` + ``freeze`` + object-walk
+   spans) on the same random token stream.
+2. **Streaming, per point** — end-to-end ``StreamingGrammarDetector``
+   ingest + density poll on a 100k-point stream under the fast and python
+   kernels, and against a reconstruction of the seed's scalar path
+   (per-window ``sax_word`` + per-word oracle feed), which is what the
+   refactor replaced. The headline gate: the fast path is >= 10x the
+   scalar per-point cost.
+3. **Poll latency vs stream length** — a capacity-bounded sliding member
+   polled while ingesting: steady-state poll latency is O(capacity), so it
+   must stay flat (within 20%) between 10k and 100k points ingested.
+
+Timing gates follow the ``REPRO_BENCH_STRICT`` convention of the eviction
+bench: measured and reported always, asserted unless ``REPRO_BENCH_STRICT=0``
+(shared CI runners are too noisy to merge-block on wall clock).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from benchlib import FULL, RESULTS_DIR, scale_note
+from repro.core.streaming import StreamingGrammarDetector
+from repro.datasets.generators import random_walk
+from repro.evaluation.tables import format_table
+from repro.grammar import _kernel
+from repro.grammar.density import rule_density_curve
+from repro.grammar.sequitur import _SequiturBuilder
+from repro.sax.numerosity import numerosity_reduction
+from repro.sax.sax import sax_word
+from repro.utils.timing import Timer
+
+POINTS = 300_000 if FULL else int(os.environ.get("REPRO_KERNEL_BENCH_POINTS", "100000"))
+#: The scalar reconstruction is ~2 orders slower per point; a slice of the
+#: stream is enough to pin its per-point cost.
+LEGACY_POINTS = min(POINTS, 10_000)
+N_TOKENS = 500_000 if FULL else int(os.environ.get("REPRO_KERNEL_BENCH_TOKENS", "200000"))
+ALPHABET = 40
+WINDOW = 100
+PAA_SIZE = 4
+ALPHA_SIZE = 4
+CAPACITY = 5_000
+SEED = 0
+STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
+
+
+# ----------------------------------------------------------------------
+# 1. Grammar stage per token: oracle vs fast kernel.
+# ----------------------------------------------------------------------
+
+
+def _grammar_stage() -> dict:
+    rng = np.random.default_rng(SEED)
+    ids = rng.integers(0, ALPHABET, size=N_TOKENS)
+    words = [f"w{i}" for i in range(ALPHABET)]
+    word_stream = [words[i] for i in ids]
+
+    oracle = _SequiturBuilder()
+    with Timer() as feed_timer:
+        feed = oracle.feed
+        for word in word_stream:
+            feed(word)
+    with Timer() as span_timer:
+        spans_oracle = oracle.freeze().occurrence_spans()
+    oracle_s = feed_timer.elapsed + span_timer.elapsed
+
+    fast = _kernel.make_builder("fast")
+    with Timer() as feed_timer:
+        fast.feed_many(ids)
+    with Timer() as span_timer:
+        spans_fast = fast.occurrence_spans()
+    fast_s = feed_timer.elapsed + span_timer.elapsed
+
+    # The bench doubles as a large-scale parity check: identical span
+    # multisets from both backends.
+    assert np.array_equal(np.sort(spans_oracle[0]), np.sort(spans_fast[0]))
+    assert np.array_equal(np.sort(spans_oracle[1]), np.sort(spans_fast[1]))
+
+    return {
+        "tokens": N_TOKENS,
+        "alphabet": ALPHABET,
+        "oracle_us_per_token": oracle_s / N_TOKENS * 1e6,
+        "fast_us_per_token": fast_s / N_TOKENS * 1e6,
+        "speedup": oracle_s / max(fast_s, 1e-9),
+    }
+
+
+# ----------------------------------------------------------------------
+# 2. Streaming per point: fast / python kernels, and the scalar seed path.
+# ----------------------------------------------------------------------
+
+
+def _stream_per_point(series: np.ndarray, kernel: str) -> float:
+    with _kernel.use_kernel(kernel):
+        detector = StreamingGrammarDetector(
+            window=WINDOW, paa_size=PAA_SIZE, alphabet_size=ALPHA_SIZE
+        )
+        with Timer() as timer:
+            for offset in range(0, len(series), 10_000):
+                detector.extend(series[offset : offset + 10_000])
+            detector.density_curve()
+    return timer.elapsed / len(series)
+
+
+def _legacy_per_point(series: np.ndarray) -> float:
+    """The seed's path: one scalar ``sax_word`` per window, oracle feed.
+
+    This is what the detector did per point before the vectorized tokenizer
+    and the id kernel: znorm/PAA/symbol lookup on each window in Python,
+    numerosity by string compare, one ``feed`` call per kept word.
+    """
+    with Timer() as timer:
+        words = [
+            sax_word(series[p : p + WINDOW], PAA_SIZE, ALPHA_SIZE)
+            for p in range(len(series) - WINDOW + 1)
+        ]
+        kept = numerosity_reduction(words, WINDOW)
+        builder = _SequiturBuilder()
+        for word in kept.words:
+            builder.feed(word)
+        rule_density_curve(builder.freeze(), kept, len(series))
+    return timer.elapsed / len(series)
+
+
+# ----------------------------------------------------------------------
+# 3. Poll latency vs stream length (sliding, fixed capacity).
+# ----------------------------------------------------------------------
+
+
+def _poll_latency_curve(series: np.ndarray) -> list[dict]:
+    detector = StreamingGrammarDetector(
+        window=WINDOW,
+        paa_size=PAA_SIZE,
+        alphabet_size=ALPHA_SIZE,
+        capacity=CAPACITY,
+        policy="sliding",
+    )
+    checkpoints = [c for c in (10_000, 25_000, 50_000, 100_000) if c <= len(series)]
+    curve = []
+    fed = 0
+    for checkpoint in checkpoints:
+        detector.extend(series[fed : checkpoint - 15 * 500])
+        fed = checkpoint - 15 * 500
+        # Steady-state polls: each cycle ingests a chunk (advancing the
+        # horizon, so the poll cannot reuse a cached curve or builder) and
+        # times the density snapshot that follows.
+        samples = []
+        while fed < checkpoint:
+            detector.extend(series[fed : fed + 500])
+            fed += 500
+            with Timer() as timer:
+                detector.density_curve()
+            samples.append(timer.elapsed)
+        curve.append(
+            {
+                "points_ingested": checkpoint,
+                "live_tokens": detector.n_tokens,
+                "poll_ms_median": float(np.median(samples) * 1e3),
+            }
+        )
+    return curve
+
+
+def bench_grammar_kernel(benchmark, report):
+    series = random_walk(POINTS, seed=SEED)
+
+    grammar_stage = _grammar_stage()
+
+    fast_per_point = benchmark.pedantic(
+        lambda: _stream_per_point(series, "fast"), rounds=1, iterations=1
+    )
+    python_per_point = _stream_per_point(series, "python")
+    legacy_per_point = _legacy_per_point(series[:LEGACY_POINTS])
+
+    latency_curve = _poll_latency_curve(series)
+
+    legacy_speedup = legacy_per_point / max(fast_per_point, 1e-12)
+    kernel_speedup = python_per_point / max(fast_per_point, 1e-12)
+
+    table = format_table(
+        ["Path", "Scope", "Per point / token", "vs fast"],
+        [
+            [
+                "scalar seed path",
+                f"{LEGACY_POINTS:,} pts",
+                f"{legacy_per_point * 1e6:.2f} us/pt",
+                f"{legacy_speedup:.1f}x slower",
+            ],
+            [
+                "python kernel (oracle)",
+                f"{POINTS:,} pts",
+                f"{python_per_point * 1e6:.2f} us/pt",
+                f"{kernel_speedup:.1f}x slower",
+            ],
+            [
+                "fast kernel",
+                f"{POINTS:,} pts",
+                f"{fast_per_point * 1e6:.2f} us/pt",
+                "1.0x",
+            ],
+            [
+                "grammar stage: oracle",
+                f"{N_TOKENS:,} tok",
+                f"{grammar_stage['oracle_us_per_token']:.2f} us/tok",
+                f"{grammar_stage['speedup']:.1f}x slower",
+            ],
+            [
+                "grammar stage: fast",
+                f"{N_TOKENS:,} tok",
+                f"{grammar_stage['fast_us_per_token']:.2f} us/tok",
+                "1.0x",
+            ],
+        ],
+        title=f"Grammar kernel hot path (window {WINDOW}, w={PAA_SIZE}, a={ALPHA_SIZE})",
+    )
+    latency_lines = [
+        f"sliding poll @ {row['points_ingested']:,} pts ingested "
+        f"(cap {CAPACITY:,}, {row['live_tokens']:,} live tokens): "
+        f"{row['poll_ms_median']:.2f} ms"
+        for row in latency_curve
+    ]
+    report(table + "\n" + "\n".join(latency_lines) + "\n" + scale_note(), "grammar_kernel.txt")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "points": POINTS,
+        "window": WINDOW,
+        "paa_size": PAA_SIZE,
+        "alphabet_size": ALPHA_SIZE,
+        "capacity": CAPACITY,
+        "strict": STRICT,
+        "grammar_stage": grammar_stage,
+        "streaming_per_point_us": {
+            "legacy_scalar": legacy_per_point * 1e6,
+            "python_kernel": python_per_point * 1e6,
+            "fast_kernel": fast_per_point * 1e6,
+            "legacy_over_fast": legacy_speedup,
+            "python_over_fast": kernel_speedup,
+        },
+        "sliding_poll_latency": latency_curve,
+    }
+    (RESULTS_DIR / "BENCH_grammar_kernel.json").write_text(
+        json.dumps(payload, indent=1) + "\n"
+    )
+
+    # Always asserted: the fast kernel must actually beat the oracle on the
+    # grammar stage (a generous floor; locally it is ~2.5-3x).
+    assert grammar_stage["speedup"] > 1.2, (
+        f"fast kernel is not faster than the oracle ({grammar_stage['speedup']:.2f}x)"
+    )
+
+    if STRICT:
+        # The headline: the refactored per-point cost vs the scalar seed
+        # path it replaced.
+        assert legacy_speedup >= 10.0, (
+            f"expected >= 10x per-point streaming speedup over the scalar "
+            f"path, got {legacy_speedup:.1f}x"
+        )
+        # Flat poll latency: capacity-bounded polls must not grow with the
+        # stream. Compare the first checkpoint (10k ingested) to the last.
+        first, last = latency_curve[0], latency_curve[-1]
+        ratio = last["poll_ms_median"] / max(first["poll_ms_median"], 1e-9)
+        assert ratio <= 1.20, (
+            f"sliding poll latency grew {ratio:.2f}x between "
+            f"{first['points_ingested']:,} and {last['points_ingested']:,} "
+            "points ingested — not flat in stream length"
+        )

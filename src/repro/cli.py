@@ -63,6 +63,12 @@ workers; without it a local mini-cluster of ``--n-jobs`` workers is
 spawned). Unknown names are rejected up front with the list of valid
 choices. Results are bitwise identical across backends.
 
+``detect`` and ``stream`` also take ``--profile FILE``: the run executes
+under :mod:`cProfile`, binary stats are dumped to ``FILE`` and a
+top-25-by-cumulative-time summary is printed to stderr — the supported way
+to see where a slow run spends its time (tokenizer, grammar kernel, or
+density accumulation).
+
 Series files are one value per line (CSV with a single column; a header
 line is tolerated). All commands are deterministic under ``--seed``.
 Executors the CLI creates are context-managed: every pool (and any shared
@@ -276,6 +282,28 @@ def _emit_detections(anomalies, title: str, json_path, csv_path, metadata: dict)
     if csv_path:
         write_detections_csv(csv_path, anomalies)
         print(f"wrote {csv_path}")
+
+
+def _run_profiled(handler, args: argparse.Namespace) -> int:
+    """Run one command under :mod:`cProfile` (the ``--profile FILE`` flag).
+
+    Binary stats land in ``args.profile`` (load them with ``pstats`` or
+    ``snakeviz``); a top-25-by-cumulative-time summary goes to stderr so the
+    hot path — tokenizer, grammar kernel, density scatter — is visible
+    without leaving the terminal. Stats are written even when the command
+    fails, so a slow *failing* run can still be diagnosed.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(handler, args)
+    finally:
+        profiler.dump_stats(args.profile)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
+        print(f"profile: stats written to {args.profile}", file=sys.stderr)
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
@@ -627,6 +655,14 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--method", choices=METHODS, default="ensemble")
     detect.add_argument("--json", help="write detections to this JSON file")
     detect.add_argument("--csv", help="write detections to this CSV file")
+    detect.add_argument(
+        "--profile",
+        metavar="FILE",
+        help=(
+            "run under cProfile: write binary stats to FILE and print the "
+            "top 25 functions by cumulative time to stderr"
+        ),
+    )
     _add_detector_options(detect)
     detect.set_defaults(handler=_cmd_detect)
 
@@ -681,6 +717,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument("--json", help="write detections to this JSON file")
     stream.add_argument("--csv", help="write detections to this CSV file")
+    stream.add_argument(
+        "--profile",
+        metavar="FILE",
+        help=(
+            "run under cProfile: write binary stats to FILE and print the "
+            "top 25 functions by cumulative time to stderr"
+        ),
+    )
     _add_detector_options(stream)
     stream.set_defaults(handler=_cmd_stream)
 
@@ -795,6 +839,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if getattr(args, "profile", None):
+            return _run_profiled(args.handler, args)
         return args.handler(args)
     except (ValueError, OSError, KeyError, BatchItemError, ClusterError) as error:
         print(f"error: {error}", file=sys.stderr)

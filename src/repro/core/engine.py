@@ -64,7 +64,8 @@ from repro.core.executors import (  # noqa: F401 — re-exported engine API
     validate_executor_spec,
 )
 from repro.core.multiresolution import MultiResolutionDiscretizer
-from repro.grammar.density import rule_density_curve
+from repro.grammar import _kernel
+from repro.grammar.density import density_curve_from_token_spans, rule_density_curve
 from repro.grammar.sequitur import induce_grammar
 from repro.sax.paa import sliding_paa_rows
 from repro.sax.znorm import DEFAULT_ZNORM_THRESHOLD
@@ -430,6 +431,39 @@ class SharedStreamState:
 # ----------------------------------------------------------------------
 
 
+def _member_curve(
+    discretizer: MultiResolutionDiscretizer,
+    paa_size: int,
+    alphabet_size: int,
+    series_length: int,
+) -> np.ndarray:
+    """Density curve of one ensemble member, kernel-fused when possible.
+
+    Under an id-based grammar kernel (``REPRO_KERNEL`` fast/compiled) with
+    exact numerosity, the member runs entirely on integers: interned token
+    ids feed the kernel builder, occurrence spans come out as arrays, and
+    the curve is accumulated without materializing a :class:`Grammar`,
+    occurrence objects, or per-rule interval lists. The python kernel (and
+    the ``"none"`` strategy) takes the reference word/Grammar path. Both
+    paths are bitwise identical — the kernel-equivalence suite pins the
+    grammars, and integer scatter-adds commute.
+    """
+    kernel = _kernel.current_kernel()
+    if kernel == "python" or discretizer.numerosity != "exact":
+        tokens = discretizer.tokens(paa_size, alphabet_size)
+        grammar = induce_grammar(tokens.words)
+        return rule_density_curve(grammar, tokens, series_length)
+    token_ids = discretizer.token_ids(paa_size, alphabet_size)
+    if not len(token_ids):
+        raise ValueError("cannot induce a grammar from an empty token sequence")
+    builder = _kernel.make_builder(kernel)
+    builder.feed_many(token_ids.ids)
+    firsts, lasts = builder.occurrence_spans()
+    return density_curve_from_token_spans(
+        token_ids.offsets, token_ids.window, firsts, lasts, series_length
+    )
+
+
 def _member_curves_task(payload) -> list[tuple[int, np.ndarray]]:
     """Worker: density curves of one ``w``-group of ensemble members.
 
@@ -450,9 +484,7 @@ def _member_curves_task(payload) -> list[tuple[int, np.ndarray]]:
     )
     results: list[tuple[int, np.ndarray]] = []
     for index, (paa_size, alphabet_size) in items:
-        tokens = discretizer.tokens(paa_size, alphabet_size)
-        grammar = induce_grammar(tokens.words)
-        results.append((index, rule_density_curve(grammar, tokens, len(series))))
+        results.append((index, _member_curve(discretizer, paa_size, alphabet_size, len(series))))
     return results
 
 
@@ -497,9 +529,7 @@ def compute_member_curves(
         by_w = sorted(range(len(parameters)), key=lambda i: parameters[i])
         for index in by_w:
             paa_size, alphabet_size = parameters[index]
-            tokens = discretizer.tokens(paa_size, alphabet_size)
-            grammar = induce_grammar(tokens.words)
-            curves[index] = rule_density_curve(grammar, tokens, len(series))
+            curves[index] = _member_curve(discretizer, paa_size, alphabet_size, len(series))
         return curves
     groups: dict[int, list[tuple[int, tuple[int, int]]]] = {}
     for index, (paa_size, alphabet_size) in enumerate(parameters):

@@ -22,9 +22,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sax.alphabet import index_matrix_to_words
+from repro.sax.alphabet import WordInterner, index_matrix_to_words
 from repro.sax.breakpoints import MultiResolutionAlphabet
-from repro.sax.numerosity import TokenSequence, numerosity_reduction
+from repro.sax.numerosity import (
+    TokenIdSequence,
+    TokenSequence,
+    kept_window_mask,
+    numerosity_reduction,
+)
 from repro.sax.paa import CumulativeStats
 from repro.sax.znorm import DEFAULT_ZNORM_THRESHOLD
 from repro.utils.validation import (
@@ -75,6 +80,11 @@ class MultiResolutionDiscretizer:
         self._interval_cache: dict[int, np.ndarray] = {}
         #: Cache: (paa_size, alphabet_size) -> TokenSequence.
         self._token_cache: dict[tuple[int, int], TokenSequence] = {}
+        #: Shared word interner + cache: (paa_size, alphabet_size) -> ids.
+        #: One id space across all resolutions (words of different lengths
+        #: never collide, so sharing is safe and keeps one vocabulary).
+        self._interner = WordInterner()
+        self._id_cache: dict[tuple[int, int], TokenIdSequence] = {}
 
     @property
     def n_windows(self) -> int:
@@ -127,9 +137,7 @@ class MultiResolutionDiscretizer:
         if self.numerosity == "exact":
             intervals = self.interval_matrix(paa_size)
             symbols = self.alphabet_table.symbols_for(intervals, alphabet_size)
-            keep = np.ones(len(symbols), dtype=bool)
-            keep[1:] = np.any(symbols[1:] != symbols[:-1], axis=1)
-            kept_offsets = np.flatnonzero(keep).astype(np.int64)
+            kept_offsets = np.flatnonzero(kept_window_mask(symbols)).astype(np.int64)
             words = index_matrix_to_words(symbols[kept_offsets])
             cached = TokenSequence(
                 tuple(words), kept_offsets, len(symbols), self.window
@@ -138,4 +146,33 @@ class MultiResolutionDiscretizer:
             words = self.words(*key)
             cached = numerosity_reduction(words, self.window, self.numerosity)
         self._token_cache[key] = cached
+        return cached
+
+    def token_ids(self, paa_size: int, alphabet_size: int) -> TokenIdSequence:
+        """Interned token ids for ``(paa_size, alphabet_size)``.
+
+        The string-free fast path for id-based grammar kernels: numerosity
+        reduction happens on the symbol matrix, and the kept rows are
+        interned against the discretizer-wide vocabulary — word strings are
+        materialized once per *distinct* kept row, not per window. Only the
+        exact strategy is served here (``"none"`` keeps every window, so it
+        gains nothing from deferral); callers fall back to :meth:`tokens`
+        for other strategies.
+        """
+        if self.numerosity != "exact":
+            raise ValueError(
+                f"token_ids requires numerosity='exact', got {self.numerosity!r}"
+            )
+        key = (int(paa_size), int(alphabet_size))
+        cached = self._id_cache.get(key)
+        if cached is not None:
+            return cached
+        intervals = self.interval_matrix(paa_size)
+        symbols = self.alphabet_table.symbols_for(intervals, alphabet_size)
+        kept_offsets = np.flatnonzero(kept_window_mask(symbols)).astype(np.int64)
+        ids = self._interner.intern_matrix(symbols[kept_offsets])
+        cached = TokenIdSequence(
+            ids, kept_offsets, len(symbols), self.window, self._interner.vocabulary
+        )
+        self._id_cache[key] = cached
         return cached

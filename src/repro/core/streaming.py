@@ -62,11 +62,12 @@ from repro.core.combiners import COMBINERS, combine_curves
 from repro.core.engine import EVICTION_POLICIES, SharedStreamState
 from repro.core.executors import ExecutorOwnerMixin, MemberExecutor
 from repro.core.selection import normalize_curve, select_by_std
-from repro.grammar.density import rule_density_curve
+from repro.grammar import _kernel
+from repro.grammar.density import density_curve_from_token_spans, rule_density_curve
 from repro.grammar.sequitur import GenerationalSequitur, _SequiturBuilder, induce_grammar
-from repro.sax.alphabet import index_matrix_to_words
+from repro.sax.alphabet import WordInterner
 from repro.sax.breakpoints import MultiResolutionAlphabet, gaussian_breakpoints
-from repro.sax.numerosity import STRATEGIES, TokenSequence
+from repro.sax.numerosity import STRATEGIES, TokenSequence, kept_window_mask
 from repro.sax.znorm import DEFAULT_ZNORM_THRESHOLD
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import (
@@ -181,12 +182,20 @@ class StreamingGrammarDetector:
             )
         self.state = state
         self._breakpoints = gaussian_breakpoints(self.alphabet_size)
+        #: Grammar kernel pinned at construction (see
+        #: :mod:`repro.grammar._kernel`): a mid-stream ``REPRO_KERNEL``
+        #: change must not mix kernels within one member's life.
+        self._kernel = _kernel.current_kernel()
         #: Window starts already discretized and fed to the grammar.
         self._consumed = 0
         #: Symbol row of the last seen window (online numerosity reduction
         #: across chunk boundaries).
         self._last_symbols: np.ndarray | None = None
-        self._kept_words: list[str] = []
+        #: Kept tokens as interned ids against :attr:`_interner`'s
+        #: vocabulary — word strings are materialized only at snapshot
+        #: boundaries (frozen grammars, process payloads, ``tokens()``).
+        self._interner = WordInterner()
+        self._kept_ids: list[int] = []
         self._kept_offsets: list[int] = []
         #: Index into the kept lists of the first *live* token.
         self._live_from = 0
@@ -197,16 +206,26 @@ class StreamingGrammarDetector:
         #: Grammar backend, by mode: a live Sequitur builder (unbounded), a
         #: snapshot-induction cache (sliding), or generation-segmented
         #: builders dropped wholesale as the horizon passes them (decay).
-        self._builder: _SequiturBuilder | None = None
+        self._builder = None
         self._generations: GenerationalSequitur | None = None
         self._snapshot_cache: tuple[tuple[int, int], "object"] | None = None
+        #: Sliding fast path: the kernel builder over the live ids, tagged
+        #: with the prune counter it was anchored at (see _sliding_spans).
+        self._span_builder: tuple[int, "object"] | None = None
         #: Last snapshot curve, keyed by the shared state's version counter:
         #: repeated ``density_curve()`` polls without new data are O(1).
         self._curve_cache: tuple[int, np.ndarray] | None = None
         if self.state.capacity is None:
-            self._builder = _SequiturBuilder()
+            if self._kernel == "python":
+                self._builder = _SequiturBuilder()
+            else:
+                self._builder = _kernel.make_builder(self._kernel)
         elif self.state.policy == "decay":
-            self._generations = GenerationalSequitur(self.state.generation_size)
+            self._generations = GenerationalSequitur(
+                self.state.generation_size,
+                kernel=self._kernel,
+                vocabulary=self._interner.vocabulary,
+            )
 
     def __len__(self) -> int:
         return len(self.state)
@@ -229,7 +248,7 @@ class StreamingGrammarDetector:
     @property
     def n_tokens(self) -> int:
         """Live tokens (after reduction and any horizon pruning)."""
-        return len(self._kept_words) - self._live_from
+        return len(self._kept_ids) - self._live_from
 
     @property
     def retired_tokens(self) -> int:
@@ -237,18 +256,28 @@ class StreamingGrammarDetector:
         return self._total_pruned
 
     def memory_bytes(self) -> int:
-        """O(1) estimate of this member's retained bytes (tokens + offsets).
+        """O(1) estimate of this member's retained bytes.
 
-        Counts the kept word strings (CPython ASCII ``str`` overhead plus
-        ``paa_size`` characters) and the kept-offset ints, *excluding* the
-        shared stream state — the state is stored once per stream and
-        accounted separately via
+        Counts the kept token ids and offsets (CPython ``int`` prices), the
+        interner's vocabulary (one string per *distinct* word ever seen),
+        and the live grammar state (builder arena or generation set) —
+        *excluding* the shared stream state, which is stored once per
+        stream and accounted separately via
         :attr:`~repro.core.engine.SharedStreamState.nbytes`. An estimate,
         not an exact measurement: it is what the serving layer's session
         memory budget accounts against.
         """
-        kept = len(self._kept_words)
-        return kept * (49 + self.paa_size) + kept * 36
+        kept = len(self._kept_ids)
+        total = kept * 72 + self._interner.memory_bytes()
+        if self._builder is not None:
+            if self._kernel == "python":
+                # ~3 CPython symbol objects per fed token in the oracle.
+                total += self._total_kept * 200
+            else:
+                total += self._builder.memory_bytes()
+        if self._generations is not None:
+            total += self._generations.memory_bytes()
+        return total
 
     def _require_owned_state(self) -> None:
         if not self._owns_state:
@@ -309,8 +338,11 @@ class StreamingGrammarDetector:
         if live_from != self._live_from:
             self._total_pruned += live_from - self._live_from
             self._live_from = live_from
-        if self._live_from > _PRUNE_SLACK and self._live_from * 2 > len(self._kept_words):
-            del self._kept_words[: self._live_from]
+        if self._live_from > _PRUNE_SLACK and self._live_from * 2 > len(self._kept_ids):
+            # Compaction only ever runs in a call that just advanced
+            # _total_pruned, so the sliding span builder's anchor check
+            # (_sliding_spans) can never see a silently-shifted list.
+            del self._kept_ids[: self._live_from]
             del self._kept_offsets[: self._live_from]
             self._live_from = 0
         if self._generations is not None:
@@ -322,35 +354,41 @@ class StreamingGrammarDetector:
         ``symbols`` holds one row per window start in
         ``first_start .. first_start + len(symbols) - 1``. Two windows share
         a SAX word exactly when their symbol rows are equal, so run
-        boundaries are found on the index matrix and only the kept windows'
-        word strings are materialized — the same fast path as the batch
-        :class:`~repro.core.multiresolution.MultiResolutionDiscretizer`.
+        boundaries are found on the index matrix and the kept rows are
+        interned to integer ids — the same string-free fast path as the
+        batch :class:`~repro.core.multiresolution.MultiResolutionDiscretizer`;
+        a word string is built once per *distinct* row, ever. Id kernels
+        feed the ids directly; the oracle kernel feeds the interned strings
+        (equal strings, so the induced grammar is bitwise identical).
         """
         count = len(symbols)
         if count == 0:
             return
         if self.numerosity == "exact":
-            keep = np.ones(count, dtype=bool)
-            keep[1:] = np.any(symbols[1:] != symbols[:-1], axis=1)
+            keep = kept_window_mask(symbols)
             if self._last_symbols is not None:
                 keep[0] = bool(np.any(symbols[0] != self._last_symbols))
             kept_idx = np.flatnonzero(keep)
             self._last_symbols = np.array(symbols[-1], dtype=np.int64)
         else:
             kept_idx = np.arange(count)
-        words = index_matrix_to_words(symbols[kept_idx])
-        offsets = [int(i) + first_start for i in kept_idx]
-        self._kept_words.extend(words)
+        ids = self._interner.intern_matrix(symbols[kept_idx]).tolist()
+        offsets = (kept_idx + first_start).tolist()
+        self._kept_ids.extend(ids)
         self._kept_offsets.extend(offsets)
-        self._total_kept += len(words)
+        self._total_kept += len(ids)
         if self._builder is not None:
-            feed = self._builder.feed
-            for word in words:
-                feed(word)
+            if self._kernel == "python":
+                vocabulary = self._interner.vocabulary
+                feed = self._builder.feed
+                for token_id in ids:
+                    feed(vocabulary[token_id])
+            else:
+                self._builder.feed_many(ids)
         elif self._generations is not None:
-            feed_generation = self._generations.feed
-            for word, offset in zip(words, offsets):
-                feed_generation(word, offset)
+            feed_id = self._generations.feed_id
+            for token_id, offset in zip(ids, offsets):
+                feed_id(token_id, offset)
         self._consumed = first_start + count
 
     # ------------------------------------------------------------------
@@ -358,9 +396,19 @@ class StreamingGrammarDetector:
     # ------------------------------------------------------------------
 
     def _live_tokens(self) -> tuple[tuple[str, ...], np.ndarray]:
-        words = tuple(self._kept_words[self._live_from :])
+        vocabulary = self._interner.vocabulary
+        words = tuple(vocabulary[i] for i in self._kept_ids[self._live_from :])
         offsets = np.asarray(self._kept_offsets[self._live_from :], dtype=np.int64)
         return words, offsets
+
+    def _live_offsets(self) -> np.ndarray:
+        return np.asarray(self._kept_offsets[self._live_from :], dtype=np.int64)
+
+    def _frozen_grammar(self):
+        """Freeze the unbounded live builder (kernel-appropriate call)."""
+        if self._kernel == "python":
+            return self._builder.freeze()
+        return self._builder.freeze(self._interner.vocabulary)
 
     def tokens(self) -> TokenSequence:
         """Snapshot of the live numerosity-reduced token sequence.
@@ -390,6 +438,37 @@ class StreamingGrammarDetector:
         self._snapshot_cache = (key, grammar)
         return grammar
 
+    def _sliding_spans(self) -> tuple[np.ndarray, np.ndarray]:
+        """Occurrence spans of the grammar over exactly the live token ids.
+
+        Amortized prune-and-repair, the id-kernel sliding path: while no
+        token has been pruned since the cached builder was anchored, the
+        live sequence has only grown at the right end — where Sequitur *is*
+        incremental — so the builder is repaired by feeding just the new
+        suffix. Once the horizon has claimed tokens, the dead prefix
+        invalidates the grammar (Sequitur output depends on the whole
+        sequence, and the parity contract is re-induction over exactly the
+        live tokens), so the builder is rebuilt over the live ids: O(live)
+        work bounded by the capacity, never by the stream length — which is
+        what keeps poll latency flat as the stream grows.
+
+        The anchor check is sound against list compaction: compaction only
+        runs inside a ``_forget_before`` call that just advanced
+        ``_total_pruned``, so an unchanged prune counter guarantees both an
+        unchanged ``_live_from`` and an unshifted list.
+        """
+        cached = self._span_builder
+        if cached is not None and cached[0] == self._total_pruned:
+            builder = cached[1]
+            delta = self._kept_ids[self._live_from + builder.n_tokens :]
+            if delta:
+                builder.feed_many(delta)
+        else:
+            builder = _kernel.make_builder(self._kernel)
+            builder.feed_many(self._kept_ids[self._live_from :])
+            self._span_builder = (self._total_pruned, builder)
+        return builder.occurrence_spans()
+
     def density_curve(self) -> np.ndarray:
         """Rule density curve over the live stream range (snapshot).
 
@@ -416,29 +495,63 @@ class StreamingGrammarDetector:
         return curve
 
     def _compute_density_curve(self) -> np.ndarray:
-        """The uncached snapshot computation behind :meth:`density_curve`."""
+        """The uncached snapshot computation behind :meth:`density_curve`.
+
+        The oracle kernel takes the reference route (freeze to a
+        :class:`~repro.grammar.rules.Grammar`, then
+        :func:`rule_density_curve`); id kernels fuse it — occurrence spans
+        are read straight off the builder arena and scattered into the
+        curve, with no frozen grammar, no per-occurrence objects, and no
+        word strings. Both routes end in the same integer scatter-add over
+        the same interval multiset, so they are bitwise identical.
+        """
         if self._builder is not None:
-            return rule_density_curve(self._builder.freeze(), self.tokens(), len(self.state))
+            if self._kernel == "python":
+                return rule_density_curve(
+                    self._frozen_grammar(), self.tokens(), len(self.state)
+                )
+            # Unbounded members always have >= 1 live token once a window
+            # completed (the caller checked n_windows), so no empty guard.
+            firsts, lasts = self._builder.occurrence_spans()
+            return density_curve_from_token_spans(
+                self._live_offsets(), self.window, firsts, lasts, len(self.state)
+            )
         start = self.state.start
         length = self.state.live_length
-        words, offsets = self._live_tokens()
-        if not words:
+        if self.n_tokens == 0:
             # Every kept token expired (e.g. one constant run spanning the
             # whole horizon): no rules, zero density everywhere.
             return np.zeros(length, dtype=np.float64)
-        tokens = TokenSequence(words, offsets, self.n_windows, self.window)
         if self._generations is not None:
-            return _generation_density(
-                self._generations.live_grammars(),
-                words,
-                offsets,
+            if self._kernel == "python":
+                words, offsets = self._live_tokens()
+                tokens = TokenSequence(words, offsets, self.n_windows, self.window)
+                return _generation_density(
+                    self._generations.live_grammars(),
+                    words,
+                    offsets,
+                    self._generations.generation_size,
+                    tokens,
+                    start,
+                    length,
+                )
+            return _generation_density_from_spans(
+                self._generations.live_spans(),
+                self._live_offsets(),
                 self._generations.generation_size,
-                tokens,
+                self.window,
                 start,
                 length,
             )
-        grammar = self._sliding_grammar(words)
-        return rule_density_curve(grammar, tokens, length, horizon_start=start)
+        if self._kernel == "python":
+            words, offsets = self._live_tokens()
+            tokens = TokenSequence(words, offsets, self.n_windows, self.window)
+            grammar = self._sliding_grammar(words)
+            return rule_density_curve(grammar, tokens, length, horizon_start=start)
+        firsts, lasts = self._sliding_spans()
+        return density_curve_from_token_spans(
+            self._live_offsets(), self.window, firsts, lasts, length, horizon_start=start
+        )
 
     def detect(self, k: int = 3) -> list[Anomaly]:
         """Top-``k`` anomalies over the live stream range.
@@ -488,6 +601,40 @@ def _generation_density(
         )
         curve += rule_density_curve(
             grammar, generation_tokens, length, horizon_start=start
+        )
+    return curve
+
+
+def _generation_density_from_spans(
+    spans,
+    offsets: np.ndarray,
+    generation_size: int,
+    window: int,
+    start: int,
+    length: int,
+) -> np.ndarray:
+    """Id-kernel twin of :func:`_generation_density`, with no grammars.
+
+    Sealed generations' occurrence spans were extracted once at seal time
+    (:meth:`GenerationalSequitur.live_spans`) — only the growing generation
+    is re-read per poll. Each generation's spans index its own token slice,
+    found by the same offset bisection as the reference path; accumulation
+    order (oldest first) matches, so the float sum is bitwise identical.
+    """
+    curve = np.zeros(length, dtype=np.float64)
+    for index, firsts, lasts, count in spans:
+        first = int(np.searchsorted(offsets, index * generation_size, side="left"))
+        stop = int(np.searchsorted(offsets, (index + 1) * generation_size, side="left"))
+        if stop - first != count:
+            raise RuntimeError(
+                f"generation {index} holds {count} tokens but {stop - first} "
+                "live tokens fall in its range; horizon and generations are "
+                "out of step"
+            )
+        if first == stop:
+            continue
+        curve += density_curve_from_token_spans(
+            offsets[first:stop], window, firsts, lasts, length, horizon_start=start
         )
     return curve
 
@@ -694,7 +841,7 @@ class StreamingEnsembleDetector(ExecutorOwnerMixin):
         for member in self.members:
             if member._builder is not None:
                 payloads.append(
-                    ("frozen", (member._builder.freeze(), member.tokens(), length))
+                    ("frozen", (member._frozen_grammar(), member.tokens(), length))
                 )
                 continue
             words, offsets = member._live_tokens()

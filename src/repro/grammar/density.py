@@ -19,7 +19,7 @@ from repro.sax.numerosity import TokenSequence
 
 
 def density_from_intervals(
-    intervals: list[tuple[int, int]],
+    intervals: list[tuple[int, int]] | np.ndarray,
     length: int,
 ) -> np.ndarray:
     """Build a coverage-count curve from inclusive point intervals.
@@ -27,7 +27,8 @@ def density_from_intervals(
     Parameters
     ----------
     intervals:
-        ``(start, end)`` inclusive index pairs; ends are clipped to the curve.
+        ``(start, end)`` inclusive index pairs — a list of tuples or an
+        equivalent ``(k, 2)`` array; ends are clipped to the curve.
     length:
         Length of the output curve (the time series length ``N``).
 
@@ -67,6 +68,34 @@ def density_from_intervals(
     np.add.at(diff, clipped_starts[in_range], 1)
     np.add.at(diff, clipped_ends[in_range] + 1, -1)
     return np.cumsum(diff[:-1]).astype(np.float64)
+
+
+def density_curve_from_token_spans(
+    offsets: np.ndarray,
+    window: int,
+    firsts: np.ndarray,
+    lasts: np.ndarray,
+    series_length: int,
+    *,
+    horizon_start: int = 0,
+) -> np.ndarray:
+    """Density curve from occurrence token spans, fully vectorized.
+
+    The fused fast path shared by batch and streaming detection: token
+    spans (from :meth:`Grammar.occurrence_spans` or a kernel builder's
+    ``occurrence_spans``) are mapped to time-series intervals with two
+    gathers — ``starts = offsets[firsts]``, ``ends = offsets[lasts] +
+    window - 1`` (the :meth:`TokenSequence.token_span` convention) — and
+    accumulated by :func:`density_from_intervals`, whose validation and
+    clipping make the result bitwise identical to the per-occurrence
+    reference path.
+    """
+    starts = offsets[firsts]
+    ends = offsets[lasts] + (window - 1)
+    if horizon_start:
+        starts = starts - horizon_start
+        ends = ends - horizon_start
+    return density_from_intervals(np.column_stack((starts, ends)), series_length)
 
 
 def rule_density_curve(
@@ -110,11 +139,12 @@ def rule_density_curve(
             f"grammar expands to {expected} tokens but the token sequence "
             f"has {len(tokens)}; they must come from the same discretization"
         )
-    horizon_start = int(horizon_start)
-    intervals = [
-        tokens.token_span(occurrence.first_token, occurrence.last_token)
-        for occurrence in grammar.rule_occurrences()
-    ]
-    if horizon_start:
-        intervals = [(start - horizon_start, end - horizon_start) for start, end in intervals]
-    return density_from_intervals(intervals, series_length)
+    firsts, lasts = grammar.occurrence_spans()
+    return density_curve_from_token_spans(
+        np.asarray(tokens.offsets, dtype=np.int64),
+        tokens.window,
+        firsts,
+        lasts,
+        series_length,
+        horizon_start=int(horizon_start),
+    )

@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+import numpy as np
+
 __all__ = ["Grammar", "GrammarRule", "RuleOccurrence"]
 
 
@@ -220,3 +222,34 @@ class Grammar:
                 else:
                     position += 1
         return occurrences
+
+    def occurrence_spans(self) -> tuple[np.ndarray, np.ndarray]:
+        """Token spans of :meth:`rule_occurrences` as two int64 arrays.
+
+        Same walk, same spans — but no :class:`RuleOccurrence` objects, so
+        the density layer can map every span to a time-series interval with
+        two vectorized gathers instead of a per-occurrence Python loop.
+        Returns ``(firsts, lasts)``, inclusive token indices.
+        """
+        lengths = self.expanded_lengths()
+        firsts: list[int] = []
+        lasts: list[int] = []
+        position = 0
+        stack: list[tuple[int, int]] = [(0, 0)]
+        while stack:
+            rule_index, cursor = stack.pop()
+            rhs = self.rules[rule_index].rhs
+            while cursor < len(rhs):
+                element = rhs[cursor]
+                cursor += 1
+                if isinstance(element, int):
+                    firsts.append(position)
+                    lasts.append(position + lengths[element] - 1)
+                    stack.append((rule_index, cursor))
+                    rule_index, cursor, rhs = element, 0, self.rules[element].rhs
+                else:
+                    position += 1
+        return (
+            np.asarray(firsts, dtype=np.int64),
+            np.asarray(lasts, dtype=np.int64),
+        )

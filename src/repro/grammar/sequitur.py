@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.grammar import _kernel
 from repro.grammar.rules import Grammar, GrammarRule
 
 #: Type of a digram-table key: a pair of per-symbol keys (see ``_Symbol.key``).
@@ -339,20 +340,50 @@ class GenerationalSequitur:
     boundary is not compressed (and contributes less rule density there).
     The sliding policy avoids this by re-inducing over the live tokens
     instead; see :mod:`repro.core.streaming`.
+
+    Each generation's builder comes from the active grammar kernel (see
+    :mod:`repro.grammar._kernel`): id-based kernels intern words internally
+    (:meth:`feed`) or accept pre-interned ids against a caller-owned
+    vocabulary (:meth:`feed_id`, the streaming layer's path). Sealing a
+    generation always frees the builder arena — only the frozen
+    :class:`Grammar` (plain word strings, no token-array references) is
+    retained, which :meth:`memory_bytes` makes observable.
     """
 
-    def __init__(self, generation_size: int) -> None:
+    def __init__(
+        self,
+        generation_size: int,
+        *,
+        kernel: str | None = None,
+        vocabulary: Sequence[str] | None = None,
+    ) -> None:
         generation_size = int(generation_size)
         if generation_size < 1:
             raise ValueError(f"generation_size must be positive, got {generation_size}")
         self.generation_size = generation_size
+        #: Kernel every generation builder is created from, pinned at
+        #: construction so a mid-stream env change cannot mix kernels.
+        self.kernel = _kernel.current_kernel() if kernel is None else kernel
+        if self.kernel not in _kernel.KERNELS:
+            raise ValueError(f"unknown grammar kernel {self.kernel!r}")
+        #: Caller-owned vocabulary for :meth:`feed_id` (``vocabulary[id]`` is
+        #: the word of token id ``id``; it may keep growing between calls).
+        self._vocabulary = vocabulary
+        #: Internal interner backing :meth:`feed` under id-based kernels.
+        self._own_vocabulary: list[str] = []
+        self._own_ids: dict[str, int] = {}
         #: Sealed generations: ``{generation_index: (grammar, token_count)}``.
         self._sealed: dict[int, tuple[Grammar, int]] = {}
+        #: Sealed generations' occurrence spans, extracted once at seal time
+        #: (id kernels only) — what makes decay polls amortized: a sealed
+        #: grammar never changes, so its spans never need re-walking.
+        self._sealed_spans: dict[int, tuple] = {}
         self._current_index: int | None = None
-        self._current_builder: _SequiturBuilder | None = None
+        self._current_builder = None
         self._current_count = 0
-        #: Snapshot cache of the (still growing) current generation.
+        #: Snapshot caches of the (still growing) current generation.
         self._current_frozen: tuple[int, Grammar] | None = None
+        self._current_spans: tuple[int, tuple] | None = None
         self.retired_generations = 0
         self.retired_tokens = 0
         #: Rules (excluding R0) dropped wholesale with their generation.
@@ -365,24 +396,34 @@ class GenerationalSequitur:
         """Generation index owning the window offset ``offset``."""
         return int(offset) // self.generation_size
 
+    def _freeze_current(self) -> Grammar:
+        if self.kernel == "python":
+            return self._current_builder.freeze()
+        vocabulary = self._vocabulary if self._vocabulary is not None else self._own_vocabulary
+        return self._current_builder.freeze(vocabulary)
+
     def _seal_current(self) -> None:
         if self._current_builder is None:
             return
+        # The frozen Grammar holds word strings only; dropping the builder
+        # here releases the generation's symbol arena and digram table —
+        # sealed generations must not pin retired token storage.
         self._sealed[self._current_index] = (
-            self._current_builder.freeze(),
+            self._freeze_current(),
             self._current_count,
         )
+        if self.kernel != "python":
+            # Spans are two small int arrays per generation — kept so decay
+            # polls never re-walk a sealed grammar (see live_spans).
+            self._sealed_spans[self._current_index] = (
+                self._current_builder.occurrence_spans()
+            )
         self._current_builder = None
         self._current_frozen = None
+        self._current_spans = None
         self._current_count = 0
 
-    def feed(self, word: str, offset: int) -> None:
-        """Route one token (with its window offset) to its generation.
-
-        Offsets must be fed in increasing order — they are window start
-        positions of a numerosity-reduced stream, which is naturally
-        monotone.
-        """
+    def _route(self, offset: int) -> None:
         index = self.generation_of(offset)
         if self._current_index is not None and index < self._current_index:
             raise ValueError(
@@ -393,10 +434,50 @@ class GenerationalSequitur:
             self._seal_current()
             self._current_index = index
         if self._current_builder is None:
-            self._current_builder = _SequiturBuilder()
-        self._current_builder.feed(word)
+            if self.kernel == "python":
+                self._current_builder = _SequiturBuilder()
+            else:
+                self._current_builder = _kernel.make_builder(self.kernel)
+
+    def feed(self, word: str, offset: int) -> None:
+        """Route one token (with its window offset) to its generation.
+
+        Offsets must be fed in increasing order — they are window start
+        positions of a numerosity-reduced stream, which is naturally
+        monotone.
+        """
+        self._route(offset)
+        if self.kernel == "python":
+            self._current_builder.feed(word)
+        else:
+            token_id = self._own_ids.get(word)
+            if token_id is None:
+                token_id = len(self._own_vocabulary)
+                self._own_ids[word] = token_id
+                self._own_vocabulary.append(word)
+            self._current_builder.feed(token_id)
         self._current_count += 1
         self._current_frozen = None
+        self._current_spans = None
+
+    def feed_id(self, token_id: int, offset: int) -> None:
+        """Route one pre-interned token id to its generation.
+
+        Requires the ``vocabulary`` constructor argument (the caller's
+        interner owns the id space); the streaming layer uses this entry so
+        ids flow straight from the discretizer without materializing words
+        per token. Must not be mixed with :meth:`feed` on the same instance.
+        """
+        if self._vocabulary is None:
+            raise ValueError("feed_id requires a vocabulary at construction")
+        self._route(offset)
+        if self.kernel == "python":
+            self._current_builder.feed(self._vocabulary[token_id])
+        else:
+            self._current_builder.feed(token_id)
+        self._current_count += 1
+        self._current_frozen = None
+        self._current_spans = None
 
     def drop_before(self, offset: int) -> int:
         """Retire every sealed generation ending at or before ``offset``.
@@ -411,6 +492,7 @@ class GenerationalSequitur:
             if (index + 1) * self.generation_size > boundary:
                 break
             grammar, count = self._sealed.pop(index)
+            self._sealed_spans.pop(index, None)
             self.retired_generations += 1
             self.retired_tokens += count
             self.retired_rules += grammar.n_rules - 1
@@ -430,9 +512,63 @@ class GenerationalSequitur:
         ]
         if self._current_builder is not None:
             if self._current_frozen is None or self._current_frozen[0] != self._current_count:
-                self._current_frozen = (self._current_count, self._current_builder.freeze())
+                self._current_frozen = (self._current_count, self._freeze_current())
             live.append((self._current_index, self._current_frozen[1], self._current_count))
         return live
+
+    def live_spans(self) -> list[tuple[int, "object", "object", int]]:
+        """``(index, firsts, lasts, count)`` of every live generation.
+
+        The span-level twin of :meth:`live_grammars` for id-based kernels:
+        sealed generations return occurrence spans extracted once at seal
+        time (their grammars never change again), and only the growing
+        generation reads its live builder arena (cached until the next
+        token). No frozen grammars, rule objects, or word strings are built
+        — the decay snapshot path feeds these straight into the fused
+        density scatter. Oldest generation first, matching
+        :meth:`live_grammars` so accumulated curves stay bitwise equal.
+        """
+        if self.kernel == "python":
+            raise ValueError(
+                "live_spans requires an id-based kernel; the oracle kernel "
+                "snapshots through live_grammars()"
+            )
+        live = [
+            (index, *self._sealed_spans[index], self._sealed[index][1])
+            for index in sorted(self._sealed)
+        ]
+        if self._current_builder is not None:
+            if self._current_spans is None or self._current_spans[0] != self._current_count:
+                self._current_spans = (
+                    self._current_count,
+                    self._current_builder.occurrence_spans(),
+                )
+            firsts, lasts = self._current_spans[1]
+            live.append((self._current_index, firsts, lasts, self._current_count))
+        return live
+
+    def memory_bytes(self) -> int:
+        """Estimate of bytes retained by live grammar state.
+
+        The growing generation is charged its builder arena (id kernels
+        report exactly; the oracle is estimated per fed token); sealed
+        generations are charged only their frozen rules. The decay soak
+        asserts this stays bounded as generations retire — the accounting
+        that catches a sealed generation accidentally pinning its builder.
+        """
+        total = 0
+        if self._current_builder is not None:
+            if self.kernel == "python":
+                # ~3 slot objects per token (terminal + amortized rule
+                # machinery) at CPython object prices.
+                total += self._current_count * 200
+            else:
+                total += self._current_builder.memory_bytes()
+        for grammar, _count in self._sealed.values():
+            total += 64 * grammar.grammar_size()
+        for firsts, lasts in self._sealed_spans.values():
+            total += firsts.nbytes + lasts.nbytes
+        return total
 
 
 def induce_grammar(tokens: Iterable[str] | Sequence[str]) -> Grammar:
@@ -460,13 +596,36 @@ def induce_grammar(tokens: Iterable[str] | Sequence[str]) -> Grammar:
     >>> grammar.rules[1].rhs
     ('ab', 'bc', 'aa')
     """
-    builder = _SequiturBuilder()
+    kernel = _kernel.current_kernel()
+    if kernel == "python":
+        builder = _SequiturBuilder()
+        fed = False
+        for word in tokens:
+            if not isinstance(word, str):
+                raise TypeError(f"tokens must be strings, got {type(word).__name__}")
+            builder.feed(word)
+            fed = True
+        if not fed:
+            raise ValueError("cannot induce a grammar from an empty token sequence")
+        return builder.freeze()
+    # Id-based kernels: intern words on the fly, feed integer ids, map back
+    # at freeze time. Grammar structure depends only on the equality pattern
+    # of the tokens, so the result is identical to the oracle's.
+    ids: dict[str, int] = {}
+    vocabulary: list[str] = []
+    id_builder = _kernel.make_builder(kernel)
+    feed = id_builder.feed
     fed = False
     for word in tokens:
         if not isinstance(word, str):
             raise TypeError(f"tokens must be strings, got {type(word).__name__}")
-        builder.feed(word)
+        token_id = ids.get(word)
+        if token_id is None:
+            token_id = len(vocabulary)
+            ids[word] = token_id
+            vocabulary.append(word)
+        feed(token_id)
         fed = True
     if not fed:
         raise ValueError("cannot induce a grammar from an empty token sequence")
-    return builder.freeze()
+    return id_builder.freeze(vocabulary)

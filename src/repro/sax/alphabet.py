@@ -42,3 +42,60 @@ def index_matrix_to_words(indices: np.ndarray) -> list[str]:
         byte_matrix[row * width : (row + 1) * width].decode("ascii")
         for row in range(matrix.shape[0])
     ]
+
+
+class WordInterner:
+    """Map symbol-matrix rows to stable integer token ids.
+
+    The string-deferral boundary of the tokenizer refactor: downstream of
+    numerosity reduction the grammar kernels consume token *ids*, so word
+    strings only exist once per *distinct* row — materialized here, on first
+    sight, into :attr:`vocabulary` (``vocabulary[id]`` is the word of ``id``).
+    Ids are assigned in first-seen order and stay stable for the lifetime of
+    the interner, which is what lets a streaming member keep one interner
+    across drains and feed ids straight into an incremental grammar builder.
+
+    Two rows get the same id exactly when they are element-wise equal, so a
+    grammar induced over ids is structurally identical to one induced over
+    the corresponding word strings.
+    """
+
+    __slots__ = ("_ids", "vocabulary")
+
+    def __init__(self) -> None:
+        self._ids: dict[bytes, int] = {}
+        #: Word string of each token id, in id order. Callers may hold a
+        #: reference; the list only ever grows (ids are never reassigned).
+        self.vocabulary: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self.vocabulary)
+
+    def intern_matrix(self, indices: np.ndarray) -> np.ndarray:
+        """Token ids of every row of a 2-D symbol-index matrix (int64)."""
+        matrix = np.asarray(indices)
+        if matrix.ndim != 2:
+            raise ValueError(f"expected a 2-D index matrix, got shape {matrix.shape}")
+        byte_matrix = (matrix.astype(np.uint8) + _BASE).tobytes()
+        width = matrix.shape[1]
+        ids = np.empty(matrix.shape[0], dtype=np.int64)
+        table = self._ids
+        get = table.get
+        vocabulary = self.vocabulary
+        for row in range(matrix.shape[0]):
+            key = byte_matrix[row * width : (row + 1) * width]
+            token_id = get(key)
+            if token_id is None:
+                token_id = len(vocabulary)
+                table[key] = token_id
+                vocabulary.append(key.decode("ascii"))
+            ids[row] = token_id
+        return ids
+
+    def memory_bytes(self) -> int:
+        """Rough retained-bytes estimate (vocabulary + id table)."""
+        if not self.vocabulary:
+            return 0
+        width = len(self.vocabulary[0])
+        # bytes key + str value + two dict/list slots, per distinct word.
+        return len(self.vocabulary) * (2 * width + 120)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sax.znorm import DEFAULT_ZNORM_THRESHOLD, constancy_cutoff, znorm
+from repro.sax.znorm import DEFAULT_ZNORM_THRESHOLD, constancy_cutoff, constancy_mask, znorm
 from repro.utils.validation import ensure_time_series, validate_paa_size, validate_window
 
 
@@ -232,7 +232,7 @@ def sliding_paa_rows(
     else:
         variances = np.maximum((totals_sq - totals * totals / window) / (window - 1), 0.0)
         stds = np.sqrt(variances)
-    constant = stds < znorm_threshold * np.maximum(np.abs(means), 1.0)
+    constant = constancy_mask(means, stds, znorm_threshold)
     safe_stds = np.where(constant, 1.0, stds)
     normalized = (coefficients - means[:, None]) / safe_stds[:, None]
     normalized[constant] = 0.0

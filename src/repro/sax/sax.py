@@ -80,6 +80,27 @@ def discretize(
     list[str]
         One word per window start ``p`` in ``0 .. len(series) - window``.
     """
+    return index_matrix_to_words(
+        discretize_symbols(series, window, paa_size, alphabet_size, znorm_threshold, stats)
+    )
+
+
+def discretize_symbols(
+    series: np.ndarray,
+    window: int,
+    paa_size: int,
+    alphabet_size: int,
+    znorm_threshold: float = DEFAULT_ZNORM_THRESHOLD,
+    stats: CumulativeStats | None = None,
+) -> np.ndarray:
+    """Symbol-index matrix of every sliding window (``discretize`` sans strings).
+
+    Row ``p`` holds the 0-based alphabet indices of window ``p``'s SAX word;
+    :func:`discretize` is exactly ``index_matrix_to_words`` over this matrix.
+    The integer form is the tokenizer fast path: numerosity reduction and
+    word interning both operate on it, so strings are built only for the
+    kept, distinct words at the grammar boundary.
+    """
     series = ensure_time_series(series, name="series", min_length=2)
     window = validate_window(window, len(series))
     paa_size = validate_paa_size(paa_size, window)
@@ -88,8 +109,7 @@ def discretize(
         stats = CumulativeStats(series)
     paa_matrix = stats.sliding_paa_matrix(window, paa_size, znorm_threshold)
     breakpoints = gaussian_breakpoints(alphabet_size)
-    indices = np.searchsorted(breakpoints, paa_matrix, side="right")
-    return index_matrix_to_words(indices)
+    return np.searchsorted(breakpoints, paa_matrix, side="right")
 
 
 def mindist(

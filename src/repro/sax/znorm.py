@@ -27,6 +27,21 @@ def constancy_cutoff(mean: float, threshold: float = DEFAULT_ZNORM_THRESHOLD) ->
     return threshold * max(1.0, abs(mean))
 
 
+def constancy_mask(
+    means: np.ndarray,
+    stds: np.ndarray,
+    threshold: float = DEFAULT_ZNORM_THRESHOLD,
+) -> np.ndarray:
+    """Vectorized :func:`constancy_cutoff`: which windows count as constant.
+
+    ``mask[i]`` is True when ``stds[i] < threshold * max(1, |means[i]|)`` —
+    the same comparison, and therefore the same float semantics, as the
+    scalar cutoff; the batched PAA paths use this so their constancy
+    decisions stay bitwise aligned with the per-window reference.
+    """
+    return stds < threshold * np.maximum(np.abs(means), 1.0)
+
+
 def znorm(values: np.ndarray, threshold: float = DEFAULT_ZNORM_THRESHOLD) -> np.ndarray:
     """Return a z-normalized copy of ``values``.
 

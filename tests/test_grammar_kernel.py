@@ -1,0 +1,258 @@
+"""Kernel equivalence: the fast Sequitur backends against the oracle.
+
+The contract (see ``repro/grammar/_kernel.py``): for any token sequence,
+every kernel produces the identical frozen
+:class:`~repro.grammar.rules.Grammar` — same rules, same numbering, same
+refcounts — and the identical occurrence-span multiset. Grammar structure
+depends only on the equality pattern of the tokens, so interning token
+strings to integer ids is invisible to the result.
+
+The property suite drives random (repetition-biased) token streams through
+the id kernels and the reference ``_SequiturBuilder`` side by side; the
+compiled kernel runs the same battery when numba is importable and is
+skipped otherwise (it must never be *required*).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.grammar import _kernel
+from repro.grammar._kernel import FastSequitur
+from repro.grammar.sequitur import GenerationalSequitur, _SequiturBuilder, induce_grammar
+
+#: Token streams with heavy repetition (small alphabets make digram matches,
+#: rule reuse, and rule-utility inlining all fire often).
+token_streams = st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=200)
+
+#: Fixed regressions: runs of one symbol exercise the triple-repetition
+#: digram fix at every length; the last case is the paper's Eq. (4).
+FIXED_STREAMS = (
+    [[0] * n for n in range(1, 18)]
+    + [[0, 1, 0, 1], [0, 1, 0, 1, 0, 1], [0, 1, 1, 0, 0, 1, 0, 1]]
+    + [[0, 1, 2, 3, 4, 0, 1, 2]]  # ab bc aa cc ca ab bc aa
+)
+
+
+def _vocabulary(stream) -> list[str]:
+    return [f"w{i}" for i in range(max(stream) + 1)]
+
+
+def _oracle(stream):
+    builder = _SequiturBuilder()
+    vocabulary = _vocabulary(stream)
+    for token in stream:
+        builder.feed(vocabulary[token])
+    return builder
+
+
+def _assert_matches_oracle(builder, stream) -> None:
+    """Frozen grammar, refcounts, and span multiset must match the oracle."""
+    oracle = _oracle(stream)
+    expected = oracle.freeze()
+    actual = builder.freeze(_vocabulary(stream))
+    assert actual == expected
+    assert actual.rule_refcounts() == expected.rule_refcounts()
+    firsts, lasts = builder.occurrence_spans()
+    spans = sorted(zip(firsts.tolist(), lasts.tolist()))
+    reference = sorted(zip(*(a.tolist() for a in expected.occurrence_spans())))
+    assert spans == reference
+
+
+class TestFastKernelEquivalence:
+    @given(stream=token_streams)
+    def test_feed_matches_oracle(self, stream):
+        builder = FastSequitur()
+        for token in stream:
+            builder.feed(token)
+        _assert_matches_oracle(builder, stream)
+
+    @given(stream=token_streams)
+    def test_feed_many_matches_feed(self, stream):
+        one_by_one = FastSequitur()
+        for token in stream:
+            one_by_one.feed(token)
+        batched = FastSequitur()
+        batched.feed_many(np.asarray(stream, dtype=np.int64))
+        assert batched.freeze(_vocabulary(stream)) == one_by_one.freeze(
+            _vocabulary(stream)
+        )
+        assert batched.n_tokens == one_by_one.n_tokens == len(stream)
+
+    @given(stream=token_streams, split=st.integers(min_value=0, max_value=200))
+    def test_incremental_prefix_feeding(self, stream, split):
+        """feed_many in two arbitrary chunks equals one pass (streaming's
+        catch-up repair relies on exactly this)."""
+        split = min(split, len(stream))
+        chunked = FastSequitur()
+        chunked.feed_many(stream[:split])
+        chunked.feed_many(stream[split:])
+        _assert_matches_oracle(chunked, stream)
+
+    @pytest.mark.parametrize("stream", FIXED_STREAMS, ids=repr)
+    def test_fixed_regressions(self, stream):
+        builder = FastSequitur()
+        builder.feed_many(stream)
+        _assert_matches_oracle(builder, stream)
+
+    def test_paper_example(self):
+        """Eq. (4): R0 -> R1 cc ca R1, R1 -> ab bc aa (Table 2)."""
+        words = ["ab", "bc", "aa", "cc", "ca", "ab", "bc", "aa"]
+        with _kernel.use_kernel("fast"):
+            grammar = induce_grammar(words)
+        assert grammar.rules[0].rhs == (1, "cc", "ca", 1)
+        assert grammar.rules[1].rhs == ("ab", "bc", "aa")
+
+    @given(stream=token_streams)
+    def test_memory_bytes_positive_and_grows(self, stream):
+        builder = FastSequitur()
+        builder.feed_many(stream)
+        grown = builder.memory_bytes()
+        assert grown > 0
+        builder.feed_many(stream)
+        assert builder.memory_bytes() >= grown
+
+
+class TestInduceGrammarKernelParity:
+    @given(stream=token_streams)
+    def test_fast_equals_python(self, stream):
+        words = [_vocabulary(stream)[token] for token in stream]
+        with _kernel.use_kernel("python"):
+            reference = induce_grammar(words)
+        with _kernel.use_kernel("fast"):
+            fast = induce_grammar(words)
+        assert fast == reference
+
+    def test_empty_and_type_errors_survive_the_fast_path(self):
+        with _kernel.use_kernel("fast"):
+            with pytest.raises(ValueError, match="empty token sequence"):
+                induce_grammar([])
+            with pytest.raises(TypeError, match="must be strings"):
+                induce_grammar(["ab", 3])
+
+
+class TestKernelSeam:
+    def test_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv(_kernel.KERNEL_ENV, raising=False)
+        with _kernel.use_kernel(None):
+            assert _kernel.current_kernel() == "fast"
+
+    def test_environment_selects_kernel(self, monkeypatch):
+        monkeypatch.setenv(_kernel.KERNEL_ENV, "python")
+        with _kernel.use_kernel(None):
+            assert _kernel.current_kernel() == "python"
+
+    def test_environment_rejects_unknown(self, monkeypatch):
+        monkeypatch.setenv(_kernel.KERNEL_ENV, "turbo")
+        with _kernel.use_kernel(None):
+            with pytest.raises(ValueError, match="unknown grammar kernel"):
+                _kernel.current_kernel()
+
+    def test_use_kernel_restores_previous(self):
+        before = _kernel.current_kernel()
+        with _kernel.use_kernel("python"):
+            assert _kernel.current_kernel() == "python"
+        assert _kernel.current_kernel() == before
+
+    def test_make_builder_rejects_python(self):
+        with pytest.raises(ValueError, match="no id-based builder"):
+            _kernel.make_builder("python")
+
+    def test_make_builder_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown grammar kernel"):
+            _kernel.make_builder("warp")
+
+    def test_compiled_without_numba_raises_install_hint(self):
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            with pytest.raises(ImportError, match="requires numba"):
+                _kernel.make_builder("compiled")
+        else:
+            assert _kernel.make_builder("compiled") is not None
+
+
+class TestGenerationalSequiturKernels:
+    def test_feed_id_requires_vocabulary(self):
+        forgetter = GenerationalSequitur(4, kernel="fast")
+        with pytest.raises(ValueError, match="vocabulary"):
+            forgetter.feed_id(0, 0)
+
+    def test_live_spans_requires_id_kernel(self):
+        forgetter = GenerationalSequitur(4, kernel="python")
+        with pytest.raises(ValueError, match="id-based kernel"):
+            forgetter.live_spans()
+
+    @given(stream=token_streams)
+    def test_feed_id_matches_python_feed(self, stream):
+        vocabulary = _vocabulary(stream)
+        reference = GenerationalSequitur(8, kernel="python")
+        fast = GenerationalSequitur(8, kernel="fast", vocabulary=vocabulary)
+        for offset, token in enumerate(stream):
+            reference.feed(vocabulary[token], offset)
+            fast.feed_id(token, offset)
+        expected = reference.live_grammars()
+        actual = fast.live_grammars()
+        assert [(i, g, c) for i, g, c in actual] == [(i, g, c) for i, g, c in expected]
+
+    @given(stream=token_streams)
+    def test_live_spans_match_live_grammars(self, stream):
+        vocabulary = _vocabulary(stream)
+        forgetter = GenerationalSequitur(8, kernel="fast", vocabulary=vocabulary)
+        for offset, token in enumerate(stream):
+            forgetter.feed_id(token, offset)
+        grammars = {i: g for i, g, _ in forgetter.live_grammars()}
+        for index, firsts, lasts, count in forgetter.live_spans():
+            spans = sorted(zip(firsts.tolist(), lasts.tolist()))
+            expected = sorted(zip(*(a.tolist() for a in grammars[index].occurrence_spans())))
+            assert spans == expected
+            assert count == grammars[index].expanded_lengths()[0]
+
+    def test_sealing_releases_the_builder_arena(self):
+        """Decay soak (the interned-word bugfix): sealed generations must not
+        pin retired token storage — memory accounting stays bounded as
+        generations retire, instead of accumulating one arena per seal."""
+        rng = np.random.default_rng(7)
+        vocabulary = [f"w{i}" for i in range(16)]
+        forgetter = GenerationalSequitur(64, kernel="fast", vocabulary=vocabulary)
+        readings = []
+        for offset in range(6400):
+            forgetter.feed_id(int(rng.integers(0, 16)), offset)
+            if offset % 64 == 63:
+                forgetter.drop_before(max(0, offset - 255))
+                readings.append(forgetter.memory_bytes())
+        assert forgetter.retired_generations > 0
+        assert forgetter._current_builder is not None
+        # Live state is ~4 generations throughout: the estimate must plateau,
+        # not grow with the number of seals (100 generations were sealed).
+        assert max(readings[50:]) <= 2 * max(readings[:50])
+        # And every *sealed* generation has dropped its builder: only spans,
+        # counts and frozen rules remain.
+        assert set(forgetter._sealed) == set(forgetter._sealed_spans)
+
+
+class TestCompiledKernel:
+    """The numba kernel is gated by the same battery — when importable."""
+
+    @pytest.fixture(autouse=True)
+    def _require_compiled(self):
+        pytest.importorskip("numba")
+
+    @given(stream=token_streams)
+    def test_matches_oracle(self, stream):
+        from repro.grammar._kernel_compiled import CompiledSequitur
+
+        builder = CompiledSequitur()
+        builder.feed_many(stream)
+        _assert_matches_oracle(builder, stream)
+
+    @pytest.mark.parametrize("stream", FIXED_STREAMS, ids=repr)
+    def test_fixed_regressions(self, stream):
+        from repro.grammar._kernel_compiled import CompiledSequitur
+
+        builder = CompiledSequitur()
+        builder.feed_many(stream)
+        _assert_matches_oracle(builder, stream)

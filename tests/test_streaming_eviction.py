@@ -279,7 +279,7 @@ class TestSlidingParity:
         member = StreamingGrammarDetector(window=20, paa_size=4, alphabet_size=6, capacity=200)
         for _ in range(100):
             member.extend(np.cumsum(rng.standard_normal(100)))
-        assert len(member._kept_words) <= member.n_tokens + 2 * 1024 + 1
+        assert len(member._kept_ids) <= member.n_tokens + 2 * 1024 + 1
         assert member.retired_tokens > 0
 
 
