@@ -23,20 +23,20 @@ single-core machine cannot show scaling). Scale knobs:
 
 from __future__ import annotations
 
-import json
 import os
 
 import numpy as np
 
-from benchlib import RESULTS_DIR
+from benchlib import RESULTS_DIR, strict
 from repro.core.cluster import ClusterExecutor
 from repro.core.ensemble import EnsembleGrammarDetector
-from repro.core.executors import ProcessExecutor, resolve_series
+from repro.core.executors import ProcessExecutor
 from repro.datasets.generators import random_walk
 from repro.evaluation.tables import format_table
 from repro.utils.timing import Timer
+from runner.schema import write_bench_payload
+from runner.workloads import dispatch_overhead_once
 
-STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
 SERIES = int(os.environ.get("REPRO_CLUSTER_SERIES", "6"))
 POINTS = int(os.environ.get("REPRO_CLUSTER_POINTS", "2000"))
 WORKERS = int(os.environ.get("REPRO_CLUSTER_WORKERS", "2"))
@@ -47,15 +47,6 @@ OVERHEAD_TASKS = 40
 
 #: Generous bring-up waits for shared CI runners.
 CLUSTER_KWARGS = dict(worker_wait=120.0, lease_timeout=30.0)
-
-
-def _touch_task(payload):
-    """Near-empty worker task: materialize the shared series, return a sum.
-
-    The work is negligible on purpose — timing a burst of these isolates
-    the per-task dispatch round trip of each backend.
-    """
-    return float(resolve_series(payload)[::500].sum())
 
 
 def _make_batch() -> list[np.ndarray]:
@@ -74,16 +65,6 @@ def _timed_batch(executor, batch):
     return results, timer.elapsed
 
 
-def _timed_overhead(executor, series) -> float:
-    with executor.share_series(series) as handle:
-        payloads = [handle.ref] * OVERHEAD_TASKS
-        expected = _touch_task(np.asarray(series))
-        with Timer() as timer:
-            results = executor.map(_touch_task, payloads)
-    assert all(value == expected for value in results)
-    return timer.elapsed / OVERHEAD_TASKS
-
-
 def bench_cluster_dispatch(report):
     """Scaling + overhead of the TCP cluster backend vs the process pool."""
     batch = _make_batch()
@@ -98,7 +79,7 @@ def bench_cluster_dispatch(report):
         "window": WINDOW,
         "ensemble": ENSEMBLE,
         "serial_batch_s": serial_time,
-        "strict": STRICT,
+        "strict": strict(),
         "cpus": os.cpu_count(),
     }
     rows.append(["serial", "-", f"{serial_time * 1e3:.0f}", "1.00x", "-"])
@@ -106,7 +87,7 @@ def bench_cluster_dispatch(report):
     with ProcessExecutor(WORKERS) as process_pool:
         process_results, process_time = _timed_batch(process_pool, batch)
         assert process_results == reference, "process backend broke parity"
-        process_overhead = _timed_overhead(process_pool, series)
+        process_overhead = dispatch_overhead_once(process_pool, series, OVERHEAD_TASKS)
     payload["process_batch_s"] = process_time
     payload["process_dispatch_ms_per_task"] = process_overhead * 1e3
     rows.append(
@@ -125,7 +106,7 @@ def bench_cluster_dispatch(report):
             cluster.start(wait=True)
             cluster_results, cluster_time = _timed_batch(cluster, batch)
             assert cluster_results == reference, "cluster backend broke parity"
-            cluster_overhead = _timed_overhead(cluster, series)
+            cluster_overhead = dispatch_overhead_once(cluster, series, OVERHEAD_TASKS)
             retried = cluster.stats()["tasks_retried"]
         cluster_times[workers] = cluster_time
         payload[f"cluster_{workers}w_batch_s"] = cluster_time
@@ -156,14 +137,11 @@ def bench_cluster_dispatch(report):
     )
     report(text, "bench_cluster_dispatch.txt")
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_cluster_dispatch.json").write_text(
-        json.dumps(payload, indent=1) + "\n"
-    )
+    write_bench_payload("cluster_dispatch", payload, RESULTS_DIR)
 
     # Bitwise parity was asserted above, unconditionally. The timing gate
     # needs real parallel hardware to be meaningful.
-    if STRICT and (os.cpu_count() or 1) >= 2 and WORKERS >= 2:
+    if strict() and (os.cpu_count() or 1) >= 2 and WORKERS >= 2:
         assert scaling > 1.05, (
             f"adding workers did not scale: 1 worker {cluster_times[1] * 1e3:.0f}ms "
             f"vs {WORKERS} workers {cluster_times[WORKERS] * 1e3:.0f}ms"

@@ -27,14 +27,15 @@ import os
 
 import numpy as np
 
-from benchlib import FULL, scale_note
+from benchlib import FULL, RESULTS_DIR, scale_note, strict
 from repro.core.ensemble import EnsembleGrammarDetector
-from repro.core.executors import ProcessExecutor, resolve_series
+from repro.core.executors import ProcessExecutor
 from repro.datasets.generators import random_walk
 from repro.evaluation.tables import format_table
 from repro.utils.timing import Timer
+from runner.schema import write_bench_payload
+from runner.workloads import touch_task
 
-STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
 CALLS = int(os.environ.get("REPRO_EXEC_CALLS", "6"))
 # Short on purpose: the reuse bench measures the regime where pool spawn
 # rivals the detection itself, which is exactly where reuse pays.
@@ -44,17 +45,6 @@ WINDOW = 100
 WORKERS = 2
 TASKS = 9  # one per w-group of a wmax=10 ensemble
 ROUNDS = 5
-
-
-def _touch_task(payload):
-    """Minimal worker: materialize the series, return a checksum.
-
-    The work is negligible on purpose — the bench measures how the series
-    *travels*, not what is computed on it.
-    """
-    ref = payload
-    series = resolve_series(ref)
-    return float(series[::1000].sum())
 
 
 def bench_executor_pool_reuse(benchmark, report):
@@ -104,7 +94,19 @@ def bench_executor_pool_reuse(benchmark, report):
         ),
     )
     report(table + f"\nspeedup: {speedup:.2f}x\n" + scale_note(), "executor_reuse.txt")
-    if STRICT:
+    write_bench_payload(
+        "executor_reuse",
+        {
+            "calls": CALLS,
+            "points": SHORT_POINTS,
+            "workers": WORKERS,
+            "spawn_s": spawn_time,
+            "reused_s": reused_time,
+            "speedup": speedup,
+        },
+        RESULTS_DIR,
+    )
+    if strict():
         assert speedup >= 1.1, f"expected pool reuse to beat per-call spawn, got {speedup:.2f}x"
 
 
@@ -115,13 +117,13 @@ def bench_shared_memory_series_passing(benchmark, report):
 
     with ProcessExecutor(WORKERS) as executor:
         # Warm the pool so neither side pays the spawn.
-        executor.map(_touch_task, [np.zeros(1)])
+        executor.map(touch_task, [np.zeros(1)])
 
         def _shared() -> float:
             with Timer() as timer:
                 for _ in range(ROUNDS):
                     with executor.share_series(series) as handle:
-                        executor.map(_touch_task, [handle.ref] * TASKS)
+                        executor.map(touch_task, [handle.ref] * TASKS)
             return timer.elapsed
 
         shared_time = benchmark.pedantic(_shared, rounds=1, iterations=1)
@@ -130,7 +132,7 @@ def bench_shared_memory_series_passing(benchmark, report):
             with Timer() as timer:
                 for _ in range(ROUNDS):
                     # The PR-1 way: the full series pickled into every payload.
-                    executor.map(_touch_task, [series] * TASKS)
+                    executor.map(touch_task, [series] * TASKS)
             return timer.elapsed
 
         shared_time = min(shared_time, _shared())
@@ -150,5 +152,18 @@ def bench_shared_memory_series_passing(benchmark, report):
         ),
     )
     report(table + f"\nspeedup: {speedup:.2f}x\n" + scale_note(), "executor_shm.txt")
-    if STRICT:
+    write_bench_payload(
+        "executor_shm",
+        {
+            "tasks": TASKS,
+            "rounds": ROUNDS,
+            "points": BIG_POINTS,
+            "workers": WORKERS,
+            "pickled_s": pickled_time,
+            "shared_s": shared_time,
+            "speedup": speedup,
+        },
+        RESULTS_DIR,
+    )
+    if strict():
         assert speedup >= 1.2, f"expected shared memory to beat pickling, got {speedup:.2f}x"

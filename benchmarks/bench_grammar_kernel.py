@@ -1,11 +1,12 @@
 """Native-speed grammar core: kernel and streaming hot-path bench (ISSUE 6).
 
-Three measurements, written to ``results/BENCH_grammar_kernel.json``:
+Three measurements, written to ``results/BENCH_grammar_kernel.json`` in the
+normalized envelope (machine fingerprint + git SHA, see
+``runner/schema.py``):
 
 1. **Grammar stage, per token** — the id-based ``FastSequitur`` (batched
    ``feed_many`` + fused ``occurrence_spans``) against the reference
-   ``_SequiturBuilder`` oracle (per-word ``feed`` + ``freeze`` + object-walk
-   spans) on the same random token stream.
+   ``_SequiturBuilder`` oracle on the same random token stream.
 2. **Streaming, per point** — end-to-end ``StreamingGrammarDetector``
    ingest + density poll on a 100k-point stream under the fast and python
    kernels, and against a reconstruction of the seed's scalar path
@@ -16,28 +17,30 @@ Three measurements, written to ``results/BENCH_grammar_kernel.json``:
    polled while ingesting: steady-state poll latency is O(capacity), so it
    must stay flat (within 20%) between 10k and 100k points ingested.
 
-Timing gates follow the ``REPRO_BENCH_STRICT`` convention of the eviction
-bench: measured and reported always, asserted unless ``REPRO_BENCH_STRICT=0``
+The hot paths themselves are the matrix runner's registered workloads
+(``runner/workloads.py``) — this script adds the seed-path comparison and
+the narrative gates, it does not hand-roll its own timing. Timing gates
+follow the ``REPRO_BENCH_STRICT`` convention via ``benchlib.strict()``:
+measured and reported always, asserted unless ``REPRO_BENCH_STRICT=0``
 (shared CI runners are too noisy to merge-block on wall clock).
 """
 
 from __future__ import annotations
 
-import json
 import os
 
 import numpy as np
 
-from benchlib import FULL, RESULTS_DIR, scale_note
-from repro.core.streaming import StreamingGrammarDetector
+from benchlib import FULL, RESULTS_DIR, scale_note, strict
 from repro.datasets.generators import random_walk
 from repro.evaluation.tables import format_table
-from repro.grammar import _kernel
 from repro.grammar.density import rule_density_curve
 from repro.grammar.sequitur import _SequiturBuilder
 from repro.sax.numerosity import numerosity_reduction
 from repro.sax.sax import sax_word
 from repro.utils.timing import Timer
+from runner.schema import write_bench_payload
+from runner.workloads import grammar_stage_once, poll_latency_curve, stream_per_point_once
 
 POINTS = 300_000 if FULL else int(os.environ.get("REPRO_KERNEL_BENCH_POINTS", "100000"))
 #: The scalar reconstruction is ~2 orders slower per point; a slice of the
@@ -50,35 +53,12 @@ PAA_SIZE = 4
 ALPHA_SIZE = 4
 CAPACITY = 5_000
 SEED = 0
-STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
-
-
-# ----------------------------------------------------------------------
-# 1. Grammar stage per token: oracle vs fast kernel.
-# ----------------------------------------------------------------------
 
 
 def _grammar_stage() -> dict:
-    rng = np.random.default_rng(SEED)
-    ids = rng.integers(0, ALPHABET, size=N_TOKENS)
-    words = [f"w{i}" for i in range(ALPHABET)]
-    word_stream = [words[i] for i in ids]
-
-    oracle = _SequiturBuilder()
-    with Timer() as feed_timer:
-        feed = oracle.feed
-        for word in word_stream:
-            feed(word)
-    with Timer() as span_timer:
-        spans_oracle = oracle.freeze().occurrence_spans()
-    oracle_s = feed_timer.elapsed + span_timer.elapsed
-
-    fast = _kernel.make_builder("fast")
-    with Timer() as feed_timer:
-        fast.feed_many(ids)
-    with Timer() as span_timer:
-        spans_fast = fast.occurrence_spans()
-    fast_s = feed_timer.elapsed + span_timer.elapsed
+    """Oracle vs fast kernel on one stream, with the large-scale parity check."""
+    oracle_s, spans_oracle = grammar_stage_once("python", N_TOKENS, ALPHABET, SEED)
+    fast_s, spans_fast = grammar_stage_once("fast", N_TOKENS, ALPHABET, SEED)
 
     # The bench doubles as a large-scale parity check: identical span
     # multisets from both backends.
@@ -92,23 +72,6 @@ def _grammar_stage() -> dict:
         "fast_us_per_token": fast_s / N_TOKENS * 1e6,
         "speedup": oracle_s / max(fast_s, 1e-9),
     }
-
-
-# ----------------------------------------------------------------------
-# 2. Streaming per point: fast / python kernels, and the scalar seed path.
-# ----------------------------------------------------------------------
-
-
-def _stream_per_point(series: np.ndarray, kernel: str) -> float:
-    with _kernel.use_kernel(kernel):
-        detector = StreamingGrammarDetector(
-            window=WINDOW, paa_size=PAA_SIZE, alphabet_size=ALPHA_SIZE
-        )
-        with Timer() as timer:
-            for offset in range(0, len(series), 10_000):
-                detector.extend(series[offset : offset + 10_000])
-            detector.density_curve()
-    return timer.elapsed / len(series)
 
 
 def _legacy_per_point(series: np.ndarray) -> float:
@@ -131,57 +94,25 @@ def _legacy_per_point(series: np.ndarray) -> float:
     return timer.elapsed / len(series)
 
 
-# ----------------------------------------------------------------------
-# 3. Poll latency vs stream length (sliding, fixed capacity).
-# ----------------------------------------------------------------------
-
-
-def _poll_latency_curve(series: np.ndarray) -> list[dict]:
-    detector = StreamingGrammarDetector(
-        window=WINDOW,
-        paa_size=PAA_SIZE,
-        alphabet_size=ALPHA_SIZE,
-        capacity=CAPACITY,
-        policy="sliding",
-    )
-    checkpoints = [c for c in (10_000, 25_000, 50_000, 100_000) if c <= len(series)]
-    curve = []
-    fed = 0
-    for checkpoint in checkpoints:
-        detector.extend(series[fed : checkpoint - 15 * 500])
-        fed = checkpoint - 15 * 500
-        # Steady-state polls: each cycle ingests a chunk (advancing the
-        # horizon, so the poll cannot reuse a cached curve or builder) and
-        # times the density snapshot that follows.
-        samples = []
-        while fed < checkpoint:
-            detector.extend(series[fed : fed + 500])
-            fed += 500
-            with Timer() as timer:
-                detector.density_curve()
-            samples.append(timer.elapsed)
-        curve.append(
-            {
-                "points_ingested": checkpoint,
-                "live_tokens": detector.n_tokens,
-                "poll_ms_median": float(np.median(samples) * 1e3),
-            }
-        )
-    return curve
-
-
 def bench_grammar_kernel(benchmark, report):
     series = random_walk(POINTS, seed=SEED)
 
     grammar_stage = _grammar_stage()
 
     fast_per_point = benchmark.pedantic(
-        lambda: _stream_per_point(series, "fast"), rounds=1, iterations=1
+        lambda: stream_per_point_once("fast", POINTS, WINDOW, PAA_SIZE, ALPHA_SIZE, SEED),
+        rounds=1,
+        iterations=1,
     )
-    python_per_point = _stream_per_point(series, "python")
+    python_per_point = stream_per_point_once(
+        "python", POINTS, WINDOW, PAA_SIZE, ALPHA_SIZE, SEED
+    )
     legacy_per_point = _legacy_per_point(series[:LEGACY_POINTS])
 
-    latency_curve = _poll_latency_curve(series)
+    checkpoints = [c for c in (10_000, 25_000, 50_000, 100_000) if c <= POINTS]
+    latency_curve = poll_latency_curve(
+        series, checkpoints, CAPACITY, WINDOW, PAA_SIZE, ALPHA_SIZE
+    )
 
     legacy_speedup = legacy_per_point / max(fast_per_point, 1e-12)
     kernel_speedup = python_per_point / max(fast_per_point, 1e-12)
@@ -230,26 +161,26 @@ def bench_grammar_kernel(benchmark, report):
     ]
     report(table + "\n" + "\n".join(latency_lines) + "\n" + scale_note(), "grammar_kernel.txt")
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {
-        "points": POINTS,
-        "window": WINDOW,
-        "paa_size": PAA_SIZE,
-        "alphabet_size": ALPHA_SIZE,
-        "capacity": CAPACITY,
-        "strict": STRICT,
-        "grammar_stage": grammar_stage,
-        "streaming_per_point_us": {
-            "legacy_scalar": legacy_per_point * 1e6,
-            "python_kernel": python_per_point * 1e6,
-            "fast_kernel": fast_per_point * 1e6,
-            "legacy_over_fast": legacy_speedup,
-            "python_over_fast": kernel_speedup,
+    write_bench_payload(
+        "grammar_kernel",
+        {
+            "points": POINTS,
+            "window": WINDOW,
+            "paa_size": PAA_SIZE,
+            "alphabet_size": ALPHA_SIZE,
+            "capacity": CAPACITY,
+            "strict": strict(),
+            "grammar_stage": grammar_stage,
+            "streaming_per_point_us": {
+                "legacy_scalar": legacy_per_point * 1e6,
+                "python_kernel": python_per_point * 1e6,
+                "fast_kernel": fast_per_point * 1e6,
+                "legacy_over_fast": legacy_speedup,
+                "python_over_fast": kernel_speedup,
+            },
+            "sliding_poll_latency": latency_curve,
         },
-        "sliding_poll_latency": latency_curve,
-    }
-    (RESULTS_DIR / "BENCH_grammar_kernel.json").write_text(
-        json.dumps(payload, indent=1) + "\n"
+        RESULTS_DIR,
     )
 
     # Always asserted: the fast kernel must actually beat the oracle on the
@@ -258,7 +189,7 @@ def bench_grammar_kernel(benchmark, report):
         f"fast kernel is not faster than the oracle ({grammar_stage['speedup']:.2f}x)"
     )
 
-    if STRICT:
+    if strict():
         # The headline: the refactored per-point cost vs the scalar seed
         # path it replaced.
         assert legacy_speedup >= 10.0, (

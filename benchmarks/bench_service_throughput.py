@@ -34,18 +34,13 @@ the serving trajectory per PR alongside the other bench artifacts.
 
 from __future__ import annotations
 
-import asyncio
-import json
 import os
-import time
 
-import numpy as np
-
-from benchlib import RESULTS_DIR
+from benchlib import RESULTS_DIR, strict
 from repro.evaluation.tables import format_table
-from repro.service import DetectService
+from runner.schema import write_bench_payload
+from runner.workloads import service_best_rps
 
-STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
 CLIENTS = int(os.environ.get("REPRO_SVC_CLIENTS", "32"))
 ROUNDS = int(os.environ.get("REPRO_SVC_ROUNDS", "3"))
 WORKERS = int(os.environ.get("REPRO_SVC_WORKERS", "1"))
@@ -55,69 +50,31 @@ REQUIRED_SPEEDUP = 2.0
 #: Small requests on purpose — see the module docstring. Nine distinct PAA
 #: sizes means batch-size-1 serving ships nine single-member group tasks
 #: through the pool per request; the micro-batched path ships chunked
-#: whole-series tasks instead.
+#: whole-series tasks instead (the detector config lives in
+#: ``runner.workloads.service_best_rps``, shared with the matrix cell).
 SERIES_POINTS = 48
-CONFIG = dict(window=10, ensemble_size=9, max_paa_size=10, max_alphabet_size=2)
-
-
-def _client_series(seed: int) -> np.ndarray:
-    rng = np.random.default_rng(seed)
-    t = np.linspace(0.0, 6.0 * np.pi, SERIES_POINTS)
-    return np.sin(t) + 0.05 * rng.standard_normal(SERIES_POINTS)
-
-
-async def _measure(
-    *, max_batch_size: int, batch_window: float, cache_entries: int, repeat_requests: bool
-) -> tuple[float, dict]:
-    """Best-of-ROUNDS throughput for one service configuration.
-
-    ``repeat_requests=False`` gives every round fresh series/seeds (nothing
-    cacheable); ``True`` re-sends one fixed request set every round, so
-    with a cache all rounds after the first are pure hits.
-    """
-    async with DetectService(
-        executor="process",
-        n_jobs=WORKERS,
-        batch_window=batch_window,
-        max_batch_size=max_batch_size,
-        max_pending=4 * CLIENTS,
-        cache_entries=cache_entries,
-        default_timeout=None,
-    ) as service:
-        await service.detect(_client_series(10**6), seed=0, **CONFIG)  # spawn the pool
-        best = 0.0
-        for round_index in range(ROUNDS):
-            salt = 0 if repeat_requests else 1000 * (round_index + 1)
-            series = [_client_series(salt + i) for i in range(CLIENTS)]
-            started = time.perf_counter()
-            await asyncio.gather(
-                *(
-                    service.detect(series[i], k=3, seed=salt + i, **CONFIG)
-                    for i in range(CLIENTS)
-                )
-            )
-            elapsed = time.perf_counter() - started
-            best = max(best, CLIENTS / elapsed)
-        return best, service.stats()["batcher"]
 
 
 def bench_service_micro_batching_throughput(report):
     """Micro-batched vs batch-size-1 serving at CLIENTS concurrent callers."""
-    baseline_rps, baseline_stats = asyncio.run(
-        _measure(max_batch_size=1, batch_window=0.0, cache_entries=0, repeat_requests=False)
+    baseline_rps, baseline_stats = service_best_rps(
+        clients=CLIENTS,
+        workers=WORKERS,
+        rounds=ROUNDS,
+        max_batch_size=1,
+        batch_window=0.0,
+        series_points=SERIES_POINTS,
     )
-    micro_rps, micro_stats = asyncio.run(
-        _measure(
-            max_batch_size=CLIENTS, batch_window=0.005, cache_entries=0, repeat_requests=False
-        )
+    micro_rps, micro_stats = service_best_rps(
+        clients=CLIENTS, workers=WORKERS, rounds=ROUNDS, series_points=SERIES_POINTS
     )
-    cached_rps, _ = asyncio.run(
-        _measure(
-            max_batch_size=CLIENTS,
-            batch_window=0.005,
-            cache_entries=4 * CLIENTS,
-            repeat_requests=True,
-        )
+    cached_rps, _ = service_best_rps(
+        clients=CLIENTS,
+        workers=WORKERS,
+        rounds=ROUNDS,
+        cache_entries=4 * CLIENTS,
+        repeat_requests=True,
+        series_points=SERIES_POINTS,
     )
     speedup = micro_rps / baseline_rps
     cache_speedup = cached_rps / baseline_rps
@@ -148,32 +105,31 @@ def bench_service_micro_batching_throughput(report):
     )
     report(text, "bench_service_throughput.txt")
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {
-        "clients": CLIENTS,
-        "rounds": ROUNDS,
-        "workers": WORKERS,
-        "series_points": SERIES_POINTS,
-        "config": CONFIG,
-        "baseline_rps": baseline_rps,
-        "micro_batched_rps": micro_rps,
-        "cached_rps": cached_rps,
-        "speedup": speedup,
-        "cache_speedup": cache_speedup,
-        "baseline_mean_batch": baseline_stats["mean_batch_size"],
-        "micro_mean_batch": micro_stats["mean_batch_size"],
-        "required_speedup": REQUIRED_SPEEDUP,
-        "strict": STRICT,
-    }
-    (RESULTS_DIR / "BENCH_service_throughput.json").write_text(
-        json.dumps(payload, indent=1) + "\n"
+    write_bench_payload(
+        "service_throughput",
+        {
+            "clients": CLIENTS,
+            "rounds": ROUNDS,
+            "workers": WORKERS,
+            "series_points": SERIES_POINTS,
+            "baseline_rps": baseline_rps,
+            "micro_batched_rps": micro_rps,
+            "cached_rps": cached_rps,
+            "speedup": speedup,
+            "cache_speedup": cache_speedup,
+            "baseline_mean_batch": baseline_stats["mean_batch_size"],
+            "micro_mean_batch": micro_stats["mean_batch_size"],
+            "required_speedup": REQUIRED_SPEEDUP,
+            "strict": strict(),
+        },
+        RESULTS_DIR,
     )
 
     # Coalescing must actually have happened for the comparison to mean
     # anything — asserted unconditionally.
     assert micro_stats["mean_batch_size"] > 2.0, micro_stats
     assert baseline_stats["mean_batch_size"] == 1.0, baseline_stats
-    if STRICT:
+    if strict():
         assert speedup >= REQUIRED_SPEEDUP, (
             f"micro-batching speedup {speedup:.2f}x below the {REQUIRED_SPEEDUP}x bar "
             f"(baseline {baseline_rps:.0f} req/s, micro {micro_rps:.0f} req/s)"

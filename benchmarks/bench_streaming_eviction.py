@@ -27,16 +27,16 @@ capacity 100k; otherwise ``REPRO_EVICT_POINTS`` (default 150k),
 from __future__ import annotations
 
 import gc
-import json
 import os
 
 import numpy as np
 
-from benchlib import FULL, RESULTS_DIR, scale_note
+from benchlib import FULL, RESULTS_DIR, scale_note, strict
 from repro.core.streaming import StreamingEnsembleDetector
 from repro.datasets.generators import random_walk
 from repro.evaluation.tables import format_table
 from repro.utils.timing import Timer
+from runner.schema import write_bench_payload
 
 POINTS = 1_000_000 if FULL else int(os.environ.get("REPRO_EVICT_POINTS", "150000"))
 CAPACITY = 100_000 if FULL else int(os.environ.get("REPRO_EVICT_CAPACITY", "25000"))
@@ -47,7 +47,6 @@ BASELINE_POINTS = min(POINTS, 200_000)
 WINDOW = 100
 MEMBERS = 10
 SEED = 0
-STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
 
 # Keep the run meaningful if someone shrinks POINTS below the capacity.
 CAPACITY = max(WINDOW, min(CAPACITY, POINTS // 5))
@@ -188,23 +187,23 @@ def bench_streaming_eviction_flat_memory(benchmark, report):
             )
     report(table + "\n" + "\n".join(rss_lines) + "\n" + scale_note(), "streaming_eviction.txt")
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {
-        "points": POINTS,
-        "capacity": CAPACITY,
-        "chunk": CHUNK,
-        "members": MEMBERS,
-        "window": WINDOW,
-        "baseline_points": BASELINE_POINTS,
-        "strict": STRICT,
-        **{
-            key: value
-            for key, value in measured.items()
-            if isinstance(value, dict)
+    write_bench_payload(
+        "streaming_eviction",
+        {
+            "points": POINTS,
+            "capacity": CAPACITY,
+            "chunk": CHUNK,
+            "members": MEMBERS,
+            "window": WINDOW,
+            "baseline_points": BASELINE_POINTS,
+            "strict": strict(),
+            **{
+                key: value
+                for key, value in measured.items()
+                if isinstance(value, dict)
+            },
         },
-    }
-    (RESULTS_DIR / "BENCH_streaming_eviction.json").write_text(
-        json.dumps(payload, indent=1) + "\n"
+        RESULTS_DIR,
     )
 
     # ---- memory gates: asserted on every run (strict *for memory*). ----
@@ -232,7 +231,7 @@ def bench_streaming_eviction_flat_memory(benchmark, report):
     for name in ("sliding", "decay"):
         stats = measured[name]
         ratio = stats["late_chunk_s"] / max(stats["early_chunk_s"], 1e-9)
-        if STRICT:
+        if strict():
             assert ratio < 3.0, (
                 f"{name}: per-chunk ingest drifted {ratio:.2f}x from early to "
                 "late stream — per-point cost is not steady"

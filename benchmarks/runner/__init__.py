@@ -1,0 +1,26 @@
+"""The benchmark matrix runner behind ``repro bench``.
+
+One config-driven harness replaces the per-bench hand-rolled timing and
+divergent ``json.dumps(payload)`` shapes:
+
+- :mod:`runner.matrix` loads the declarative spec
+  (``benchmarks/bench_matrix.toml``): workloads x their axes (executor,
+  series length, kernel), warmup/repeat counts, per-metric units and
+  regression tolerances.
+- :mod:`runner.workloads` registers the measured hot paths — the same
+  functions the ``bench_*.py`` scripts call, so the narrative benches and
+  the matrix measure one code path.
+- :mod:`runner.schema` defines the one normalized record shape: NDJSON
+  (one record per metric per cell) plus a summary JSON, each carrying the
+  machine fingerprint and git SHA from :mod:`runner.machine`.
+- :mod:`runner.compare` is the noise-aware regression gate against the
+  committed per-metric baselines in ``benchmarks/baselines/``.
+- :mod:`runner.cli` is the ``repro bench`` entry point (run / --list /
+  --compare / --update-baselines / --ci).
+
+Measurement itself (warmup + N repeats, median/IQR) lives in
+:mod:`repro.utils.timing` — library code, so it is importable without the
+benchmarks tree.
+"""
+
+from __future__ import annotations

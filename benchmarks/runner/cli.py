@@ -1,0 +1,161 @@
+"""``repro bench`` command logic (argument plumbing lives in repro.cli).
+
+One entry point, four modes:
+
+- **run** (default): execute the selected matrix cells (tier 1 unless
+  ``--tier`` says otherwise), write ``bench_matrix.ndjson`` plus
+  ``bench_matrix_summary.json`` under ``--output``.
+- **--list**: print the selected cells and their metrics, run nothing.
+- **--compare DIR**: run, then gate against the per-metric baselines in
+  DIR; exit 1 on a statistically significant regression (unless
+  ``REPRO_BENCH_STRICT=0`` — see :mod:`runner.compare`).
+- **--update-baselines**: run, then (over)write the committed baselines —
+  the reviewed artifact every future run is gated against.
+
+``--ci`` is the CI job's spelling: tier-1 cells, compare against the
+committed ``benchmarks/baselines/``, artifacts under
+``benchmarks/results/`` for upload.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from benchlib import strict
+from repro.utils.timing import collect
+from runner.compare import compare_records, comparison_report, load_baselines, write_baselines
+from runner.machine import machine_fingerprint
+from runner.matrix import Matrix, MatrixCell, load_matrix
+from runner.schema import BenchRecord, record_from_measurement, write_ndjson, write_summary
+from runner.workloads import run_cell_once
+
+#: Artifact names under ``--output`` (what CI uploads).
+NDJSON_NAME = "bench_matrix.ndjson"
+SUMMARY_NAME = "bench_matrix_summary.json"
+
+
+def _parse_tier(value: str) -> int | None:
+    if value == "all":
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(f"--tier must be an integer or 'all', got {value!r}") from None
+
+
+def _select_cells(matrix: Matrix, args) -> list[MatrixCell]:
+    tier = _parse_tier("1" if args.ci else args.tier)
+    cells = matrix.cells(tier=tier, pattern=args.filter)
+    if not cells:
+        raise ValueError(
+            f"no matrix cells match tier={args.tier!r} filter={args.filter!r}"
+        )
+    return cells
+
+
+def _list_cells(cells: list[MatrixCell]) -> int:
+    from repro.evaluation.tables import format_table
+
+    rows = [
+        [
+            cell.cell_id,
+            str(cell.workload.tier),
+            f"{cell.workload.warmup}+{cell.workload.repeats}",
+            ", ".join(f"{m} [{u}]" for m, u in sorted(cell.workload.units.items())),
+        ]
+        for cell in cells
+    ]
+    print(
+        format_table(
+            ["cell", "tier", "warmup+repeats", "metrics"],
+            rows,
+            title=f"bench matrix: {len(cells)} cell(s) selected",
+        )
+    )
+    return 0
+
+
+def run_cells(cells: list[MatrixCell], *, warmup: int | None, repeats: int | None) -> list[BenchRecord]:
+    """Execute cells under the warmup+repeats protocol; one record per metric.
+
+    Progress goes to stderr as each cell lands, so a long matrix run is
+    watchable; the machine fingerprint is computed once up front (it is
+    process-cached — every record of the run carries identical provenance).
+    """
+    machine = machine_fingerprint()
+    records: list[BenchRecord] = []
+    for index, cell in enumerate(cells, start=1):
+        spec = cell.workload
+        cell_warmup = spec.warmup if warmup is None else warmup
+        cell_repeats = spec.repeats if repeats is None else repeats
+        params = cell.params
+        measurements = collect(
+            lambda name=spec.name, p=params: run_cell_once(name, p),
+            warmup=cell_warmup,
+            repeats=cell_repeats,
+        )
+        measured = set(measurements)
+        declared = set(spec.units)
+        if measured != declared:
+            raise ValueError(
+                f"{cell.cell_id}: workload returned metrics {sorted(measured)} "
+                f"but the matrix declares {sorted(declared)}"
+            )
+        for metric_name in sorted(measurements):
+            measurement = measurements[metric_name]
+            records.append(
+                record_from_measurement(
+                    metric=cell.metric_id(metric_name),
+                    workload=spec.name,
+                    unit=spec.units[metric_name],
+                    measurement=measurement,
+                    warmup=cell_warmup,
+                    params=params,
+                    machine=machine,
+                    direction=spec.direction(metric_name),
+                    tolerance=spec.tolerances[metric_name],
+                )
+            )
+            print(
+                f"[{index}/{len(cells)}] {cell.metric_id(metric_name)}: "
+                f"{measurement.median:.4g} {spec.units[metric_name]} "
+                f"(iqr {measurement.iqr:.2g}, {cell_repeats} repeats)",
+                file=sys.stderr,
+            )
+    return records
+
+
+def run_bench(args, bench_dir: Path) -> int:
+    """The ``repro bench`` handler body; returns the process exit code."""
+    matrix_path = Path(args.matrix) if args.matrix else bench_dir / "bench_matrix.toml"
+    matrix = load_matrix(matrix_path)
+    cells = _select_cells(matrix, args)
+    if args.list:
+        return _list_cells(cells)
+
+    records = run_cells(cells, warmup=args.warmup, repeats=args.repeats)
+
+    output_dir = Path(args.output) if args.output else bench_dir / "results"
+    ndjson_path = write_ndjson(output_dir / NDJSON_NAME, records)
+    summary_path = write_summary(output_dir / SUMMARY_NAME, records)
+    print(f"wrote {ndjson_path}\nwrote {summary_path}")
+
+    if args.update_baselines:
+        baselines_dir = bench_dir / "baselines"
+        paths = write_baselines(baselines_dir, records)
+        print(f"wrote {len(paths)} baseline file(s) under {baselines_dir}")
+        return 0
+
+    compare_dir = args.compare
+    if args.ci and not compare_dir:
+        compare_dir = bench_dir / "baselines"
+    if compare_dir:
+        baselines = load_baselines(compare_dir)
+        comparisons, untracked = compare_records(
+            records, baselines, cross_machine_slack=matrix.cross_machine_slack
+        )
+        report, exit_code = comparison_report(comparisons, untracked, strict=strict())
+        print(report)
+        return exit_code
+    return 0

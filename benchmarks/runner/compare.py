@@ -1,0 +1,201 @@
+"""Noise-aware regression gate: fresh records vs committed baselines.
+
+A baseline is one JSON file per metric under ``benchmarks/baselines/``,
+written by ``repro bench --update-baselines`` and reviewed like any other
+code change. The gate's contract:
+
+- **flag only statistically significant regressions**: the current median
+  must exceed the baseline by the per-metric relative ``tolerance`` *plus*
+  a noise margin of ``NOISE_FACTOR x`` the larger of the two IQRs. A 3x
+  slowdown of a hot path fails; within-noise jitter never does.
+- **honor machine provenance**: absolute wall clock does not transfer
+  between CPUs, so when the current CPU model differs from the baseline's
+  the tolerance is multiplied by the matrix's ``cross_machine_slack``
+  (and the mismatch is printed) — wide enough for a runner-vs-laptop
+  gap, still narrow enough to catch a multiple-x regression.
+- **honor ``REPRO_BENCH_STRICT``** (via :func:`benchlib.strict`): the
+  caller reports always, and turns flagged regressions into a nonzero
+  exit only when strict.
+
+Improvements beyond the same band are reported too — that is the cue to
+re-run ``--update-baselines`` and commit the new trajectory point.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from runner.schema import SCHEMA_VERSION, BenchRecord
+
+#: The noise band is this many IQRs wide (3 x IQR ~ comfortably outside
+#: the quartiles of either run's sample distribution).
+NOISE_FACTOR = 3.0
+
+
+def baseline_path(directory: str | Path, metric: str) -> Path:
+    """Where one metric's baseline lives (metric ids are filename-safe)."""
+    return Path(directory) / f"{metric}.json"
+
+
+def baseline_from_record(record: BenchRecord) -> dict:
+    """The committed shape: the record minus raw samples."""
+    payload = record.as_json()
+    del payload["samples"]
+    return payload
+
+
+def write_baselines(directory: str | Path, records: list[BenchRecord]) -> list[Path]:
+    """Write/overwrite one baseline file per record; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for record in records:
+        path = baseline_path(directory, record.metric)
+        path.write_text(json.dumps(baseline_from_record(record), indent=1, sort_keys=True) + "\n")
+        paths.append(path)
+    return paths
+
+
+def load_baselines(directory: str | Path) -> dict[str, dict]:
+    """Load every ``*.json`` baseline in a directory, keyed by metric id."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"baseline directory not found: {directory}")
+    baselines: dict[str, dict] = {}
+    for path in sorted(directory.glob("*.json")):
+        payload = json.loads(path.read_text())
+        version = payload.get("schema", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise ValueError(f"{path}: baseline schema v{version} not supported")
+        metric = payload.get("metric")
+        if not metric:
+            raise ValueError(f"{path}: baseline has no metric id")
+        if f"{metric}.json" != path.name:
+            raise ValueError(f"{path}: file name does not match metric id {metric!r}")
+        baselines[metric] = payload
+    return baselines
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One metric's verdict against its baseline."""
+
+    metric: str
+    unit: str
+    direction: str
+    baseline_value: float
+    current_value: float
+    threshold: float
+    regressed: bool
+    improved: bool
+    machine_match: bool
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (so > 1 means slower for cost metrics)."""
+        return self.current_value / self.baseline_value if self.baseline_value else float("inf")
+
+    def describe(self) -> str:
+        """One human line: verdict, values, and the threshold that decided it."""
+        verdict = "REGRESSED" if self.regressed else ("improved" if self.improved else "ok")
+        marker = "" if self.machine_match else " [cross-machine]"
+        return (
+            f"{verdict:>9}  {self.metric}: {self.current_value:.4g} {self.unit} "
+            f"vs baseline {self.baseline_value:.4g} ({self.ratio:.2f}x, "
+            f"{'fails' if self.regressed else 'gate'} at "
+            f"{self.threshold:.4g}){marker}"
+        )
+
+
+def compare_record(
+    record: BenchRecord, baseline: dict, *, cross_machine_slack: float = 1.0
+) -> Comparison:
+    """Gate one record against its baseline (see the module docstring)."""
+    base_value = float(baseline["value"])
+    machine_match = (
+        record.machine.get("cpu_model") == baseline.get("machine", {}).get("cpu_model")
+    )
+    tolerance = float(baseline.get("tolerance", record.tolerance))
+    if not machine_match:
+        tolerance *= max(cross_machine_slack, 1.0)
+    margin = NOISE_FACTOR * max(float(baseline.get("iqr", 0.0)), record.iqr)
+    direction = baseline.get("direction", record.direction)
+    if direction == "lower":
+        threshold = base_value * (1.0 + tolerance) + margin
+        regressed = record.value > threshold
+        improved = record.value < base_value / (1.0 + tolerance) - margin
+    else:
+        threshold = base_value / (1.0 + tolerance) - margin
+        regressed = record.value < threshold
+        improved = record.value > base_value * (1.0 + tolerance) + margin
+    return Comparison(
+        metric=record.metric,
+        unit=record.unit,
+        direction=direction,
+        baseline_value=base_value,
+        current_value=record.value,
+        threshold=threshold,
+        regressed=regressed,
+        improved=improved,
+        machine_match=machine_match,
+    )
+
+
+def compare_records(
+    records: list[BenchRecord],
+    baselines: dict[str, dict],
+    *,
+    cross_machine_slack: float = 1.0,
+) -> tuple[list[Comparison], list[str]]:
+    """Compare every record that has a baseline.
+
+    Returns ``(comparisons, untracked)`` where ``untracked`` lists metric
+    ids measured this run but absent from the baseline directory — new
+    metrics are surfaced, never silently ungated.
+    """
+    comparisons = []
+    untracked = []
+    for record in records:
+        if record.metric in baselines:
+            comparisons.append(
+                compare_record(
+                    record, baselines[record.metric], cross_machine_slack=cross_machine_slack
+                )
+            )
+        else:
+            untracked.append(record.metric)
+    return comparisons, untracked
+
+
+def comparison_report(
+    comparisons: list[Comparison], untracked: list[str], *, strict: bool
+) -> tuple[str, int]:
+    """Format the verdict block and decide the exit code.
+
+    Exit code is 1 iff any comparison regressed *and* ``strict`` — the
+    ``REPRO_BENCH_STRICT=0`` convention reports the same lines but exits 0
+    (what a noisy shared runner opts into).
+    """
+    lines = [comparison.describe() for comparison in comparisons]
+    for metric in untracked:
+        lines.append(
+            f"{'no-base':>9}  {metric}: measured but has no committed baseline "
+            f"(repro bench --update-baselines to start tracking)"
+        )
+    regressions = [c for c in comparisons if c.regressed]
+    improvements = [c for c in comparisons if c.improved]
+    lines.append(
+        f"compared {len(comparisons)} tracked metric(s): "
+        f"{len(regressions)} regression(s), {len(improvements)} improvement(s), "
+        f"{len(untracked)} untracked"
+    )
+    if improvements:
+        lines.append(
+            "improvement(s) beyond tolerance — refresh the trajectory with "
+            "`repro bench --update-baselines` and commit the new baselines"
+        )
+    if regressions and not strict:
+        lines.append("REPRO_BENCH_STRICT=0: regressions reported, exit stays 0")
+    return "\n".join(lines), (1 if regressions and strict else 0)

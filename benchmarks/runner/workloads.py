@@ -1,0 +1,416 @@
+"""The measured hot paths, registered once, shared by matrix and benches.
+
+Each public ``*_once`` function performs **one repeat** of a measurement
+and returns raw results (elapsed seconds plus whatever a narrative bench
+needs for its parity checks); the registered matrix wrappers normalize one
+repeat into a ``{metric_name: value}`` dict. The runner core then applies
+the warmup + N-repeats + median/IQR protocol from
+:mod:`repro.utils.timing` — no workload hand-rolls its own timing loop.
+
+The ``bench_*.py`` scripts import the same ``*_once`` functions for their
+narrative tables, so the matrix numbers and the bench numbers are by
+construction measurements of the same code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.streaming import StreamingEnsembleDetector, StreamingGrammarDetector
+from repro.datasets.generators import random_walk
+from repro.grammar import _kernel
+from repro.grammar.sequitur import _SequiturBuilder
+from repro.utils.timing import Timer
+
+#: name -> callable(**params) -> {metric: value}; one entry per
+#: ``[workloads.*]`` table in ``bench_matrix.toml``.
+REGISTRY: dict = {}
+
+
+def register(name: str):
+    """Class the decorated function as the matrix workload ``name``."""
+
+    def _decorator(fn):
+        if name in REGISTRY:
+            raise ValueError(f"workload {name!r} registered twice")
+        REGISTRY[name] = fn
+        return fn
+
+    return _decorator
+
+
+# One series per (points, seed), shared across repeats and workloads:
+# generation is not part of any measurement.
+_series_cache: dict[tuple[int, int], np.ndarray] = {}
+
+
+def cached_series(points: int, seed: int = 0) -> np.ndarray:
+    """A deterministic random-walk series, generated once per process."""
+    key = (int(points), int(seed))
+    if key not in _series_cache:
+        _series_cache[key] = random_walk(key[0], seed=key[1])
+    return _series_cache[key]
+
+
+def make_token_stream(tokens: int, alphabet: int, seed: int = 0):
+    """A deterministic id stream plus its word spelling (for the oracle)."""
+    rng = np.random.default_rng(seed)
+    ids = rng.integers(0, alphabet, size=tokens)
+    words = [f"w{i}" for i in range(alphabet)]
+    return ids, [words[i] for i in ids]
+
+
+# ----------------------------------------------------------------------
+# Grammar stage: feed + occurrence spans, per token.
+# ----------------------------------------------------------------------
+
+
+def grammar_stage_once(
+    kernel: str, tokens: int, alphabet: int = 40, seed: int = 0
+) -> tuple[float, tuple]:
+    """One grammar-stage run: returns ``(elapsed_s, occurrence_spans)``.
+
+    ``kernel="python"`` runs the reference word-fed oracle
+    (:class:`_SequiturBuilder`); any other kernel name runs the id-based
+    builder from :func:`repro.grammar._kernel.make_builder`. Returning the
+    spans lets callers (the grammar bench, the parity tests) assert
+    cross-kernel span equality on the exact stream that was timed.
+    """
+    ids, words = make_token_stream(tokens, alphabet, seed)
+    if kernel == "python":
+        builder = _SequiturBuilder()
+        with Timer() as timer:
+            feed = builder.feed
+            for word in words:
+                feed(word)
+            spans = builder.freeze().occurrence_spans()
+    else:
+        fast = _kernel.make_builder(kernel)
+        with Timer() as timer:
+            fast.feed_many(ids)
+            spans = fast.occurrence_spans()
+    return timer.elapsed, spans
+
+
+@register("grammar_tokens")
+def _grammar_tokens(*, kernel: str, tokens: int, alphabet: int = 40, seed: int = 0):
+    elapsed, _ = grammar_stage_once(kernel, tokens, alphabet, seed)
+    return {"us_per_token": elapsed / tokens * 1e6}
+
+
+# ----------------------------------------------------------------------
+# Streaming detector: end-to-end per-point cost (ingest + density poll).
+# ----------------------------------------------------------------------
+
+
+def stream_per_point_once(
+    kernel: str,
+    points: int,
+    window: int = 100,
+    paa_size: int = 4,
+    alphabet_size: int = 4,
+    seed: int = 0,
+    chunk: int = 10_000,
+) -> float:
+    """Seconds per point: chunked ``extend`` plus one final density poll."""
+    series = cached_series(points, seed)
+    with _kernel.use_kernel(kernel):
+        detector = StreamingGrammarDetector(
+            window=window, paa_size=paa_size, alphabet_size=alphabet_size
+        )
+        with Timer() as timer:
+            for offset in range(0, len(series), chunk):
+                detector.extend(series[offset : offset + chunk])
+            detector.density_curve()
+    return timer.elapsed / len(series)
+
+
+@register("streaming_points")
+def _streaming_points(
+    *,
+    kernel: str,
+    points: int,
+    window: int = 100,
+    paa_size: int = 4,
+    alphabet_size: int = 4,
+    seed: int = 0,
+):
+    per_point = stream_per_point_once(kernel, points, window, paa_size, alphabet_size, seed)
+    return {"us_per_point": per_point * 1e6}
+
+
+# ----------------------------------------------------------------------
+# Sliding-policy poll latency at bounded capacity.
+# ----------------------------------------------------------------------
+
+
+def poll_latency_curve(
+    series: np.ndarray,
+    checkpoints: list[int],
+    capacity: int,
+    window: int = 100,
+    paa_size: int = 4,
+    alphabet_size: int = 4,
+    poll_chunk: int = 500,
+    polls: int = 15,
+) -> list[dict]:
+    """Steady-state poll latency at each checkpoint of one growing stream.
+
+    At every checkpoint, ``polls`` cycles each ingest ``poll_chunk`` points
+    (advancing the horizon, so the poll cannot reuse a cached curve or
+    builder) and time the density snapshot that follows; the row records
+    the median. This is the curve behind the kernel bench's flat-latency
+    gate and the matrix's ``sliding_poll`` workload.
+    """
+    detector = StreamingGrammarDetector(
+        window=window,
+        paa_size=paa_size,
+        alphabet_size=alphabet_size,
+        capacity=capacity,
+        policy="sliding",
+    )
+    curve = []
+    fed = 0
+    for checkpoint in checkpoints:
+        lead_in = checkpoint - polls * poll_chunk
+        detector.extend(series[fed:lead_in])
+        fed = lead_in
+        samples = []
+        while fed < checkpoint:
+            detector.extend(series[fed : fed + poll_chunk])
+            fed += poll_chunk
+            with Timer() as timer:
+                detector.density_curve()
+            samples.append(timer.elapsed)
+        curve.append(
+            {
+                "points_ingested": checkpoint,
+                "live_tokens": detector.n_tokens,
+                "poll_ms_median": float(np.median(samples) * 1e3),
+            }
+        )
+    return curve
+
+
+@register("sliding_poll")
+def _sliding_poll(
+    *,
+    points: int,
+    capacity: int,
+    window: int = 100,
+    paa_size: int = 4,
+    alphabet_size: int = 4,
+    seed: int = 0,
+):
+    series = cached_series(points, seed)
+    curve = poll_latency_curve(series, [points], capacity, window, paa_size, alphabet_size)
+    return {"poll_ms": curve[-1]["poll_ms_median"]}
+
+
+# ----------------------------------------------------------------------
+# Ensemble streaming ingest (the engine's vectorized shared-state path).
+# ----------------------------------------------------------------------
+
+
+def ensemble_ingest_once(
+    points: int, members: int, window: int = 100, seed: int = 0
+) -> tuple[float, StreamingEnsembleDetector]:
+    """One full-stream ingest into a fresh ensemble; returns the detector.
+
+    The detector comes back so the engine bench can parity-check its
+    members' kept tokens against the seed per-point replica.
+    """
+    series = cached_series(points, seed)
+    with Timer() as timer:
+        detector = StreamingEnsembleDetector(
+            window=window, ensemble_size=members, seed=seed
+        )
+        detector.extend(series)
+    return timer.elapsed, detector
+
+
+@register("ensemble_ingest")
+def _ensemble_ingest(*, points: int, members: int, window: int = 100, seed: int = 0):
+    elapsed, _ = ensemble_ingest_once(points, members, window, seed)
+    return {"us_per_point": elapsed / points * 1e6}
+
+
+# ----------------------------------------------------------------------
+# Batch detection across executor backends.
+# ----------------------------------------------------------------------
+
+
+def detect_batch_once(
+    executor: str,
+    n_series: int,
+    points: int,
+    window: int = 100,
+    ensemble: int = 8,
+    seed: int = 0,
+) -> float:
+    """Seconds for one ``detect_batch`` over ``n_series`` fresh series.
+
+    The executor pool is built *outside* the timed region: the matrix cell
+    measures batch compute + dispatch, not pool spawn (pool-spawn
+    amortization is ``bench_executor_reuse``'s subject).
+    """
+    from repro.core.ensemble import EnsembleGrammarDetector
+    from repro.core.executors import as_executor
+
+    batch = [cached_series(points, seed + i) for i in range(n_series)]
+    if executor == "serial":
+        detector = EnsembleGrammarDetector(window=window, ensemble_size=ensemble, seed=seed)
+        with Timer() as timer:
+            detector.detect_batch(batch, 3)
+        return timer.elapsed
+    with as_executor(executor, 2) as pool:
+        detector = EnsembleGrammarDetector(
+            window=window, ensemble_size=ensemble, seed=seed, executor=pool
+        )
+        detector.detect_batch(batch[:1], 3)  # warm the lazy pool
+        with Timer() as timer:
+            detector.detect_batch(batch, 3)
+        return timer.elapsed
+
+
+@register("detect_batch")
+def _detect_batch(
+    *,
+    executor: str,
+    n_series: int,
+    points: int,
+    window: int = 100,
+    ensemble: int = 8,
+    seed: int = 0,
+):
+    elapsed = detect_batch_once(executor, n_series, points, window, ensemble, seed)
+    return {"ms_per_series": elapsed / n_series * 1e3}
+
+
+# ----------------------------------------------------------------------
+# Dispatch overhead: near-empty tasks over one shared series.
+# ----------------------------------------------------------------------
+
+
+def touch_task(payload) -> float:
+    """Minimal worker task: materialize the series, return a checksum.
+
+    The work is negligible on purpose — a burst of these isolates the
+    per-task dispatch round trip (lease + pickle + transport + result) of
+    whatever backend runs them. Shared by the executor and cluster benches.
+    """
+    from repro.core.executors import resolve_series
+
+    return float(resolve_series(payload)[::500].sum())
+
+
+def dispatch_overhead_once(executor, series: np.ndarray, tasks: int = 40) -> float:
+    """Seconds per task for a burst of ``tasks`` touch tasks on a live executor."""
+    with executor.share_series(series) as handle:
+        payloads = [handle.ref] * tasks
+        expected = touch_task(np.asarray(series))
+        with Timer() as timer:
+            results = executor.map(touch_task, payloads)
+    assert all(value == expected for value in results)
+    return timer.elapsed / tasks
+
+
+@register("dispatch")
+def _dispatch(*, executor: str, points: int, tasks: int = 40, workers: int = 2, seed: int = 0):
+    from repro.core.cluster import ClusterExecutor
+    from repro.core.executors import ProcessExecutor
+
+    series = cached_series(points, seed)
+    if executor == "process":
+        with ProcessExecutor(workers) as pool:
+            pool.map(touch_task, [np.zeros(1)])  # spawn outside the measurement
+            per_task = dispatch_overhead_once(pool, series, tasks)
+    elif executor == "cluster":
+        with ClusterExecutor(workers, worker_wait=120.0, lease_timeout=30.0) as cluster:
+            cluster.start(wait=True)
+            per_task = dispatch_overhead_once(cluster, series, tasks)
+    else:
+        raise ValueError(f"dispatch workload: unsupported executor {executor!r}")
+    return {"ms_per_task": per_task * 1e3}
+
+
+# ----------------------------------------------------------------------
+# Serving throughput: micro-batched concurrent clients.
+# ----------------------------------------------------------------------
+
+
+def service_best_rps(
+    *,
+    clients: int,
+    workers: int,
+    rounds: int = 3,
+    max_batch_size: int | None = None,
+    batch_window: float = 0.005,
+    cache_entries: int = 0,
+    repeat_requests: bool = False,
+    series_points: int = 48,
+) -> tuple[float, dict]:
+    """Best-of-``rounds`` requests/second for one service configuration.
+
+    ``repeat_requests=False`` gives every round fresh series/seeds (nothing
+    cacheable); ``True`` re-sends one fixed request set every round, so
+    with a cache all rounds after the first are pure hits. Returns
+    ``(best_rps, batcher_stats)`` — the stats let callers assert that
+    coalescing actually happened.
+    """
+    import asyncio
+    import time as _time
+
+    from repro.service import DetectService
+
+    config = dict(window=10, ensemble_size=9, max_paa_size=10, max_alphabet_size=2)
+    max_batch_size = clients if max_batch_size is None else max_batch_size
+
+    def _client_series(seed: int) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        t = np.linspace(0.0, 6.0 * np.pi, series_points)
+        return np.sin(t) + 0.05 * rng.standard_normal(series_points)
+
+    async def _run() -> tuple[float, dict]:
+        async with DetectService(
+            executor="process",
+            n_jobs=workers,
+            batch_window=batch_window,
+            max_batch_size=max_batch_size,
+            max_pending=4 * clients,
+            cache_entries=cache_entries,
+            default_timeout=None,
+        ) as service:
+            await service.detect(_client_series(10**6), seed=0, **config)  # spawn the pool
+            best = 0.0
+            for round_index in range(rounds):
+                salt = 0 if repeat_requests else 1000 * (round_index + 1)
+                series = [_client_series(salt + i) for i in range(clients)]
+                started = _time.perf_counter()
+                await asyncio.gather(
+                    *(
+                        service.detect(series[i], k=3, seed=salt + i, **config)
+                        for i in range(clients)
+                    )
+                )
+                elapsed = _time.perf_counter() - started
+                best = max(best, clients / elapsed)
+            return best, service.stats()["batcher"]
+
+    return asyncio.run(_run())
+
+
+@register("service_throughput")
+def _service_throughput(*, clients: int, workers: int = 1, rounds: int = 2):
+    rps, stats = service_best_rps(clients=clients, workers=workers, rounds=rounds)
+    assert stats["mean_batch_size"] > 1.0, "micro-batching did not coalesce"
+    return {"req_per_s": rps}
+
+
+def run_cell_once(name: str, params: dict) -> dict:
+    """Run one repeat of a registered workload; the runner core's hook."""
+    if name not in REGISTRY:
+        raise KeyError(
+            f"no registered workload {name!r}; known: {sorted(REGISTRY)}"
+        )
+    return REGISTRY[name](**params)

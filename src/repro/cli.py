@@ -56,6 +56,17 @@ Five subcommands cover the library's main workflows:
 
       python -m repro worker --connect 10.0.0.5:9123
 
+- ``bench`` — run the declarative benchmark matrix
+  (``benchmarks/bench_matrix.toml``) through the ``benchmarks/runner``
+  harness: warmup + repeated measurement (median/IQR), normalized NDJSON +
+  summary records carrying a machine fingerprint and git SHA, and a
+  noise-aware regression gate against the committed per-metric baselines
+  in ``benchmarks/baselines/``. See ``docs/benchmarking.md``::
+
+      python -m repro bench --list
+      python -m repro bench --compare benchmarks/baselines/
+      python -m repro bench --ci    # what the CI bench job runs
+
 Every subcommand that executes work accepts the same ``--executor`` flag,
 parsed by one shared helper: ``serial``, ``thread``, ``process``, or
 ``cluster`` (``--scheduler HOST:PORT`` binds a fixed address for remote
@@ -80,6 +91,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from contextlib import ExitStack
 from pathlib import Path
@@ -613,6 +625,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def find_benchmarks_dir() -> Path:
+    """Locate the ``benchmarks/`` tree the ``bench`` subcommand drives.
+
+    The runner is repo tooling, not installed library code, so it is found
+    rather than imported: ``$REPRO_BENCH_ROOT`` wins, then ``benchmarks/``
+    under the working directory, then the checkout this module lives in
+    (``src/repro/cli.py`` -> repo root). A directory only counts if it
+    holds the ``runner`` package, so a stray ``benchmarks/`` folder in the
+    working directory cannot shadow the real harness.
+    """
+    override = os.environ.get("REPRO_BENCH_ROOT")
+    candidates = [Path(override)] if override else []
+    candidates.append(Path.cwd() / "benchmarks")
+    candidates.append(Path(__file__).resolve().parents[2] / "benchmarks")
+    for candidate in candidates:
+        if (candidate / "runner" / "__init__.py").is_file():
+            return candidate
+    raise ValueError(
+        "cannot locate the benchmarks/runner harness; run from the repo "
+        "checkout or set REPRO_BENCH_ROOT to its benchmarks/ directory"
+    )
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # The runner lives under benchmarks/ (like benchlib), outside the
+    # installed package: put that directory on sys.path, then hand the
+    # parsed flags to runner.cli. Import errors there are real failures
+    # and propagate as such.
+    import importlib
+
+    bench_dir = find_benchmarks_dir()
+    if str(bench_dir) not in sys.path:
+        sys.path.insert(0, str(bench_dir))
+    runner_cli = importlib.import_module("runner.cli")
+    return runner_cli.run_bench(args, bench_dir)
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     return run_worker(
         args.connect,
@@ -821,6 +870,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds to keep retrying the initial connection (default 10)",
     )
     worker.set_defaults(handler=_cmd_worker)
+
+    bench = commands.add_parser(
+        "bench",
+        help="run the benchmark matrix with baselines and a regression gate",
+    )
+    bench.add_argument(
+        "--matrix",
+        metavar="FILE",
+        default=None,
+        help="matrix spec (default: benchmarks/bench_matrix.toml)",
+    )
+    bench.add_argument(
+        "--list",
+        action="store_true",
+        help="print the selected matrix cells and their metrics; run nothing",
+    )
+    bench.add_argument(
+        "--filter",
+        metavar="SUBSTR",
+        default=None,
+        help="only cells whose id contains SUBSTR (e.g. a workload name or kernel=fast)",
+    )
+    bench.add_argument(
+        "--tier",
+        default="1",
+        metavar="{1,2,all}",
+        help="workload tier to run: 1 (CI subset, default), 2 (heavy), or all",
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="DIR",
+        default=None,
+        help=(
+            "after running, gate against the per-metric baselines in DIR; "
+            "exit 1 on a significant regression (unless REPRO_BENCH_STRICT=0)"
+        ),
+    )
+    bench.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="after running, (over)write benchmarks/baselines/ from this run",
+    )
+    bench.add_argument(
+        "--ci",
+        action="store_true",
+        help=(
+            "the CI job's mode: tier-1 cells, compare against the committed "
+            "benchmarks/baselines/, artifacts under benchmarks/results/"
+        ),
+    )
+    bench.add_argument(
+        "--output",
+        metavar="DIR",
+        default=None,
+        help="artifact directory for the NDJSON + summary (default: benchmarks/results)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=None, help="override every cell's repeat count"
+    )
+    bench.add_argument(
+        "--warmup", type=int, default=None, help="override every cell's warmup count"
+    )
+    bench.set_defaults(handler=_cmd_bench)
 
     evaluate = commands.add_parser("evaluate", help="run the paper's protocol on one dataset")
     evaluate.add_argument("--dataset", required=True, choices=sorted(DATASETS))

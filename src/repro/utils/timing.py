@@ -1,8 +1,22 @@
-"""Minimal wall-clock timing helper used by the scalability benches."""
+"""Wall-clock timing helpers: the `Timer` context manager and the
+benchmark measurement core (warmup + repeats, median/IQR summaries).
+
+`Timer` is the single-shot primitive the benches have always used.
+:func:`measure` and :func:`collect` are the matrix runner's measurement
+core: instead of one wall-clock sample per metric, every measurement is
+``warmup`` discarded calls followed by ``repeats`` recorded ones, and the
+reported value is the **median** with the **interquartile range** as the
+noise estimate — a single scheduler hiccup moves the mean, not the median,
+and the IQR is what the regression gate uses to tell jitter from a real
+slowdown.
+"""
 
 from __future__ import annotations
 
+import math
 import time
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
 
 
 class Timer:
@@ -27,3 +41,112 @@ class Timer:
     def __exit__(self, *exc_info: object) -> None:
         if self._start is not None:
             self.elapsed = time.perf_counter() - self._start
+
+
+def _quantile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of an already-sorted sample."""
+    if not ordered:
+        raise ValueError("cannot take a quantile of an empty sample")
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = q * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    weight = position - low
+    return float(ordered[low] * (1.0 - weight) + ordered[high] * weight)
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Summary of one repeated measurement (the runner's record unit).
+
+    ``samples`` are the raw per-repeat values in collection order; the
+    derived fields are what lands in the NDJSON records: ``median`` is the
+    reported value, ``iqr`` the noise band the regression gate widens its
+    tolerance by.
+    """
+
+    samples: tuple[float, ...] = field(default_factory=tuple)
+
+    @property
+    def median(self) -> float:
+        """The reported value: robust to one outlier repeat."""
+        return _quantile(sorted(self.samples), 0.5)
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range of the samples (0.0 for a single repeat)."""
+        ordered = sorted(self.samples)
+        return _quantile(ordered, 0.75) - _quantile(ordered, 0.25)
+
+    @property
+    def best(self) -> float:
+        """The fastest (smallest) sample."""
+        return min(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (reported for context, never gated on)."""
+        return sum(self.samples) / len(self.samples)
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary used by the record schema."""
+        return {
+            "value": self.median,
+            "iqr": self.iqr,
+            "best": self.best,
+            "mean": self.mean,
+            "repeats": len(self.samples),
+            "samples": list(self.samples),
+        }
+
+
+def measure(fn: Callable[[], object], *, warmup: int = 1, repeats: int = 3) -> Measurement:
+    """Time ``fn`` with ``warmup`` discarded calls then ``repeats`` recorded ones.
+
+    Returns the elapsed-seconds :class:`Measurement`. ``repeats`` must be
+    at least 1; ``warmup`` may be 0 for workloads that are expensive enough
+    to self-warm (the matrix spec decides per workload).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        with Timer() as timer:
+            fn()
+        samples.append(timer.elapsed)
+    return Measurement(tuple(samples))
+
+
+def collect(
+    fn: Callable[[], Mapping[str, float]], *, warmup: int = 1, repeats: int = 3
+) -> dict[str, Measurement]:
+    """Repeat a self-measuring workload and summarize each metric it returns.
+
+    ``fn`` runs once per repeat and returns ``{metric_name: value}`` — a
+    workload that computes derived costs (us/token, ms/poll) internally.
+    Every recorded repeat must report the same metric set; a drifting set
+    means the workload is nondeterministic in *shape*, which would corrupt
+    the record stream, so it raises instead of papering over.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    runs = [dict(fn()) for _ in range(repeats)]
+    names = set(runs[0])
+    for run in runs[1:]:
+        if set(run) != names:
+            raise ValueError(
+                f"workload metric set changed between repeats: {sorted(names)} "
+                f"vs {sorted(run)}"
+            )
+    return {
+        name: Measurement(tuple(run[name] for run in runs)) for name in sorted(names)
+    }
