@@ -1,0 +1,207 @@
+"""Failover bench: what a node crash costs the stream behind the router.
+
+The sharded serving story (PR 8) promises that SIGKILL-ing a serve node
+mid-stream is *semantically invisible*: the router re-places the session on
+a survivor, restores the latest checkpoint from the shared snapshot
+directory, replays its buffered tail, and every subsequent detection is
+bitwise identical to a session that never saw the crash. This bench
+measures what that invisibility costs:
+
+1. **steady state** — per-chunk append latency through the router while
+   both nodes are healthy (the proxy overhead baseline);
+2. **the crash** — the owning node is SIGKILLed between chunks; the next
+   append eats the whole recovery (dead-node detection, snapshot restore
+   on the survivor, tail replay) and its latency is the *recovery cost*;
+3. **parity** — a witness session fed the identical stream without any
+   crash must produce identical detections (asserted unconditionally —
+   a fast failover that changes results is worthless).
+
+Results land in ``results/BENCH_service_failover.json``. The wall-clock
+gate (recovery under ``REPRO_FAILOVER_BUDGET_S``, default 10 s) is
+asserted only when ``REPRO_BENCH_STRICT`` is on, per the shared-runner
+convention; the parity and single-recovery assertions always gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from benchlib import RESULTS_DIR, strict
+from repro.evaluation.tables import format_table
+from runner.schema import write_bench_payload
+
+#: Per-session detector configuration: small on purpose — the bench times
+#: routing and recovery machinery, not detection throughput.
+CONFIG = {"window": 40, "ensemble_size": 4, "max_paa_size": 5, "max_alphabet_size": 5}
+POINTS = int(os.environ.get("REPRO_FAILOVER_POINTS", "1200"))
+CHUNK = 150
+SNAPSHOT_EVERY = 200
+#: Strict-mode ceiling on the recovery append (restore + replay), seconds.
+RECOVERY_BUDGET_S = float(os.environ.get("REPRO_FAILOVER_BUDGET_S", "10"))
+
+SERVE_BANNER = re.compile(r"serving on http://127\.0\.0\.1:(\d+)")
+ROUTER_BANNER = re.compile(r"routing on http://127\.0\.0\.1:(\d+)")
+
+
+def _spawn(args: list[str], banner: re.Pattern) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    src = str(Path(__file__).parent.parent / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line and process.poll() is not None:
+            raise RuntimeError(f"{args[0]} exited before binding")
+        match = banner.search(line or "")
+        if match:
+            return process, int(match.group(1))
+    process.kill()
+    raise RuntimeError(f"{args[0]} did not start")
+
+
+def _call(port: int, method: str, path: str, payload=None) -> dict:
+    data = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return json.loads(response.read())
+
+
+def make_feed(seed: int = 11, n: int = POINTS) -> list[float]:
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0.0, n / 55.0 * np.pi, n)
+    series = np.sin(t) + 0.05 * rng.standard_normal(n)
+    series[n // 2 : n // 2 + 60] *= 0.2
+    return [float(v) for v in series]
+
+
+def bench_service_failover(report):
+    """SIGKILL the owning node mid-stream; time the recovery append."""
+    feed = make_feed()
+    chunks = [feed[i : i + CHUNK] for i in range(0, len(feed), CHUNK)]
+    kill_at = len(chunks) // 2
+    processes: list[subprocess.Popen] = []
+    with tempfile.TemporaryDirectory(prefix="repro-failover-") as snapshots:
+        try:
+            nodes = []
+            by_addr = {}
+            for node_id in ("n1", "n2"):
+                process, port = _spawn(
+                    [
+                        "serve", "--port", "0",
+                        "--snapshot-dir", snapshots,
+                        "--snapshot-every", str(SNAPSHOT_EVERY),
+                        "--node-id", node_id,
+                    ],
+                    SERVE_BANNER,
+                )
+                processes.append(process)
+                nodes.append(f"127.0.0.1:{port}")
+                by_addr[nodes[-1]] = process
+            router, port = _spawn(
+                ["router", "--port", "0", "--nodes", ",".join(nodes)], ROUTER_BANNER
+            )
+            processes.append(router)
+
+            _call(port, "POST", "/v1/sessions", {"name": "bench.feed", "seed": 11, **CONFIG})
+            steady, recovery_latency = [], None
+            for index, chunk in enumerate(chunks):
+                if index == kill_at:
+                    victim = by_addr[_call(port, "GET", "/v1/stats")["placements"]["bench.feed"]]
+                    victim.send_signal(signal.SIGKILL)
+                    victim.wait(timeout=30)
+                started = time.perf_counter()
+                _call(port, "POST", "/v1/sessions/bench.feed/append", {"values": chunk})
+                elapsed = time.perf_counter() - started
+                if index == kill_at:
+                    recovery_latency = elapsed
+                else:
+                    steady.append(elapsed)
+            resumed = _call(port, "GET", "/v1/sessions/bench.feed/anomalies?k=5")
+
+            _call(port, "POST", "/v1/sessions", {"name": "witness.feed", "seed": 11, **CONFIG})
+            _call(port, "POST", "/v1/sessions/witness.feed/append", {"values": feed})
+            uninterrupted = _call(port, "GET", "/v1/sessions/witness.feed/anomalies?k=5")
+            stats = _call(port, "GET", "/v1/stats")
+        finally:
+            for process in processes:
+                if process.poll() is None:
+                    process.send_signal(signal.SIGTERM)
+            for process in processes:
+                try:
+                    process.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+
+    parity = resumed["anomalies"] == uninterrupted["anomalies"]
+    steady_median = statistics.median(steady)
+    overhead = recovery_latency / steady_median
+
+    rows = [
+        ["steady-state append (median)", f"{steady_median * 1000:.1f} ms", "-"],
+        ["recovery append (restore+replay)", f"{recovery_latency * 1000:.1f} ms", f"{overhead:.0f}x"],
+        ["bitwise parity after failover", str(parity), "-"],
+    ]
+    text = format_table(
+        ["metric", "value", "vs steady"],
+        rows,
+        title=(
+            f"Service failover: {POINTS}-point stream in {CHUNK}-chunks, "
+            f"2 nodes, SIGKILL at chunk {kill_at}, snapshot every {SNAPSHOT_EVERY}"
+        ),
+    )
+    report(text, "bench_service_failover.txt")
+
+    write_bench_payload(
+        "service_failover",
+        {
+            "points": POINTS,
+            "chunk": CHUNK,
+            "snapshot_every": SNAPSHOT_EVERY,
+            "kill_at_chunk": kill_at,
+            "steady_append_median_s": steady_median,
+            "recovery_append_s": recovery_latency,
+            "recovery_overhead_x": overhead,
+            "recoveries": stats["recoveries"],
+            "tail_points_after": stats["tail_points"],
+            "bitwise_parity": parity,
+            "recovery_budget_s": RECOVERY_BUDGET_S,
+            "strict": strict(),
+        },
+        RESULTS_DIR,
+    )
+
+    # The contract gates unconditionally: exactly one recovery happened,
+    # and it changed nothing about the detections.
+    assert parity, "post-failover detections diverged from the uninterrupted run"
+    assert stats["recoveries"] == 1, stats
+    if strict():
+        assert recovery_latency <= RECOVERY_BUDGET_S, (
+            f"recovery took {recovery_latency:.1f}s "
+            f"(budget {RECOVERY_BUDGET_S:.0f}s)"
+        )

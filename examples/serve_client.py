@@ -1,14 +1,16 @@
-"""Drive the detect service: concurrent requests plus a streaming session.
+"""Drive the detect service through the typed ``/v1`` client.
 
 Starts ``python -m repro serve`` as a subprocess on an ephemeral port (pass
-``--url http://host:port`` to target an already-running server instead),
-then:
+``--url http://host:port`` to target an already-running server or router
+instead), then uses :class:`repro.service.ServiceClient`:
 
-1. fires 8 concurrent ``/detect`` requests from threads — arriving together,
-   they get coalesced into micro-batches (visible in ``/stats``);
+1. fires 8 concurrent ``/v1/detect`` requests from threads — arriving
+   together, they get coalesced into micro-batches (visible in stats);
 2. repeats one request to show the digest-keyed result cache;
-3. opens a streaming session, feeds it chunk by chunk, and polls between
-   chunks — the multi-tenant path;
+3. opens a streaming session, feeds it chunk by chunk, and polls
+   ``/v1/sessions/{name}/anomalies`` between chunks — the multi-tenant
+   path — then checkpoints it to the snapshot store, closes it, and
+   restores it to show the durability round trip;
 4. prints the batcher/cache counters and shuts the server down cleanly.
 
 Run: ``PYTHONPATH=src python examples/serve_client.py``
@@ -17,18 +19,19 @@ Run: ``PYTHONPATH=src python examples/serve_client.py``
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import re
 import signal
 import subprocess
 import sys
+import tempfile
 import time
-import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 import numpy as np
+
+from repro.service import ServiceClient, ServiceClientError
 
 WINDOW = 60
 CONFIG = {"window": WINDOW, "ensemble_size": 8, "max_paa_size": 6, "max_alphabet_size": 6}
@@ -42,16 +45,7 @@ def make_series(seed: int, n: int = 800) -> list[float]:
     return [float(v) for v in series]
 
 
-def call(url: str, method: str, path: str, body: dict | None = None) -> dict:
-    data = None if body is None else json.dumps(body).encode()
-    request = urllib.request.Request(
-        f"{url}{path}", data=data, method=method, headers={"Content-Type": "application/json"}
-    )
-    with urllib.request.urlopen(request, timeout=60) as response:
-        return json.loads(response.read())
-
-
-def start_server() -> tuple[subprocess.Popen, str]:
+def start_server(snapshot_dir: str) -> tuple[subprocess.Popen, str]:
     env = dict(os.environ)
     src = str(Path(__file__).parent.parent / "src")
     env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
@@ -59,6 +53,7 @@ def start_server() -> tuple[subprocess.Popen, str]:
         [
             sys.executable, "-m", "repro", "serve",
             "--port", "0", "--batch-window-ms", "5", "--max-batch", "16",
+            "--snapshot-dir", snapshot_dir,
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -81,16 +76,18 @@ def main() -> int:
     args = parser.parse_args()
 
     process = None
+    snapshots = tempfile.TemporaryDirectory(prefix="repro-snapshots-")
     if args.url:
         url = args.url.rstrip("/")
     else:
-        process, url = start_server()
+        process, url = start_server(snapshots.name)
         print(f"spawned server at {url}")
+    client = ServiceClient(url)
 
     try:
         # -- 1. concurrent one-shot requests (micro-batched together) -----
         def one_request(i: int) -> dict:
-            return call(url, "POST", "/detect", {"series": make_series(i), "seed": i, "k": 3, **CONFIG})
+            return client.detect(make_series(i), seed=i, k=3, **CONFIG)
 
         started = time.perf_counter()
         with ThreadPoolExecutor(max_workers=8) as pool:
@@ -107,20 +104,37 @@ def main() -> int:
 
         # -- 3. a streaming session ---------------------------------------
         feed = make_series(99, 1600)
-        call(url, "POST", "/sessions", {"name": "demo", "seed": 7, **CONFIG})
+        client.create_session("demo", seed=7, **CONFIG)
         for offset in range(0, 1600, 400):
-            call(url, "POST", "/sessions/demo/append", {"values": feed[offset : offset + 400]})
-            poll = call(url, "GET", "/sessions/demo/poll?k=1")
+            client.append("demo", feed[offset : offset + 400])
+            poll = client.anomalies("demo", k=1)
             if poll["anomalies"]:
                 top = poll["anomalies"][0]
                 print(
                     f"  after {poll['length']:4d} points: top anomaly at "
                     f"{top['position']} (score {top['score']:.4f}, cached={poll['cached']})"
                 )
-        call(url, "DELETE", "/sessions/demo")
+        reference = client.anomalies("demo", k=3)["anomalies"]
+
+        # checkpoint -> close (keeping snapshots) -> restore: the session
+        # comes back with bitwise-identical detections.
+        checkpoint = client.snapshot("demo")
+        client.close_session("demo", keep_snapshots=True)
+        try:
+            client.anomalies("demo")
+        except ServiceClientError as error:
+            print(f"\nafter close: {error.status} {error.code} (as expected)")
+        restored = client.restore("demo")
+        resumed = client.anomalies("demo", k=3)["anomalies"]
+        print(
+            f"restored from checkpoint {restored['restored_from']} "
+            f"(seq {checkpoint['snapshot_seq']}): detections identical: "
+            f"{resumed == reference}"
+        )
+        client.close_session("demo")
 
         # -- 4. operational counters --------------------------------------
-        stats = call(url, "GET", "/stats")
+        stats = client.stats()
         batcher, cache = stats["batcher"], stats["cache"]
         print(
             f"\nstats: {batcher['dispatched']} requests in {batcher['batches']} batches "
@@ -132,6 +146,7 @@ def main() -> int:
             process.send_signal(signal.SIGTERM)
             process.wait(timeout=30)
             print("server shut down cleanly")
+        snapshots.cleanup()
     return 0
 
 

@@ -572,12 +572,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service import DetectService
     from repro.service.http import serve
+    from repro.service.snapshot import LocalSnapshotStore
 
     if args.batch_window_ms < 0:
         raise ValueError(f"batch-window-ms must be non-negative, got {args.batch_window_ms}")
     memory_budget = (
         None if args.memory_budget_mb is None else int(args.memory_budget_mb * 1024 * 1024)
     )
+    snapshot_store = None if args.snapshot_dir is None else LocalSnapshotStore(args.snapshot_dir)
     if args.executor is None and args.n_jobs > 1:
         # Asking for workers without naming a backend: a long-lived service
         # wants one reusable pool, not a fresh one per micro-batch.
@@ -594,6 +596,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_sessions=args.max_sessions,
             idle_timeout=args.idle_timeout,
             memory_budget=memory_budget,
+            snapshot_store=snapshot_store,
+            snapshot_interval=args.snapshot_every,
+            node_id=args.node_id,
             default_timeout=args.request_timeout,
         )
 
@@ -603,9 +608,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             # ephemeral port).
             print(f"serving on http://{server.host}:{server.port}", flush=True)
             print(
-                "endpoints: GET /healthz /stats /sessions | POST /detect "
-                "/detect_batch /sessions /sessions/<name>/append | "
-                "GET|POST /sessions/<name>/poll | DELETE /sessions/<name>",
+                "endpoints: /v1: GET /healthz /stats /nodes /sessions[/<name>] | "
+                "POST /detect /detect_batch /sessions /sessions/<name>/"
+                "{append,snapshot,restore} | GET|POST /sessions/<name>/anomalies | "
+                "DELETE /sessions/<name> (legacy unprefixed paths are "
+                "deprecated aliases)",
                 flush=True,
             )
 
@@ -622,6 +629,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             asyncio.run(_main(executor))
         except KeyboardInterrupt:  # pragma: no cover — non-Unix fallback path
             pass
+    return 0
+
+
+def _cmd_router(args: argparse.Namespace) -> int:
+    # Imported here like the serve stack: only this command needs it.
+    import asyncio
+
+    from repro.service.router import SessionRouter, serve_router
+
+    nodes = [node.strip() for node in args.nodes.split(",") if node.strip()]
+    if not nodes:
+        raise ValueError("--nodes must list at least one host:port serve node")
+    router = SessionRouter(
+        nodes,
+        tenant_quota=args.tenant_quota,
+        request_timeout=args.request_timeout,
+    )
+
+    async def _main() -> None:
+        def _ready(server) -> None:
+            # Mirrors the serve banner so scripts can scrape the bound port.
+            print(f"routing on http://{server.host}:{server.port}", flush=True)
+            print(f"nodes: {', '.join(nodes)}", flush=True)
+
+        await serve_router(router, args.host, args.port, ready=_ready)
+        print("router: shut down cleanly", flush=True)
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover — non-Unix fallback path
+        pass
     return 0
 
 
@@ -833,8 +871,65 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="default per-request deadline in seconds (default 30)",
     )
+    serve.add_argument(
+        "--snapshot-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for session checkpoints; sharing one directory "
+            "across nodes enables cross-node restore/migration (default: "
+            "no checkpoints)"
+        ),
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        metavar="POINTS",
+        help=(
+            "checkpoint a session every POINTS appended points (default: "
+            "only on demand, idle eviction, and shutdown)"
+        ),
+    )
+    serve.add_argument(
+        "--node-id",
+        default=None,
+        help="stable node name reported under GET /v1/nodes (default 'node')",
+    )
     _add_executor_options(serve)
     serve.set_defaults(handler=_cmd_serve)
+
+    router = commands.add_parser(
+        "router",
+        help="route sessions across serve nodes (consistent hashing + failover)",
+    )
+    router.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    router.add_argument(
+        "--port", type=int, default=8766, help="bind port; 0 picks an ephemeral port"
+    )
+    router.add_argument(
+        "--nodes",
+        required=True,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="comma-separated serve-node addresses (the static placement ring)",
+    )
+    router.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "max live sessions per tenant (session-name prefix before the "
+            "first '.'); default: unlimited"
+        ),
+    )
+    router.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="per-proxied-request deadline in seconds (default 30)",
+    )
+    router.set_defaults(handler=_cmd_router)
 
     worker = commands.add_parser(
         "worker",

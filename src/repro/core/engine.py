@@ -371,6 +371,73 @@ class SharedStreamState:
         return self.evict_to(max(target, self._start))
 
     # ------------------------------------------------------------------
+    # Snapshot / restore.
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Self-describing state of the live range, for snapshotting.
+
+        The exported prefix sums are the **absolute** running totals from
+        the very first stream point (not rebased to the live range) — the
+        invariant that makes a restored state's ``paa_rows`` bitwise
+        identical to the original's. Arrays are copies; mutating the state
+        afterwards does not disturb an exported snapshot.
+        """
+        lo = self._start - self._base
+        live = self._n - self._start
+        return {
+            "n": int(self._n),
+            "start": int(self._start),
+            "version": int(self._version),
+            "capacity": None if self.capacity is None else int(self.capacity),
+            "policy": self.policy,
+            "segments": int(self.segments),
+            "values": self._values[lo : lo + live].copy(),
+            "prefix": self._prefix[lo : lo + live + 1].copy(),
+            "prefix_sq": self._prefix_sq[lo : lo + live + 1].copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SharedStreamState":
+        """Rebuild a stream state from :meth:`export_state` output.
+
+        The restored instance is observably identical to the original: same
+        global length, horizon, version counter, live values, and absolute
+        prefix sums — so every future ``extend``/``paa_rows`` resumes the
+        exact floating-point accumulation the original would have produced.
+        """
+        values = np.ascontiguousarray(state["values"], dtype=np.float64)
+        prefix = np.ascontiguousarray(state["prefix"], dtype=np.float64)
+        prefix_sq = np.ascontiguousarray(state["prefix_sq"], dtype=np.float64)
+        live = len(values)
+        if len(prefix) != live + 1 or len(prefix_sq) != live + 1:
+            raise ValueError(
+                f"inconsistent stream snapshot: {live} live values with "
+                f"prefix lengths {len(prefix)}/{len(prefix_sq)} (want {live + 1})"
+            )
+        n = int(state["n"])
+        start = int(state["start"])
+        if n - start != live or start < 0:
+            raise ValueError(
+                f"inconsistent stream snapshot: n={n}, start={start} but "
+                f"{live} live values"
+            )
+        instance = cls(
+            state["capacity"],
+            policy=state["policy"],
+            segments=state["segments"],
+            initial_capacity=max(live, 1),
+        )
+        instance._values[:live] = values
+        instance._prefix[: live + 1] = prefix
+        instance._prefix_sq[: live + 1] = prefix_sq
+        instance._n = n
+        instance._start = start
+        instance._base = start
+        instance._version = int(state["version"])
+        return instance
+
+    # ------------------------------------------------------------------
     # Discretization.
     # ------------------------------------------------------------------
 

@@ -85,6 +85,19 @@ _DRAIN_BLOCK = 65_536
 #: lists are physically compacted (amortized O(1) per token).
 _PRUNE_SLACK = 1024
 
+#: Version of the in-memory session-snapshot structure produced by
+#: :meth:`StreamingEnsembleDetector.snapshot`. Bumped on any incompatible
+#: change; :meth:`StreamingEnsembleDetector.restore` rejects other versions
+#: with :class:`SnapshotVersionError` instead of producing garbage.
+SNAPSHOT_STATE_VERSION = 1
+
+#: The ``format`` tag stamped into every session snapshot.
+SNAPSHOT_FORMAT = "repro-session"
+
+
+class SnapshotVersionError(ValueError):
+    """A snapshot's format/version is not one this build can restore."""
+
 
 def _make_state(
     capacity: int | None,
@@ -390,6 +403,93 @@ class StreamingGrammarDetector:
             for token_id, offset in zip(ids, offsets):
                 feed_id(token_id, offset)
         self._consumed = first_start + count
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (serialization).
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Serializable state of this member (shared stream excluded).
+
+        Holds the live kept tokens (as interned ids + window offsets), the
+        vocabulary that gives those ids meaning, and the ingest cursors.
+        Grammar builders are deliberately *not* exported: a grammar is a
+        deterministic function of the token sequence fed to it, so
+        :meth:`_restore_state` rebuilds them by replaying the live ids —
+        smaller snapshots, no kernel-private structures on the wire, and
+        restorability across grammar kernels (the kernel-equivalence
+        contract makes the replayed grammars bitwise identical).
+        """
+        return {
+            "paa_size": int(self.paa_size),
+            "alphabet_size": int(self.alphabet_size),
+            "consumed": int(self._consumed),
+            "last_symbols": (
+                None if self._last_symbols is None else self._last_symbols.copy()
+            ),
+            "vocabulary": list(self._interner.vocabulary),
+            "kept_ids": np.asarray(self._kept_ids[self._live_from :], dtype=np.int64),
+            "kept_offsets": np.asarray(
+                self._kept_offsets[self._live_from :], dtype=np.int64
+            ),
+            "total_kept": int(self._total_kept),
+            "total_pruned": int(self._total_pruned),
+        }
+
+    def _restore_state(self, data: dict) -> None:
+        """Install :meth:`export_state` output into a freshly built member.
+
+        The member must already be attached to the restored shared state and
+        configured identically (window, sizes, numerosity). Unbounded
+        members never prune, so their exported kept lists are the complete
+        fed sequence and replaying them reconstructs the live builder
+        exactly; sliding members rebuild their span builder lazily at the
+        next poll; decay members replay through
+        :meth:`~repro.grammar.sequitur.GenerationalSequitur.replay` (pure
+        offset routing, so generations re-seal at identical boundaries).
+        """
+        if int(data["paa_size"]) != self.paa_size or int(data["alphabet_size"]) != self.alphabet_size:
+            raise ValueError(
+                f"member snapshot is for (w={data['paa_size']}, a={data['alphabet_size']}), "
+                f"not (w={self.paa_size}, a={self.alphabet_size})"
+            )
+        self._interner = WordInterner.from_vocabulary(data["vocabulary"])
+        ids = [int(i) for i in np.asarray(data["kept_ids"], dtype=np.int64)]
+        offsets = [int(o) for o in np.asarray(data["kept_offsets"], dtype=np.int64)]
+        if len(ids) != len(offsets):
+            raise ValueError(
+                f"member snapshot holds {len(ids)} ids but {len(offsets)} offsets"
+            )
+        if ids and (min(ids) < 0 or max(ids) >= len(self._interner.vocabulary)):
+            raise ValueError("member snapshot token ids fall outside its vocabulary")
+        self._kept_ids = ids
+        self._kept_offsets = offsets
+        self._live_from = 0
+        self._total_kept = int(data["total_kept"])
+        self._total_pruned = int(data["total_pruned"])
+        self._consumed = int(data["consumed"])
+        last = data["last_symbols"]
+        self._last_symbols = None if last is None else np.asarray(last, dtype=np.int64)
+        self._snapshot_cache = None
+        self._span_builder = None
+        self._curve_cache = None
+        if self._builder is not None:
+            if self._kernel == "python":
+                self._builder = _SequiturBuilder()
+                vocabulary = self._interner.vocabulary
+                feed = self._builder.feed
+                for token_id in ids:
+                    feed(vocabulary[token_id])
+            else:
+                self._builder = _kernel.make_builder(self._kernel)
+                self._builder.feed_many(ids)
+        elif self._generations is not None:
+            self._generations = GenerationalSequitur.replay(
+                zip(ids, offsets),
+                generation_size=self.state.generation_size,
+                kernel=self._kernel,
+                vocabulary=self._interner.vocabulary,
+            )
 
     # ------------------------------------------------------------------
     # Snapshots.
@@ -731,6 +831,8 @@ class StreamingEnsembleDetector(ExecutorOwnerMixin):
         if combiner not in COMBINERS:
             raise ValueError(f"unknown combiner {combiner!r}; expected one of {COMBINERS}")
         self.window = window
+        self.max_paa_size = max_paa_size
+        self.max_alphabet_size = max_alphabet_size
         self.selectivity = float(selectivity)
         self.combiner = combiner
         self.numerosity = numerosity
@@ -745,6 +847,7 @@ class StreamingEnsembleDetector(ExecutorOwnerMixin):
         count = min(int(ensemble_size), len(pool))
         chosen = rng.choice(len(pool), size=count, replace=False)
         self.parameters = [pool[int(i)] for i in chosen]
+        self.ensemble_size = len(self.parameters)
         #: The single stream buffer every member references.
         self.state = _make_state(capacity, policy, segments, window)
         self._alphabet_table = MultiResolutionAlphabet(max_alphabet_size)
@@ -876,6 +979,116 @@ class StreamingEnsembleDetector(ExecutorOwnerMixin):
         """
         return self.state.nbytes + sum(member.memory_bytes() for member in self.members)
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (serialization).
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Versioned, self-describing state of this live ensemble.
+
+        The returned dict holds JSON scalars plus numpy arrays (the wire
+        encoding lives in :mod:`repro.service.snapshot`): the construction
+        configuration, the *sampled* ``(w, a)`` bag (so restore never
+        re-samples), the shared stream state with its absolute prefix sums,
+        and each member's live tokens. :meth:`restore` rebuilds a detector
+        whose every future ``extend``/``detect`` is bitwise identical to
+        the original's — the crash-recovery contract of the serving tier.
+        """
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "state_version": SNAPSHOT_STATE_VERSION,
+            "kernel": _kernel.current_kernel(),
+            "config": {
+                "window": int(self.window),
+                "max_paa_size": int(self.max_paa_size),
+                "max_alphabet_size": int(self.max_alphabet_size),
+                "selectivity": float(self.selectivity),
+                "combiner": self.combiner,
+                "numerosity": self.numerosity,
+                "znorm_threshold": float(self.znorm_threshold),
+                "capacity": self.state.capacity,
+                "policy": self.state.policy,
+                "segments": int(self.state.segments),
+            },
+            "parameters": [[int(w), int(a)] for w, a in self.parameters],
+            "stream": self.state.export_state(),
+            "members": [member.export_state() for member in self.members],
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: dict,
+        *,
+        executor: MemberExecutor | str | None = None,
+    ) -> "StreamingEnsembleDetector":
+        """Rebuild a live ensemble from :meth:`snapshot` output.
+
+        Restoring is kernel-portable: grammars are replayed from the live
+        token ids under the *current* ``REPRO_KERNEL``, and the kernel
+        equivalence contract keeps the results bitwise identical to the
+        snapshotting process's. A snapshot from a different
+        ``state_version`` raises :class:`SnapshotVersionError` — a clear
+        rejection, never garbage output.
+        """
+        if not isinstance(snapshot, dict) or snapshot.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotVersionError(
+                f"not a {SNAPSHOT_FORMAT} snapshot "
+                f"(format={snapshot.get('format')!r})"
+                if isinstance(snapshot, dict)
+                else f"not a {SNAPSHOT_FORMAT} snapshot"
+            )
+        version = snapshot.get("state_version")
+        if version != SNAPSHOT_STATE_VERSION:
+            raise SnapshotVersionError(
+                f"snapshot state_version {version!r} is not supported by this "
+                f"build (supports {SNAPSHOT_STATE_VERSION}); re-snapshot the "
+                "session with a matching version"
+            )
+        config = snapshot["config"]
+        parameters = [(int(w), int(a)) for w, a in snapshot["parameters"]]
+        member_states = snapshot["members"]
+        if len(parameters) != len(member_states):
+            raise ValueError(
+                f"snapshot holds {len(parameters)} parameter pairs but "
+                f"{len(member_states)} member states"
+            )
+        instance = cls.__new__(cls)
+        instance.window = int(config["window"])
+        instance.max_paa_size = validate_paa_size(config["max_paa_size"], instance.window)
+        instance.max_alphabet_size = validate_alphabet_size(config["max_alphabet_size"])
+        instance.selectivity = float(config["selectivity"])
+        instance.combiner = str(config["combiner"])
+        if instance.combiner not in COMBINERS:
+            raise ValueError(f"unknown combiner {instance.combiner!r}")
+        instance.numerosity = str(config["numerosity"])
+        if instance.numerosity not in STRATEGIES:
+            raise ValueError(f"unknown strategy {instance.numerosity!r}")
+        instance.znorm_threshold = float(config["znorm_threshold"])
+        instance._init_executor(executor)
+        instance.parameters = parameters
+        instance.ensemble_size = len(parameters)
+        instance.state = SharedStreamState.from_state(snapshot["stream"])
+        instance._alphabet_table = MultiResolutionAlphabet(instance.max_alphabet_size)
+        instance.members = []
+        for (w, a), data in zip(parameters, member_states):
+            member = StreamingGrammarDetector(
+                instance.window,
+                w,
+                a,
+                znorm_threshold=instance.znorm_threshold,
+                numerosity=instance.numerosity,
+                state=instance.state,
+            )
+            member._restore_state(data)
+            instance.members.append(member)
+        instance._by_paa_size = {}
+        for member in instance.members:
+            instance._by_paa_size.setdefault(member.paa_size, []).append(member)
+        instance._curve_cache = None
+        instance._detect_cache = None
+        return instance
+
     def density_curve(self) -> np.ndarray:
         """Ensemble rule density curve over the live stream range.
 
@@ -921,6 +1134,9 @@ class StreamingEnsembleDetector(ExecutorOwnerMixin):
 
 __all__ = [
     "EVICTION_POLICIES",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_STATE_VERSION",
+    "SnapshotVersionError",
     "StreamingEnsembleDetector",
     "StreamingGrammarDetector",
 ]

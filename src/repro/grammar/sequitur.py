@@ -392,6 +392,32 @@ class GenerationalSequitur:
         #: rule-utility invariant; see :meth:`Grammar.rule_refcounts`).
         self.retired_rule_refs = 0
 
+    @classmethod
+    def replay(
+        cls,
+        tokens: Iterable[tuple[int, int]],
+        *,
+        generation_size: int,
+        kernel: str | None = None,
+        vocabulary: Sequence[str] | None = None,
+    ) -> "GenerationalSequitur":
+        """Rebuild generation-segmented grammar state from live tokens.
+
+        The session-snapshot restore path: ``tokens`` is the live
+        ``(token_id, offset)`` stream (offsets non-decreasing, ids against
+        ``vocabulary``). Generation routing is a pure function of the
+        offsets (``offset // generation_size``) and each generation's
+        grammar a pure function of its token ids, so replaying the live
+        tokens reconstructs every live generation bitwise — sealed ones
+        re-seal at the same boundaries, and the newest keeps growing.
+        Retirement statistics are *not* live state and restart at zero.
+        """
+        instance = cls(generation_size, kernel=kernel, vocabulary=vocabulary)
+        feed_id = instance.feed_id
+        for token_id, offset in tokens:
+            feed_id(token_id, offset)
+        return instance
+
     def generation_of(self, offset: int) -> int:
         """Generation index owning the window offset ``offset``."""
         return int(offset) // self.generation_size

@@ -71,6 +71,27 @@ class WordInterner:
     def __len__(self) -> int:
         return len(self.vocabulary)
 
+    @classmethod
+    def from_vocabulary(cls, vocabulary) -> "WordInterner":
+        """Rebuild an interner whose id space matches ``vocabulary`` exactly.
+
+        The session-snapshot restore path: ids are first-seen-ordered and
+        never reassigned, so a vocabulary list *is* the interner's full
+        state — word ``vocabulary[i]`` gets id ``i`` again, and previously
+        interned token-id sequences remain valid against the restored
+        instance.
+        """
+        interner = cls()
+        table = interner._ids
+        words = interner.vocabulary
+        for word in vocabulary:
+            key = word.encode("ascii")
+            if key in table:
+                raise ValueError(f"duplicate word {word!r} in vocabulary")
+            table[key] = len(words)
+            words.append(word)
+        return interner
+
     def intern_matrix(self, indices: np.ndarray) -> np.ndarray:
         """Token ids of every row of a 2-D symbol-index matrix (int64)."""
         matrix = np.asarray(indices)

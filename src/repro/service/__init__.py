@@ -26,35 +26,57 @@ with a cluster one and the batching/session/caching layers carry over.
 
 from repro.service.batching import MicroBatcher
 from repro.service.cache import LRUCache, series_digest
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.config import DetectorConfig
 from repro.service.core import DetectResult, DetectService
 from repro.service.errors import (
     BadRequest,
     DeadlineExceeded,
     MemoryBudgetExceeded,
+    NodeUnavailable,
     ServiceClosed,
     ServiceError,
     ServiceOverloaded,
     SessionExists,
+    SessionGone,
     SessionNotFound,
+    TenantQuotaExceeded,
 )
-from repro.service.http import ServiceHTTPServer, serve
+from repro.service.http import BaseHTTPServer, ServiceHTTPServer, serve
 from repro.service.sessions import StreamSessionManager
+from repro.service.snapshot import (
+    LocalSnapshotStore,
+    SnapshotStore,
+    decode_snapshot,
+    encode_snapshot,
+)
 
 __all__ = [
     "BadRequest",
+    "BaseHTTPServer",
     "DeadlineExceeded",
     "DetectResult",
     "DetectService",
+    "DetectorConfig",
     "LRUCache",
+    "LocalSnapshotStore",
     "MemoryBudgetExceeded",
     "MicroBatcher",
+    "NodeUnavailable",
+    "ServiceClient",
+    "ServiceClientError",
     "ServiceClosed",
     "ServiceError",
     "ServiceHTTPServer",
     "ServiceOverloaded",
     "SessionExists",
+    "SessionGone",
     "SessionNotFound",
+    "SnapshotStore",
     "StreamSessionManager",
+    "TenantQuotaExceeded",
+    "decode_snapshot",
+    "encode_snapshot",
     "serve",
     "series_digest",
 ]

@@ -1,0 +1,152 @@
+"""Typed synchronous client for the ``/v1`` service and router APIs.
+
+Pure stdlib (``urllib``): scripts, examples, and operational tooling get a
+method-per-endpoint surface instead of hand-rolled request plumbing, and
+service failures arrive as :class:`ServiceClientError` carrying the
+envelope's machine-readable ``code`` (plus ``retry_after`` when the server
+says retrying may help) instead of a bare ``HTTPError``.
+
+The client speaks only canonical ``/v1`` paths; it works identically
+against a single serve node and a router (which adds ``migrate`` and a
+fleet-wide ``nodes``).
+
+JSON floats round-trip bitwise (``repr`` shortest-form), so a score read
+through this client compares equal to the directly computed one.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(Exception):
+    """An error response from the service, decoded from the envelope.
+
+    Attributes
+    ----------
+    status:
+        HTTP status code.
+    code:
+        Machine-readable error code from the envelope (e.g.
+        ``"session-gone"``), or ``"http"`` for non-envelope failures.
+    retry_after:
+        Seconds after which retrying may succeed, when the server sent one.
+    """
+
+    def __init__(
+        self, status: int, code: str, message: str, retry_after: float | None = None
+    ) -> None:
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """One service (or router) endpoint, spoken to over ``/v1``."""
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    # Transport.
+    # ------------------------------------------------------------------
+
+    def _call(self, method: str, path: str, payload: dict | None = None) -> dict:
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            body = error.read()
+            try:
+                envelope = json.loads(body)["error"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                raise ServiceClientError(
+                    error.code, "http", body.decode("utf-8", "replace") or str(error)
+                ) from error
+            raise ServiceClientError(
+                error.code,
+                envelope.get("code", "http"),
+                envelope.get("message", str(error)),
+                envelope.get("retry_after"),
+            ) from error
+
+    # ------------------------------------------------------------------
+    # Service-level endpoints.
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._call("GET", "/v1/healthz")
+
+    def stats(self) -> dict:
+        return self._call("GET", "/v1/stats")
+
+    def nodes(self) -> list[dict]:
+        return self._call("GET", "/v1/nodes")["nodes"]
+
+    # ------------------------------------------------------------------
+    # One-shot detection.
+    # ------------------------------------------------------------------
+
+    def detect(self, series, *, k: int = 3, seed: int = 0, **config) -> dict:
+        """One series through ``POST /v1/detect`` (micro-batched, cached)."""
+        return self._call(
+            "POST", "/v1/detect", {"series": list(series), "k": k, "seed": seed, **config}
+        )
+
+    def detect_batch(self, series_list, *, k: int = 3, seed: int = 0, **config) -> dict:
+        """Many series as one request; per-item errors in their slots."""
+        return self._call(
+            "POST",
+            "/v1/detect_batch",
+            {"series": [list(series) for series in series_list], "k": k, "seed": seed, **config},
+        )
+
+    # ------------------------------------------------------------------
+    # Streaming sessions.
+    # ------------------------------------------------------------------
+
+    def create_session(self, name: str, **config) -> dict:
+        return self._call("POST", "/v1/sessions", {"name": name, **config})
+
+    def sessions(self) -> list[dict]:
+        return self._call("GET", "/v1/sessions")["sessions"]
+
+    def session(self, name: str) -> dict:
+        return self._call("GET", f"/v1/sessions/{name}")
+
+    def append(self, name: str, values) -> dict:
+        return self._call("POST", f"/v1/sessions/{name}/append", {"values": list(values)})
+
+    def anomalies(self, name: str, k: int = 3) -> dict:
+        """Ranked anomalies over the session's live range (the poll)."""
+        return self._call("GET", f"/v1/sessions/{name}/anomalies?k={int(k)}")
+
+    def snapshot(self, name: str) -> dict:
+        """Checkpoint the session to the node's snapshot store now."""
+        return self._call("POST", f"/v1/sessions/{name}/snapshot")
+
+    def restore(self, name: str) -> dict:
+        """Restore from the latest checkpoint (router: re-place + replay)."""
+        return self._call("POST", f"/v1/sessions/{name}/restore")
+
+    def migrate(self, name: str, target: str) -> dict:
+        """Move a session to an explicit node (router endpoints only)."""
+        return self._call("POST", f"/v1/sessions/{name}/migrate", {"target": target})
+
+    def close_session(self, name: str, *, keep_snapshots: bool = False) -> dict:
+        suffix = "?keep_snapshots=1" if keep_snapshots else ""
+        return self._call("DELETE", f"/v1/sessions/{name}{suffix}")

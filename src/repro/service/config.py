@@ -1,0 +1,203 @@
+"""One canonical detector configuration for the whole serving stack.
+
+Before this module, "a detector configuration" existed in four ad-hoc
+shapes: the raw config dict a request carried, the ``clone_kwargs()``
+canonicalization the cache/batcher fingerprinted, the kwargs dict a session
+stored, and the argparse namespace the CLI sampled from. They agreed by
+convention only. :class:`DetectorConfig` is the single definition all of
+them derive from now: cache keys, micro-batch coalescing groups, session
+records, snapshots, and the CLI all speak this type.
+
+A ``None`` field means "use the engine constructor's default" — the config
+is *sparse*, so requests that omit a knob keep the exact defaults of
+:class:`~repro.core.ensemble.EnsembleGrammarDetector` (one-shot) and
+:class:`~repro.core.streaming.StreamingEnsembleDetector` (sessions), which
+differ on ``ensemble_size`` on purpose (50 vs 20). :meth:`to_fingerprint`
+canonicalizes through the engine's own ``clone_kwargs()``, so two requests
+spelling the same configuration differently share one fingerprint — and one
+cache line and one coalescing batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+
+from repro.core.engine import EVICTION_POLICIES
+
+__all__ = ["DETECT_FIELDS", "SESSION_FIELDS", "DetectorConfig"]
+
+#: Fields a one-shot detect request may set (the batch detector's knobs).
+DETECT_FIELDS = (
+    "window",
+    "max_paa_size",
+    "max_alphabet_size",
+    "ensemble_size",
+    "selectivity",
+    "combiner",
+    "numerosity",
+    "znorm_threshold",
+)
+
+#: Fields a session-create request may set: the detect knobs plus bounded
+#: retention and the parameter-sampling seed.
+SESSION_FIELDS = DETECT_FIELDS + ("capacity", "policy", "segments", "seed")
+
+_INT_FIELDS = frozenset(
+    {"window", "max_paa_size", "max_alphabet_size", "ensemble_size", "capacity", "segments", "seed"}
+)
+_FLOAT_FIELDS = frozenset({"selectivity", "znorm_threshold"})
+_STR_FIELDS = frozenset({"combiner", "numerosity", "policy"})
+
+
+def _coerce(name: str, value):
+    """Deterministic scalar coercion so equal configs compare equal.
+
+    JSON, argparse, and python callers deliver the same knob as ``5``,
+    ``5.0``, or ``"median"`` variants; coercing at construction means two
+    spellings of one configuration are *equal dataclasses* — which is what
+    lets sessions, snapshots, and routers compare configs directly.
+    """
+    if value is None:
+        return None
+    if name in _INT_FIELDS:
+        if isinstance(value, bool) or (isinstance(value, float) and not value.is_integer()):
+            raise ValueError(f"{name} must be an integer, got {value!r}")
+        return int(value)
+    if name in _FLOAT_FIELDS:
+        return float(value)
+    if name in _STR_FIELDS:
+        if not isinstance(value, str):
+            raise ValueError(f"{name} must be a string, got {value!r}")
+        return value
+    raise ValueError(f"unknown configuration field {name!r}")
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """A frozen, sparse detector configuration (``None`` = engine default)."""
+
+    window: int
+    max_paa_size: int | None = None
+    max_alphabet_size: int | None = None
+    ensemble_size: int | None = None
+    selectivity: float | None = None
+    combiner: str | None = None
+    numerosity: str | None = None
+    znorm_threshold: float | None = None
+    #: Streaming-only retention knobs (ignored by one-shot detection).
+    capacity: int | None = None
+    policy: str | None = None
+    segments: int | None = None
+    #: Parameter-sampling seed for streaming sessions. Restricted to
+    #: ``int | None`` so every config JSON-round-trips (generators do not).
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        for field in fields(self):
+            object.__setattr__(self, field.name, _coerce(field.name, getattr(self, field.name)))
+        if self.window is None:
+            raise ValueError("missing required field 'window'")
+        if self.policy is not None and self.policy not in EVICTION_POLICIES:
+            raise ValueError(
+                f"unknown eviction policy {self.policy!r}; expected one of {EVICTION_POLICIES}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_mapping(cls, payload: dict, *, allowed: tuple[str, ...] = SESSION_FIELDS) -> "DetectorConfig":
+        """Build from a request-shaped mapping, rejecting unknown fields.
+
+        ``allowed`` narrows the accepted keys (:data:`DETECT_FIELDS` for
+        one-shot requests, :data:`SESSION_FIELDS` for sessions) so typos
+        fail loudly instead of silently running with defaults.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError(f"configuration must be a mapping, got {type(payload).__name__}")
+        strays = set(payload) - set(allowed)
+        if strays:
+            raise ValueError(f"unknown configuration field(s): {sorted(strays)}")
+        if "window" not in payload:
+            raise ValueError("missing required field 'window'")
+        return cls(**payload)
+
+    @classmethod
+    def from_cli_args(cls, args) -> "DetectorConfig":
+        """Build from an argparse namespace using the CLI's flag names.
+
+        Maps ``--wmax``/``--amax``/``--ensemble-size``/``--selectivity``/
+        ``--seed`` (and, when the subcommand has them, ``--stream-capacity``
+        ``--eviction-policy`` ``--segments``) onto the canonical fields.
+        """
+        capacity = getattr(args, "stream_capacity", None)
+        return cls(
+            window=args.window,
+            max_paa_size=getattr(args, "wmax", None),
+            max_alphabet_size=getattr(args, "amax", None),
+            ensemble_size=getattr(args, "ensemble_size", None),
+            selectivity=getattr(args, "selectivity", None),
+            capacity=capacity,
+            policy=None if capacity is None else getattr(args, "eviction_policy", None),
+            segments=None if capacity is None else getattr(args, "segments", None),
+            seed=getattr(args, "seed", None),
+        )
+
+    @classmethod
+    def from_json(cls, document: dict) -> "DetectorConfig":
+        """Inverse of :meth:`to_json` (accepts any sparse field mapping)."""
+        return cls.from_mapping(dict(document))
+
+    # ------------------------------------------------------------------
+    # Derived views.
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """JSON-shaped sparse mapping (only explicitly set fields).
+
+        ``DetectorConfig.from_json(config.to_json()) == config`` — the
+        round trip snapshots, session records, and the router rely on.
+        """
+        return {
+            field.name: getattr(self, field.name)
+            for field in fields(self)
+            if getattr(self, field.name) is not None
+        }
+
+    def detect_kwargs(self) -> dict:
+        """Constructor kwargs for a one-shot :class:`EnsembleGrammarDetector`."""
+        return {
+            name: getattr(self, name) for name in DETECT_FIELDS if getattr(self, name) is not None
+        }
+
+    def session_kwargs(self) -> dict:
+        """Constructor kwargs for a :class:`StreamingEnsembleDetector`."""
+        return {
+            name: getattr(self, name)
+            for name in SESSION_FIELDS
+            if getattr(self, name) is not None
+        }
+
+    def resolve(self) -> tuple[dict, tuple]:
+        """Validate through the engine; return ``(clone_kwargs, fingerprint)``.
+
+        Constructing the (cheap, lazy) template runs the full engine
+        validation; ``clone_kwargs()`` then fills every default, so the
+        fingerprint is total — two sparse configs meaning the same detector
+        get the same fingerprint, the identity under which the LRU cache
+        and the micro-batcher coalesce requests.
+        """
+        from repro.core.ensemble import EnsembleGrammarDetector
+
+        template = EnsembleGrammarDetector(**self.detect_kwargs())
+        kwargs = template.clone_kwargs()
+        return kwargs, tuple(sorted(kwargs.items()))
+
+    def to_fingerprint(self) -> tuple:
+        """Canonical hashable identity of the *detection* configuration."""
+        return self.resolve()[1]
+
+    def describe(self) -> dict:
+        """Full field mapping including unset (``None``) fields."""
+        return asdict(self)

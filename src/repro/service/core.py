@@ -54,8 +54,10 @@ from repro.core.executors import (
 )
 from repro.service.batching import MicroBatcher
 from repro.service.cache import LRUCache, series_digest
+from repro.service.config import DETECT_FIELDS, DetectorConfig
 from repro.service.errors import BadRequest
 from repro.service.sessions import StreamSessionManager
+from repro.service.snapshot import SnapshotStore
 from repro.utils.rng import spawn_rngs
 
 __all__ = ["DetectResult", "DetectService"]
@@ -123,6 +125,15 @@ class DetectService:
     max_sessions, idle_timeout, memory_budget:
         Streaming-session policies — see
         :class:`~repro.service.sessions.StreamSessionManager`.
+    snapshot_store, snapshot_interval:
+        Session checkpointing — see
+        :class:`~repro.service.sessions.StreamSessionManager`. With a
+        store attached, sessions survive crashes and can migrate between
+        nodes sharing the store.
+    node_id:
+        Stable identity this node reports under ``GET /v1/nodes`` (the
+        router uses it to tell nodes apart); defaults to ``host:pid``-less
+        ``"node"``.
     default_timeout:
         Deadline (seconds) applied to requests that do not carry their own;
         ``None`` waits indefinitely.
@@ -140,6 +151,9 @@ class DetectService:
         max_sessions: int = 64,
         idle_timeout: float | None = None,
         memory_budget: int | None = None,
+        snapshot_store: SnapshotStore | None = None,
+        snapshot_interval: int | None = None,
+        node_id: str | None = None,
         default_timeout: float | None = 30.0,
     ) -> None:
         validate_executor_spec(executor)
@@ -165,7 +179,10 @@ class DetectService:
             memory_budget=memory_budget,
             executor=self._executor,
             cache=self.cache if self.cache.enabled else None,
+            snapshot_store=snapshot_store,
+            snapshot_interval=snapshot_interval,
         )
+        self.node_id = str(node_id) if node_id is not None else "node"
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -176,18 +193,17 @@ class DetectService:
     def _normalize_config(config: dict) -> tuple[dict, tuple]:
         """Validate a request's detector configuration; return (kwargs, fingerprint).
 
-        Constructing the (cheap, lazy) detector runs the full constructor
-        validation; ``clone_kwargs()`` then canonicalizes defaults, so two
-        requests spelling the same configuration differently share one
-        fingerprint — and one micro-batch group and cache line.
+        The request mapping is parsed into the canonical
+        :class:`~repro.service.config.DetectorConfig` (unknown fields
+        rejected loudly) and resolved through the engine, so two requests
+        spelling the same configuration differently share one fingerprint —
+        and one micro-batch group and cache line.
         """
         try:
-            template = EnsembleGrammarDetector(**config)
+            parsed = DetectorConfig.from_mapping(dict(config), allowed=DETECT_FIELDS)
+            return parsed.resolve()
         except (ValueError, TypeError) as error:
             raise BadRequest(f"invalid detector configuration: {error}") from error
-        kwargs = template.clone_kwargs()
-        fingerprint = tuple(sorted(kwargs.items()))
-        return kwargs, fingerprint
 
     @staticmethod
     def _normalize_series(series) -> np.ndarray:
@@ -361,9 +377,28 @@ class DetectService:
         """Snapshot-detect on a session; cached per stream version."""
         return await self.sessions.poll(name, k)
 
-    async def close_session(self, name: str) -> dict:
-        """Close a session and release its stream state."""
-        return await self.sessions.close(name)
+    async def close_session(
+        self, name: str, *, drop_snapshots: bool = True, reason: str = "closed"
+    ) -> dict:
+        """Close a session and release its stream state.
+
+        ``drop_snapshots=False`` keeps stored checkpoints (migration /
+        planned-restart semantics); the ``reason`` lands in the tombstone
+        a later request's 410 reports.
+        """
+        return await self.sessions.close(name, drop_snapshots=drop_snapshots, reason=reason)
+
+    async def snapshot_session(self, name: str) -> dict:
+        """Checkpoint one session to the snapshot store on demand."""
+        return await self.sessions.snapshot(name)
+
+    async def restore_session(self, name: str) -> dict:
+        """Restore a session from its latest stored checkpoint."""
+        return await self.sessions.restore(name)
+
+    def session_info(self, name: str) -> dict:
+        """Info document of one live session (410/404 when gone/unknown)."""
+        return self.sessions.info(name)
 
     def list_sessions(self) -> list[dict]:
         """Summaries of every live streaming session."""
@@ -385,6 +420,7 @@ class DetectService:
             }
         return {
             "closed": self._closed,
+            "node": self.node_id,
             "executor": executor_info,
             "batcher": self.batcher.stats(),
             "cache": self.cache.stats(),

@@ -13,11 +13,14 @@ __all__ = [
     "BadRequest",
     "DeadlineExceeded",
     "MemoryBudgetExceeded",
+    "NodeUnavailable",
     "ServiceClosed",
     "ServiceError",
     "ServiceOverloaded",
     "SessionExists",
+    "SessionGone",
     "SessionNotFound",
+    "TenantQuotaExceeded",
     "error_payload",
 ]
 
@@ -32,10 +35,16 @@ class ServiceError(Exception):
     code:
         Stable machine-readable error identifier (kebab-case), independent
         of the human-readable message.
+    retry_after:
+        Seconds after which retrying the same request may succeed, or
+        ``None`` when retrying cannot help (the client must change the
+        request). Carried in the uniform ``/v1`` error envelope and, when
+        set, in a ``Retry-After`` header.
     """
 
     status = 500
     code = "internal-error"
+    retry_after: float | None = None
 
 
 class BadRequest(ServiceError):
@@ -52,6 +61,19 @@ class SessionNotFound(ServiceError):
     code = "session-not-found"
 
 
+class SessionGone(SessionNotFound):
+    """The session existed but was closed, evicted, or migrated away.
+
+    A refinement of :class:`SessionNotFound` (so ``except SessionNotFound``
+    handlers keep working) that lets clients tell "you never created this"
+    (404 — probably a typo) from "this existed and is gone" (410 —
+    recreate or restore it, do not retry blindly).
+    """
+
+    status = 410
+    code = "session-gone"
+
+
 class SessionExists(ServiceError):
     """A streaming session with the requested name already exists."""
 
@@ -64,6 +86,14 @@ class ServiceOverloaded(ServiceError):
 
     status = 429
     code = "overloaded"
+    retry_after = 0.05
+
+
+class TenantQuotaExceeded(ServiceError):
+    """The tenant already runs its allowed number of sessions."""
+
+    status = 429
+    code = "tenant-quota-exceeded"
 
 
 class ServiceClosed(ServiceError):
@@ -85,12 +115,29 @@ class MemoryBudgetExceeded(ServiceError):
 
     status = 507
     code = "memory-budget-exceeded"
+    retry_after = 1.0
+
+
+class NodeUnavailable(ServiceError):
+    """The router could not reach any node able to serve the request."""
+
+    status = 504
+    code = "node-unavailable"
+    retry_after = 1.0
 
 
 def error_payload(error: BaseException) -> dict:
-    """JSON-shaped description of an error (the front end's response body)."""
+    """JSON-shaped description of an error (the front end's response body).
+
+    The envelope is uniform across every failure: ``code`` and ``message``
+    always, plus ``retry_after`` (seconds) when retrying the identical
+    request may succeed.
+    """
     if isinstance(error, ServiceError):
-        return {"error": {"code": error.code, "message": str(error)}}
+        body = {"code": error.code, "message": str(error)}
+        if error.retry_after is not None:
+            body["retry_after"] = error.retry_after
+        return {"error": body}
     return {
         "error": {
             "code": "detection-failed",

@@ -5,21 +5,37 @@ server dependency; the front end is deliberately minimal (JSON in/out,
 keep-alive, content-length bodies) and every behaviour that matters lives
 in the transport-agnostic core where it is unit-tested directly.
 
-Endpoints
----------
-==========  ==============================  =======================================
-Method      Path                            Meaning
-==========  ==============================  =======================================
-GET         ``/healthz``                    liveness probe
-GET         ``/stats``                      batcher/cache/session/executor counters
-POST        ``/detect``                     one series; micro-batched + cached
-POST        ``/detect_batch``               many series; partial results on failure
-GET         ``/sessions``                   list live streaming sessions
-POST        ``/sessions``                   create a named streaming session
-POST        ``/sessions/{name}/append``     feed a chunk into a session
-GET/POST    ``/sessions/{name}/poll``       snapshot-detect (``?k=3`` / body ``k``)
-DELETE      ``/sessions/{name}``            close a session
-==========  ==============================  =======================================
+Endpoints (v1)
+--------------
+The canonical surface lives under ``/v1``; every route is also reachable
+without the prefix as a **deprecated alias** (answered with a
+``Deprecation: true`` header) so pre-v1 clients keep working.
+
+==========  ==================================  ===================================
+Method      Path                                Meaning
+==========  ==================================  ===================================
+GET         ``/v1/healthz``                     liveness probe
+GET         ``/v1/stats``                       batcher/cache/session/executor counters
+GET         ``/v1/nodes``                       this node's identity (router: all nodes)
+POST        ``/v1/detect``                      one series; micro-batched + cached
+POST        ``/v1/detect_batch``                many series; partial results on failure
+GET         ``/v1/sessions``                    list live streaming sessions
+POST        ``/v1/sessions``                    create a named streaming session
+GET         ``/v1/sessions/{name}``             one session's info document
+POST        ``/v1/sessions/{name}/append``      feed a chunk into a session
+GET/POST    ``/v1/sessions/{name}/anomalies``   ranked anomalies (``?k=3`` / body ``k``;
+                                                alias ``/poll``)
+POST        ``/v1/sessions/{name}/snapshot``    checkpoint the session now
+POST        ``/v1/sessions/{name}/restore``     bring it back from the latest snapshot
+DELETE      ``/v1/sessions/{name}``             close (``?keep_snapshots=1`` for
+                                                migration semantics)
+==========  ==================================  ===================================
+
+Errors use one uniform envelope —
+``{"error": {"code", "message"[, "retry_after"]}}`` — and retryable
+failures (429/503/507) also carry a ``Retry-After`` header. A name that
+*was* a session answers 410 (``session-gone``), distinct from the 404 a
+never-created name gets.
 
 Request/response floats survive bitwise: ``json`` serializes via
 ``float.__repr__`` (shortest round-tripping form), so a served score
@@ -31,6 +47,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import math
 import signal
 from typing import Any, Callable
 from urllib.parse import parse_qs, urlsplit
@@ -39,7 +56,7 @@ from repro.core.executors import BatchItemError
 from repro.service.core import DetectService
 from repro.service.errors import BadRequest, ServiceError, error_payload
 
-__all__ = ["ServiceHTTPServer", "serve"]
+__all__ = ["BaseHTTPServer", "ServiceHTTPServer", "serve"]
 
 #: Largest accepted request body (a 64 MiB JSON series is ~4M points).
 MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -53,6 +70,7 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
+    410: "Gone",
     413: "Payload Too Large",
     422: "Unprocessable Entity",
     429: "Too Many Requests",
@@ -97,11 +115,16 @@ def _split_config(payload: dict, allowed: tuple[str, ...], reserved: tuple[str, 
     return config
 
 
-class ServiceHTTPServer:
-    """One bound HTTP server over a :class:`DetectService`."""
+class BaseHTTPServer:
+    """Connection handling + request parsing shared by every front end.
 
-    def __init__(self, service: DetectService, host: str = "127.0.0.1", port: int = 8765) -> None:
-        self.service = service
+    Subclasses implement :meth:`_route` (and their handlers); the base owns
+    the asyncio server lifecycle, HTTP/1.1 parsing with bounded headers and
+    bodies, the uniform error envelope, keep-alive, and response writing.
+    The router front end (:mod:`repro.service.router`) reuses all of it.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765) -> None:
         self.host = host
         self.port = port
         self._server: asyncio.AbstractServer | None = None
@@ -169,8 +192,8 @@ class ServiceHTTPServer:
                 if request is None:
                     return
                 method, path, query, payload, keep_alive = request
-                status, body = await self._dispatch(method, path, query, payload)
-                await self._respond(writer, status, body, keep_alive=keep_alive)
+                status, body, headers = await self._dispatch(method, path, query, payload)
+                await self._respond(writer, status, body, keep_alive=keep_alive, headers=headers)
                 if not keep_alive:
                     return
         except (
@@ -224,45 +247,125 @@ class ServiceHTTPServer:
     # Routing.
     # ------------------------------------------------------------------
 
-    async def _dispatch(self, method: str, path: str, query: dict, payload) -> tuple[int, dict]:
+    async def _dispatch(
+        self, method: str, path: str, query: dict, payload
+    ) -> tuple[int, dict, dict]:
+        headers: dict[str, str] = {}
         try:
-            handler, args = self._route(method, path)
-            return await handler(payload, query, *args)
+            handler, args, deprecated = self._route(method, path)
+            if deprecated:
+                # Legacy (pre-/v1) alias: still served, but flagged so
+                # clients can find the canonical path before it goes away.
+                headers["Deprecation"] = "true"
+            status, body = await handler(payload, query, *args)
+            return status, body, headers
         except ServiceError as error:
-            return error.status, error_payload(error)
+            if error.retry_after is not None:
+                headers["Retry-After"] = str(max(1, math.ceil(error.retry_after)))
+            return error.status, error_payload(error), headers
         except BatchItemError as error:
-            return 422, error_payload(error)
+            return 422, error_payload(error), headers
         except (ValueError, TypeError, KeyError) as error:
-            return 400, error_payload(BadRequest(str(error)))
+            return 400, error_payload(BadRequest(str(error))), headers
         except asyncio.CancelledError:
             raise
         except Exception as error:  # pragma: no cover — last-resort guard
-            return 500, error_payload(error)
+            return 500, error_payload(error), headers
 
-    def _route(self, method: str, path: str) -> tuple[Callable, tuple]:
+    def _route(self, method: str, path: str) -> tuple[Callable, tuple, bool]:
+        raise NotImplementedError  # pragma: no cover — subclasses route
+
+    @staticmethod
+    def _split_version(path: str) -> tuple[str, bool]:
+        """Strip the ``/v1`` prefix; returns ``(sub_path, deprecated)``."""
+        if path == "/v1" or path.startswith("/v1/"):
+            return path[len("/v1") :] or "/", False
+        return path, True
+
+    @staticmethod
+    def _require_object(payload) -> dict:
+        if not isinstance(payload, dict):
+            raise BadRequest("request body must be a JSON object")
+        return payload
+
+    @staticmethod
+    def _query_flag(query: dict, key: str) -> bool:
+        return query.get(key, "").lower() in ("1", "true", "yes")
+
+    # ------------------------------------------------------------------
+    # Response writing.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: dict,
+        *,
+        keep_alive: bool,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        data = json.dumps(body).encode("utf-8")
+        extra = "".join(f"{name}: {value}\r\n" for name, value in (headers or {}).items())
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extra}"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + data)
+        await writer.drain()
+
+
+class ServiceHTTPServer(BaseHTTPServer):
+    """One bound HTTP server over a :class:`DetectService`."""
+
+    def __init__(self, service: DetectService, host: str = "127.0.0.1", port: int = 8765) -> None:
+        super().__init__(host, port)
+        self.service = service
+
+    def _route(self, method: str, path: str) -> tuple[Callable, tuple, bool]:
+        """Resolve ``(handler, args, deprecated)`` for a request path.
+
+        ``/v1/...`` is the canonical surface; the same routes without the
+        prefix are deprecated aliases kept for pre-v1 clients.
+        """
+        path, deprecated = self._split_version(path)
         segments = [segment for segment in path.split("/") if segment]
         if path == "/healthz" and method == "GET":
-            return self._handle_healthz, ()
+            return self._handle_healthz, (), deprecated
         if path == "/stats" and method == "GET":
-            return self._handle_stats, ()
+            return self._handle_stats, (), deprecated
+        if path == "/nodes" and method == "GET":
+            return self._handle_nodes, (), deprecated
         if path == "/detect" and method == "POST":
-            return self._handle_detect, ()
+            return self._handle_detect, (), deprecated
         if path == "/detect_batch" and method == "POST":
-            return self._handle_detect_batch, ()
+            return self._handle_detect_batch, (), deprecated
         if path == "/sessions":
             if method == "GET":
-                return self._handle_sessions_list, ()
+                return self._handle_sessions_list, (), deprecated
             if method == "POST":
-                return self._handle_session_create, ()
+                return self._handle_session_create, (), deprecated
             raise _MethodNotAllowed()
-        if len(segments) == 2 and segments[0] == "sessions" and method == "DELETE":
-            return self._handle_session_close, (segments[1],)
+        if len(segments) == 2 and segments[0] == "sessions":
+            if method == "DELETE":
+                return self._handle_session_close, (segments[1],), deprecated
+            if method == "GET":
+                return self._handle_session_get, (segments[1],), deprecated
+            raise _MethodNotAllowed()
         if len(segments) == 3 and segments[0] == "sessions":
             name, action = segments[1], segments[2]
             if action == "append" and method == "POST":
-                return self._handle_session_append, (name,)
-            if action == "poll" and method in ("GET", "POST"):
-                return self._handle_session_poll, (name,)
+                return self._handle_session_append, (name,), deprecated
+            if action in ("anomalies", "poll") and method in ("GET", "POST"):
+                return self._handle_session_poll, (name,), deprecated
+            if action == "snapshot" and method == "POST":
+                return self._handle_session_snapshot, (name,), deprecated
+            if action == "restore" and method == "POST":
+                return self._handle_session_restore, (name,), deprecated
         raise _NotFound(method, path)
 
     # ------------------------------------------------------------------
@@ -275,11 +378,19 @@ class ServiceHTTPServer:
     async def _handle_stats(self, payload, query) -> tuple[int, dict]:
         return 200, self.service.stats()
 
-    @staticmethod
-    def _require_object(payload) -> dict:
-        if not isinstance(payload, dict):
-            raise BadRequest("request body must be a JSON object")
-        return payload
+    async def _handle_nodes(self, payload, query) -> tuple[int, dict]:
+
+        """This node's identity document (a router answers with its fleet)."""
+        return 200, {
+            "nodes": [
+                {
+                    "node": self.service.node_id,
+                    "role": "serve",
+                    "alive": True,
+                    "sessions": len(self.service.sessions),
+                }
+            ]
+        }
 
     async def _handle_detect(self, payload, query) -> tuple[int, dict]:
         payload = self._require_object(payload)
@@ -356,27 +467,22 @@ class ServiceHTTPServer:
             k = query["k"]
         return 200, await self.service.poll(name, int(k))
 
+    async def _handle_session_get(self, payload, query, name: str) -> tuple[int, dict]:
+        return 200, self.service.session_info(name)
+
+    async def _handle_session_snapshot(self, payload, query, name: str) -> tuple[int, dict]:
+        return 200, await self.service.snapshot_session(name)
+
+    async def _handle_session_restore(self, payload, query, name: str) -> tuple[int, dict]:
+        return 200, await self.service.restore_session(name)
+
     async def _handle_session_close(self, payload, query, name: str) -> tuple[int, dict]:
-        return 200, {"closed": await self.service.close_session(name)}
-
-    # ------------------------------------------------------------------
-    # Response writing.
-    # ------------------------------------------------------------------
-
-    @staticmethod
-    async def _respond(
-        writer: asyncio.StreamWriter, status: int, body: dict, *, keep_alive: bool
-    ) -> None:
-        data = json.dumps(body).encode("utf-8")
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(data)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            "\r\n"
-        )
-        writer.write(head.encode("latin-1") + data)
-        await writer.drain()
+        keep = self._query_flag(query, "keep_snapshots")
+        reason = query.get("reason", "migrated" if keep else "closed")
+        if reason not in ("closed", "migrated", "evicted"):
+            raise BadRequest(f"invalid close reason {reason!r}")
+        info = await self.service.close_session(name, drop_snapshots=not keep, reason=reason)
+        return 200, {"closed": info}
 
 
 class _NotFound(ServiceError):

@@ -1,0 +1,642 @@
+"""Session router: consistent-hash placement, crash recovery, migration.
+
+The sharded deployment shape: N independent serve nodes (``python -m repro
+serve``), each hosting a disjoint set of streaming sessions, behind one
+thin router (``python -m repro router``) that clients talk to instead of
+any node directly. The router
+
+- **places** every session on a node by consistent hashing over the static
+  node list (:class:`HashRing` — blake2b points, virtual nodes), so
+  placement is deterministic, balanced, and survives router restarts
+  without a placement database;
+- **proxies** the full ``/v1`` session surface plus one-shot detects
+  (round-robin) to the owning node, passing response bodies through
+  verbatim — scores stay bitwise identical because the router never
+  re-encodes results;
+- **recovers**: when a node stops answering, the session is re-placed on
+  the next surviving node of its preference walk, restored there from its
+  latest snapshot (shared :class:`~repro.service.snapshot.SnapshotStore`
+  directory), and the router replays its buffered *tail* — the appends
+  past the last checkpoint — so the resumed session is bitwise identical
+  to one that never crashed;
+- **migrates** on demand (``POST /v1/sessions/{name}/migrate``): snapshot
+  on the source, close keeping snapshots, restore on the target, replay
+  the tail;
+- enforces **per-tenant quotas**: the tenant is the session-name prefix
+  before the first ``.`` and may hold at most ``--tenant-quota`` live
+  sessions (429 ``tenant-quota-exceeded`` past that).
+
+The tail buffer is the client-side half of the durability story: chunks
+are kept until the owning node reports (in every append response) that a
+checkpoint covers them. Nodes running without ``--snapshot-dir`` never
+checkpoint, so the router keeps the whole stream and recovery falls back
+to recreate-and-replay-everything — still bitwise identical, just slower
+and memory-heavier.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import itertools
+import json
+import signal
+from typing import Callable
+
+from repro.service.errors import (
+    BadRequest,
+    NodeUnavailable,
+    SessionNotFound,
+    TenantQuotaExceeded,
+)
+from repro.service.http import BaseHTTPServer, _MethodNotAllowed, _NotFound
+
+__all__ = ["HashRing", "RouterHTTPServer", "SessionRouter", "serve_router", "tenant_of"]
+
+#: Virtual points per node on the ring: enough that removing one node of a
+#: small fleet spreads its keys ~evenly over the survivors.
+DEFAULT_REPLICAS = 64
+
+#: Seconds allowed for a liveness probe (kept well under request timeouts).
+PROBE_TIMEOUT = 2.0
+
+
+def tenant_of(name: str) -> str:
+    """Tenant a session belongs to: the name prefix before the first ``.``."""
+    return name.split(".", 1)[0]
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes (blake2b points).
+
+    ``preference(key)`` returns *all* nodes in deterministic walk order
+    from the key's ring position: index 0 is the home node, the rest are
+    the fallbacks recovery walks when earlier choices are dead. Placement
+    depends only on (key, node list), so any router instance — including a
+    restarted one — computes the same homes.
+    """
+
+    def __init__(self, nodes: list[str], *, replicas: int = DEFAULT_REPLICAS) -> None:
+        nodes = list(dict.fromkeys(str(node) for node in nodes))
+        if not nodes:
+            raise ValueError("HashRing needs at least one node")
+        replicas = int(replicas)
+        if replicas < 1:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        self.nodes = nodes
+        self.replicas = replicas
+        self._points: list[tuple[int, str]] = sorted(
+            (self._hash(f"{node}#{index}"), node)
+            for node in nodes
+            for index in range(replicas)
+        )
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        return int.from_bytes(hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(), "big")
+
+    def preference(self, key: str) -> list[str]:
+        """Every node, in this key's deterministic failover order."""
+        start = bisect.bisect_left(self._points, (self._hash(key), ""))
+        seen: set[str] = set()
+        order: list[str] = []
+        count = len(self._points)
+        for step in range(count):
+            _point, node = self._points[(start + step) % count]
+            if node not in seen:
+                seen.add(node)
+                order.append(node)
+                if len(order) == len(self.nodes):
+                    break
+        return order
+
+    def place(self, key: str) -> str:
+        """The key's home node (first of its preference walk)."""
+        return self.preference(key)[0]
+
+
+class _NodeDown(Exception):
+    """Transport-level failure talking to one node (connection/timeout)."""
+
+    def __init__(self, addr: str, cause: BaseException) -> None:
+        super().__init__(f"node {addr} unreachable: {cause}")
+        self.addr = addr
+
+
+async def _http_request(
+    addr: str, method: str, path: str, payload=None, *, timeout: float = 30.0
+):
+    """One stdlib-asyncio HTTP/1.1 request to ``host:port``; JSON in/out.
+
+    One connection per request (``Connection: close``) — the router's
+    traffic is low-rate control-plane plus streaming chunks, where the
+    simplicity beats pooling. Any transport failure raises
+    :class:`_NodeDown` so callers can treat "cannot talk to the node" as
+    one condition, distinct from an HTTP error the node itself produced.
+    """
+    host, _, port = addr.rpartition(":")
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host or "127.0.0.1", int(port)), timeout
+        )
+    except (OSError, asyncio.TimeoutError, ValueError) as error:
+        raise _NodeDown(addr, error) from error
+    try:
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {addr}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+        async def _read_response():
+            status_line = await reader.readline()
+            if not status_line:
+                raise ConnectionResetError("empty response")
+            status = int(status_line.split()[1])
+            length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    length = int(value)
+            data = await reader.readexactly(length) if length else b""
+            return status, json.loads(data) if data else None
+
+        return await asyncio.wait_for(_read_response(), timeout)
+    except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError) as error:
+        raise _NodeDown(addr, error) from error
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:  # pragma: no cover — peer already gone
+            pass
+
+
+class SessionRouter:
+    """Place, proxy, recover, and migrate sessions across serve nodes."""
+
+    def __init__(
+        self,
+        nodes: list[str],
+        *,
+        tenant_quota: int | None = None,
+        replicas: int = DEFAULT_REPLICAS,
+        request_timeout: float = 30.0,
+    ) -> None:
+        self.ring = HashRing(nodes, replicas=replicas)
+        self.nodes = self.ring.nodes
+        if tenant_quota is not None:
+            tenant_quota = int(tenant_quota)
+            if tenant_quota < 1:
+                raise ValueError(f"tenant_quota must be positive, got {tenant_quota}")
+        self.tenant_quota = tenant_quota
+        self.request_timeout = float(request_timeout)
+        self.alive: dict[str, bool] = {node: True for node in self.nodes}
+        #: session -> node currently hosting it.
+        self._placements: dict[str, str] = {}
+        #: session -> original create config (recreate-without-snapshot path).
+        self._configs: dict[str, dict] = {}
+        #: session -> [(absolute start offset, values)] past the last
+        #: checkpoint the owning node reported.
+        self._tails: dict[str, list[tuple[int, list]]] = {}
+        self._locks: dict[str, asyncio.Lock] = {}
+        self._rr = itertools.count()
+        self.proxied = 0
+        self.recoveries = 0
+        self.migrations = 0
+
+    # ------------------------------------------------------------------
+    # Plumbing.
+    # ------------------------------------------------------------------
+
+    def _lock(self, name: str) -> asyncio.Lock:
+        lock = self._locks.get(name)
+        if lock is None:
+            lock = self._locks[name] = asyncio.Lock()
+        return lock
+
+    async def _call(self, addr: str, method: str, path: str, payload=None, *, timeout=None):
+        self.proxied += 1
+        return await _http_request(
+            addr, method, path, payload, timeout=timeout or self.request_timeout
+        )
+
+    def _forget(self, name: str) -> None:
+        self._placements.pop(name, None)
+        self._configs.pop(name, None)
+        self._tails.pop(name, None)
+        self._locks.pop(name, None)
+
+    def _prune_tail(self, name: str, snapshotted_length) -> None:
+        """Drop tail chunks a node-side checkpoint now fully covers."""
+        if not snapshotted_length:
+            return
+        tail = self._tails.get(name)
+        if tail:
+            self._tails[name] = [
+                chunk for chunk in tail if chunk[0] + len(chunk[1]) > snapshotted_length
+            ]
+
+    def tail_points(self, name: str) -> int:
+        """Buffered points awaiting a covering checkpoint (tests/stats)."""
+        return sum(len(values) for _start, values in self._tails.get(name, []))
+
+    # ------------------------------------------------------------------
+    # Session control plane.
+    # ------------------------------------------------------------------
+
+    async def create(self, payload: dict):
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise BadRequest("missing required string field 'name'")
+        if self.tenant_quota is not None:
+            tenant = tenant_of(name)
+            held = sum(1 for other in self._placements if tenant_of(other) == tenant)
+            if held >= self.tenant_quota and name not in self._placements:
+                raise TenantQuotaExceeded(
+                    f"tenant {tenant!r} already holds {held} of "
+                    f"{self.tenant_quota} allowed sessions"
+                )
+        async with self._lock(name):
+            for addr in self.ring.preference(name):
+                if not self.alive.get(addr, False):
+                    continue
+                try:
+                    status, body = await self._call(addr, "POST", "/v1/sessions", payload)
+                except _NodeDown:
+                    self.alive[addr] = False
+                    continue
+                if status == 200:
+                    self._placements[name] = addr
+                    self._configs[name] = {
+                        key: value for key, value in payload.items() if key != "name"
+                    }
+                    self._tails[name] = []
+                return status, body
+        raise NodeUnavailable(f"no serve node reachable to create session {name!r}")
+
+    async def close(self, name: str, query: dict):
+        async with self._lock(name):
+            addr = self._require_placed(name)
+            suffix = ""
+            if query:
+                suffix = "?" + "&".join(f"{key}={value}" for key, value in query.items())
+            try:
+                status, body = await self._call(
+                    addr, "DELETE", f"/v1/sessions/{name}{suffix}"
+                )
+            except _NodeDown:
+                # The node is gone and so is the session; drop our records.
+                self.alive[addr] = False
+                status, body = 200, {"closed": {"name": name, "node_lost": True}}
+        if status in (200, 404, 410):
+            # Closed — or the node already dropped it (evicted); either
+            # way the router must not keep routing the name.
+            self._forget(name)
+        return status, body
+
+    async def forward(self, name: str, method: str, path: str, payload=None):
+        """Proxy one session-scoped request, recovering placement on failure."""
+        async with self._lock(name):
+            return await self._forward_locked(name, method, path, payload)
+
+    async def _forward_locked(self, name: str, method: str, path: str, payload=None):
+        addr = self._require_placed(name)
+        try:
+            status, body = await self._call(addr, method, path, payload)
+        except _NodeDown:
+            self.alive[addr] = False
+            await self._recover_locked(name)
+            replacement = self._placements[name]
+            try:
+                status, body = await self._call(replacement, method, path, payload)
+            except _NodeDown as error:
+                self.alive[replacement] = False
+                raise NodeUnavailable(
+                    f"replacement node {replacement} for session {name!r} "
+                    "died before answering"
+                ) from error
+        return status, body
+
+    async def append(self, name: str, payload: dict):
+        values = payload.get("values")
+        if not isinstance(values, list) or not values:
+            raise BadRequest("'values' must be a non-empty list of numbers")
+        async with self._lock(name):
+            status, body = await self._forward_locked(
+                name, "POST", f"/v1/sessions/{name}/append", payload
+            )
+            if status == 200:
+                # Buffer the chunk at its absolute offset until a node
+                # checkpoint covers it; these are the points recovery
+                # replays on a surviving node.
+                start = int(body["length"]) - int(body["appended"])
+                self._tails.setdefault(name, []).append((start, list(values)))
+                self._prune_tail(name, body.get("snapshotted_length"))
+            return status, body
+
+    def _require_placed(self, name: str) -> str:
+        addr = self._placements.get(name)
+        if addr is None:
+            raise SessionNotFound(f"no routed session named {name!r}")
+        return addr
+
+    # ------------------------------------------------------------------
+    # Recovery and migration.
+    # ------------------------------------------------------------------
+
+    async def recover(self, name: str):
+        """Re-place a session after its node died; returns the new info."""
+        async with self._lock(name):
+            if name not in self._placements:
+                raise SessionNotFound(f"no routed session named {name!r}")
+            await self._recover_locked(name)
+            return 200, {
+                "name": name,
+                "node": self._placements[name],
+                "recoveries": self.recoveries,
+            }
+
+    async def _recover_locked(self, name: str) -> None:
+        """Restore ``name`` on the best surviving node and replay its tail."""
+        self.recoveries += 1
+        dead_home = self._placements.get(name)
+        for addr in self.ring.preference(name):
+            if addr == dead_home or not self.alive.get(addr, False):
+                continue
+            try:
+                restored = await self._restore_on(name, addr)
+            except _NodeDown:
+                self.alive[addr] = False
+                continue
+            if restored is None:
+                continue
+            self._placements[name] = addr
+            await self._replay_tail(name, addr, restored)
+            return
+        raise NodeUnavailable(f"no surviving node can host session {name!r}")
+
+    async def _restore_on(self, name: str, addr: str) -> int | None:
+        """Restore (or recreate) ``name`` on ``addr``; returns its length.
+
+        ``None`` means this node cannot host the session (unexpected
+        refusal) — the caller tries the next preference. A node without a
+        matching snapshot falls back to recreating from the recorded
+        create config and replaying the full tail.
+        """
+        status, body = await self._call(addr, "POST", f"/v1/sessions/{name}/restore")
+        if status == 200:
+            return int(body["length"])
+        if status in (400, 404) and name in self._configs:
+            # No snapshot (or no store on that node): recreate from the
+            # original config; the tail holds the full stream in this mode.
+            status, body = await self._call(
+                addr, "POST", "/v1/sessions", {"name": name, **self._configs[name]}
+            )
+            if status == 200:
+                return 0
+        return None
+
+    async def _replay_tail(self, name: str, addr: str, restored_length: int) -> None:
+        """Re-append every buffered point past the restored length."""
+        for start, values in sorted(self._tails.get(name, [])):
+            if start + len(values) <= restored_length:
+                continue
+            chunk = values[max(0, restored_length - start) :]
+            status, body = await self._call(
+                addr, "POST", f"/v1/sessions/{name}/append", {"values": chunk}
+            )
+            if status != 200:
+                raise NodeUnavailable(
+                    f"replaying session {name!r} on {addr} failed with {status}: {body}"
+                )
+            self._prune_tail(name, body.get("snapshotted_length"))
+
+    async def migrate(self, name: str, payload) -> tuple[int, dict]:
+        """Move a live session to an explicit target node."""
+        payload = payload if isinstance(payload, dict) else {}
+        target = payload.get("target")
+        if not isinstance(target, str) or target not in self.alive:
+            raise BadRequest(
+                f"'target' must name a configured node, one of {self.nodes}"
+            )
+        async with self._lock(name):
+            source = self._require_placed(name)
+            if source == target:
+                return 200, {"name": name, "node": target, "migrated": False}
+            # Checkpoint on the source when it can, then close keeping the
+            # snapshots — the restore on the target picks them up.
+            snapshotted = False
+            try:
+                status, _body = await self._call(
+                    addr=source, method="POST", path=f"/v1/sessions/{name}/snapshot"
+                )
+                snapshotted = status == 200
+                await self._call(
+                    source, "DELETE", f"/v1/sessions/{name}?keep_snapshots=1&reason=migrated"
+                )
+            except _NodeDown:
+                # Source died mid-migration: recovery semantics take over.
+                self.alive[source] = False
+            restored = await self._restore_on(name, target)
+            if restored is None:
+                raise NodeUnavailable(
+                    f"target node {target} refused session {name!r} "
+                    f"(snapshotted={snapshotted})"
+                )
+            self._placements[name] = target
+            await self._replay_tail(name, target, restored)
+            self.migrations += 1
+            return 200, {"name": name, "node": target, "migrated": True}
+
+    # ------------------------------------------------------------------
+    # Stateless proxying (one-shot detects).
+    # ------------------------------------------------------------------
+
+    async def proxy_detect(self, path: str, payload):
+        """Round-robin a one-shot request over the surviving nodes."""
+        for _attempt in range(2 * len(self.nodes)):
+            addr = self.nodes[next(self._rr) % len(self.nodes)]
+            if not self.alive.get(addr, False):
+                continue
+            try:
+                return await self._call(addr, "POST", path, payload)
+            except _NodeDown:
+                self.alive[addr] = False
+        raise NodeUnavailable("no serve node reachable for detection")
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    async def nodes_info(self) -> dict:
+        """Probe every node (reviving recovered ones) and describe the fleet."""
+        documents = []
+        for addr in self.nodes:
+            try:
+                status, _body = await self._call(
+                    addr, "GET", "/v1/healthz", timeout=PROBE_TIMEOUT
+                )
+                self.alive[addr] = status == 200
+            except _NodeDown:
+                self.alive[addr] = False
+            documents.append(
+                {
+                    "node": addr,
+                    "role": "serve",
+                    "alive": self.alive[addr],
+                    "sessions": sum(
+                        1 for node in self._placements.values() if node == addr
+                    ),
+                }
+            )
+        return {"nodes": documents}
+
+    def stats(self) -> dict:
+        return {
+            "role": "router",
+            "nodes": dict(self.alive),
+            "sessions": len(self._placements),
+            "placements": dict(self._placements),
+            "tenant_quota": self.tenant_quota,
+            "proxied": self.proxied,
+            "recoveries": self.recoveries,
+            "migrations": self.migrations,
+            "tail_points": sum(self.tail_points(name) for name in self._tails),
+        }
+
+
+class RouterHTTPServer(BaseHTTPServer):
+    """HTTP front end exposing the ``/v1`` surface backed by a router."""
+
+    def __init__(
+        self, router: SessionRouter, host: str = "127.0.0.1", port: int = 8766
+    ) -> None:
+        super().__init__(host, port)
+        self.router = router
+
+    def _route(self, method: str, path: str) -> tuple[Callable, tuple, bool]:
+        path, deprecated = self._split_version(path)
+        segments = [segment for segment in path.split("/") if segment]
+        if path == "/healthz" and method == "GET":
+            return self._handle_healthz, (), deprecated
+        if path == "/stats" and method == "GET":
+            return self._handle_stats, (), deprecated
+        if path == "/nodes" and method == "GET":
+            return self._handle_nodes, (), deprecated
+        if path in ("/detect", "/detect_batch") and method == "POST":
+            return self._handle_detect, (f"/v1{path}",), deprecated
+        if path == "/sessions":
+            if method == "POST":
+                return self._handle_session_create, (), deprecated
+            raise _MethodNotAllowed()
+        if len(segments) == 2 and segments[0] == "sessions":
+            name = segments[1]
+            if method == "DELETE":
+                return self._handle_session_close, (name,), deprecated
+            if method == "GET":
+                return self._handle_forward, (name, "GET", f"/v1/sessions/{name}"), deprecated
+            raise _MethodNotAllowed()
+        if len(segments) == 3 and segments[0] == "sessions":
+            name, action = segments[1], segments[2]
+            if action == "append" and method == "POST":
+                return self._handle_append, (name,), deprecated
+            if action in ("anomalies", "poll") and method in ("GET", "POST"):
+                return self._handle_poll, (name, action), deprecated
+            if action == "snapshot" and method == "POST":
+                return (
+                    self._handle_forward,
+                    (name, "POST", f"/v1/sessions/{name}/snapshot"),
+                    deprecated,
+                )
+            if action == "restore" and method == "POST":
+                return self._handle_restore, (name,), deprecated
+            if action == "migrate" and method == "POST":
+                return self._handle_migrate, (name,), deprecated
+        raise _NotFound(method, path)
+
+    # ------------------------------------------------------------------
+    # Handlers (thin shims over the router; bodies pass through verbatim).
+    # ------------------------------------------------------------------
+
+    async def _handle_healthz(self, payload, query) -> tuple[int, dict]:
+        return 200, {"status": "ok", "role": "router"}
+
+    async def _handle_stats(self, payload, query) -> tuple[int, dict]:
+        return 200, self.router.stats()
+
+    async def _handle_nodes(self, payload, query) -> tuple[int, dict]:
+        return 200, await self.router.nodes_info()
+
+    async def _handle_detect(self, payload, query, path: str) -> tuple[int, dict]:
+        return await self.router.proxy_detect(path, self._require_object(payload))
+
+    async def _handle_session_create(self, payload, query) -> tuple[int, dict]:
+        return await self.router.create(self._require_object(payload))
+
+    async def _handle_session_close(self, payload, query, name: str) -> tuple[int, dict]:
+        return await self.router.close(name, query)
+
+    async def _handle_forward(
+        self, payload, query, name: str, method: str, path: str
+    ) -> tuple[int, dict]:
+        return await self.router.forward(name, method, path, payload)
+
+    async def _handle_append(self, payload, query, name: str) -> tuple[int, dict]:
+        return await self.router.append(name, self._require_object(payload))
+
+    async def _handle_poll(self, payload, query, name: str, action: str) -> tuple[int, dict]:
+        k = None
+        if isinstance(payload, dict) and "k" in payload:
+            k = payload["k"]
+        elif "k" in query:
+            k = query["k"]
+        suffix = f"?k={int(k)}" if k is not None else ""
+        return await self.router.forward(
+            name, "GET", f"/v1/sessions/{name}/anomalies{suffix}"
+        )
+
+    async def _handle_restore(self, payload, query, name: str) -> tuple[int, dict]:
+        return await self.router.recover(name)
+
+    async def _handle_migrate(self, payload, query, name: str) -> tuple[int, dict]:
+        return await self.router.migrate(name, payload)
+
+
+async def serve_router(
+    router: SessionRouter,
+    host: str = "127.0.0.1",
+    port: int = 8766,
+    *,
+    ready: Callable[[RouterHTTPServer], None] | None = None,
+) -> None:
+    """Run the router front end until SIGTERM/SIGINT, then shut down."""
+    server = RouterHTTPServer(router, host, port)
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    registered: list[signal.Signals] = []
+    for signame in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signame, stop.set)
+            registered.append(signame)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover — non-Unix
+            pass
+    try:
+        if ready is not None:
+            ready(server)
+        await stop.wait()
+    finally:
+        for signame in registered:
+            loop.remove_signal_handler(signame)
+        await server.aclose()
