@@ -1,11 +1,13 @@
 """``repro bench`` command logic (argument plumbing lives in repro.cli).
 
-One entry point, four modes:
+One entry point, five modes:
 
 - **run** (default): execute the selected matrix cells (tier 1 unless
   ``--tier`` says otherwise), write ``bench_matrix.ndjson`` plus
   ``bench_matrix_summary.json`` under ``--output``.
 - **--list**: print the selected cells and their metrics, run nothing.
+- **--history DIR**: print a per-metric trend table from the archived
+  NDJSON artifacts under DIR (see :mod:`runner.history`), run nothing.
 - **--compare DIR**: run, then gate against the per-metric baselines in
   DIR; exit 1 on a statistically significant regression (unless
   ``REPRO_BENCH_STRICT=0`` — see :mod:`runner.compare`).
@@ -128,6 +130,11 @@ def run_cells(cells: list[MatrixCell], *, warmup: int | None, repeats: int | Non
 
 def run_bench(args, bench_dir: Path) -> int:
     """The ``repro bench`` handler body; returns the process exit code."""
+    if getattr(args, "history", None):
+        from runner.history import history_report
+
+        print(history_report(args.history))
+        return 0
     matrix_path = Path(args.matrix) if args.matrix else bench_dir / "bench_matrix.toml"
     matrix = load_matrix(matrix_path)
     cells = _select_cells(matrix, args)

@@ -1,0 +1,83 @@
+"""Trend report over archived bench runs (``repro bench --history DIR``).
+
+CI uploads ``bench_matrix.ndjson`` with every run; pointing ``--history``
+at a directory of downloaded artifacts (any nesting — the scan is
+recursive) turns them into one per-metric drift table: runs seen, first
+and latest medians, the relative drift between them, and a sparkline of
+the median across runs in ``created`` order. It reads exactly the records
+:func:`runner.schema.read_ndjson` validates, so baselines and one-off
+``--output`` directories work as history sources too.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.utils.sparkline import sparkline
+from runner.schema import BenchRecord, read_ndjson
+
+#: Sparkline width for the trend column (kept short: one table cell).
+TREND_WIDTH = 16
+
+
+def load_history(history_dir: str | Path) -> dict[str, list[BenchRecord]]:
+    """All records under ``history_dir``, grouped by metric id.
+
+    Every ``*.ndjson`` file in the tree is parsed; each metric's records
+    are sorted by ``created`` (ties broken by file order, which
+    ``sorted``'s stability preserves). A directory with no parseable
+    records raises — a typo'd path should not print an empty report.
+    """
+    history_dir = Path(history_dir)
+    if not history_dir.is_dir():
+        raise ValueError(f"--history: {history_dir} is not a directory")
+    by_metric: dict[str, list[BenchRecord]] = {}
+    files = sorted(history_dir.rglob("*.ndjson"))
+    for path in files:
+        for record in read_ndjson(path):
+            by_metric.setdefault(record.metric, []).append(record)
+    if not by_metric:
+        raise ValueError(f"--history: no bench records in *.ndjson under {history_dir}")
+    for records in by_metric.values():
+        records.sort(key=lambda record: record.created)
+    return by_metric
+
+
+def _drift(first: float, last: float) -> str:
+    if first == 0:
+        return "n/a"
+    return f"{(last - first) / first * 100.0:+.1f}%"
+
+
+def history_rows(by_metric: dict[str, list[BenchRecord]]) -> list[list[str]]:
+    """One table row per metric: runs, first/last medians, drift, trend."""
+    rows = []
+    for metric in sorted(by_metric):
+        records = by_metric[metric]
+        values = [record.value for record in records]
+        trend = sparkline(values, width=min(TREND_WIDTH, len(values)))
+        rows.append(
+            [
+                metric,
+                records[-1].unit,
+                str(len(records)),
+                f"{values[0]:.4g}",
+                f"{values[-1]:.4g}",
+                _drift(values[0], values[-1]),
+                trend,
+            ]
+        )
+    return rows
+
+
+def history_report(history_dir: str | Path) -> str:
+    """The rendered trend table for ``repro bench --history DIR``."""
+    from repro.evaluation.tables import format_table
+
+    by_metric = load_history(history_dir)
+    runs = max(len(records) for records in by_metric.values())
+    return format_table(
+        ["metric", "unit", "runs", "first", "latest", "drift", "trend"],
+        history_rows(by_metric),
+        title=f"bench history: {len(by_metric)} metric(s), up to {runs} run(s) each",
+    )

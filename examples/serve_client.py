@@ -11,7 +11,11 @@ instead), then uses :class:`repro.service.ServiceClient`:
    ``/v1/sessions/{name}/anomalies`` between chunks — the multi-tenant
    path — then checkpoints it to the snapshot store, closes it, and
    restores it to show the durability round trip;
-4. prints the batcher/cache counters and shuts the server down cleanly.
+4. prints the batcher/cache counters plus a slice of ``/v1/metrics``, and
+   shuts the server down cleanly.
+
+Every request is tagged with one pinned ``X-Request-Id`` (printed at
+startup), so the whole run can be grepped out of the server's logs.
 
 Run: ``PYTHONPATH=src python examples/serve_client.py``
 """
@@ -31,6 +35,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import new_request_id
 from repro.service import ServiceClient, ServiceClientError
 
 WINDOW = 60
@@ -82,7 +87,9 @@ def main() -> int:
     else:
         process, url = start_server(snapshots.name)
         print(f"spawned server at {url}")
-    client = ServiceClient(url)
+    trace_id = f"serve-client-{new_request_id()}"
+    print(f"request id for this run: {trace_id}")
+    client = ServiceClient(url, request_id=trace_id)
 
     try:
         # -- 1. concurrent one-shot requests (micro-batched together) -----
@@ -141,6 +148,14 @@ def main() -> int:
             f"(mean batch {batcher['mean_batch_size']:.1f}); "
             f"cache {cache['hits']} hits / {cache['misses']} misses"
         )
+        scrape = client.metrics()
+        requests_total = [
+            line for line in scrape.splitlines()
+            if line.startswith("repro_http_requests_total")
+        ]
+        print("metrics (request counts by path):")
+        for line in requests_total:
+            print(f"  {line}")
     finally:
         if process is not None:
             process.send_signal(signal.SIGTERM)

@@ -565,6 +565,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _setup_cli_logging(args: argparse.Namespace) -> None:
+    from repro.obs import setup_logging
+
+    setup_logging(log_format=args.log_format, level=args.log_level)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     # Imported here: the serving stack (asyncio, sessions, HTTP) is only
     # needed by this command.
@@ -574,6 +580,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.http import serve
     from repro.service.snapshot import LocalSnapshotStore
 
+    _setup_cli_logging(args)
     if args.batch_window_ms < 0:
         raise ValueError(f"batch-window-ms must be non-negative, got {args.batch_window_ms}")
     memory_budget = (
@@ -616,7 +623,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 flush=True,
             )
 
-        await serve(service, args.host, args.port, ready=_ready)
+        await serve(
+            service,
+            args.host,
+            args.port,
+            ready=_ready,
+            slow_request_ms=args.slow_request_ms,
+        )
         print("serve: shut down cleanly", flush=True)
 
     # The executor is built (and torn down) here rather than inside the
@@ -638,6 +651,7 @@ def _cmd_router(args: argparse.Namespace) -> int:
 
     from repro.service.router import SessionRouter, serve_router
 
+    _setup_cli_logging(args)
     nodes = [node.strip() for node in args.nodes.split(",") if node.strip()]
     if not nodes:
         raise ValueError("--nodes must list at least one host:port serve node")
@@ -653,7 +667,13 @@ def _cmd_router(args: argparse.Namespace) -> int:
             print(f"routing on http://{server.host}:{server.port}", flush=True)
             print(f"nodes: {', '.join(nodes)}", flush=True)
 
-        await serve_router(router, args.host, args.port, ready=_ready)
+        await serve_router(
+            router,
+            args.host,
+            args.port,
+            ready=_ready,
+            slow_request_ms=args.slow_request_ms,
+        )
         print("router: shut down cleanly", flush=True)
 
     try:
@@ -701,12 +721,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
+    _setup_cli_logging(args)
     return run_worker(
         args.connect,
         authkey=args.authkey,
         name=args.name,
         heartbeat=args.heartbeat,
         connect_retry=args.connect_retry,
+    )
+
+
+def _add_logging_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-format",
+        choices=("text", "json"),
+        default="text",
+        help="log line format: human-readable text (default) or one JSON object per line",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="minimum level written to stderr (default info)",
+    )
+
+
+def _add_slow_request_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--slow-request-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "log requests slower than MS milliseconds at WARNING (default "
+            "$REPRO_SLOW_REQUEST_MS, then 1000)"
+        ),
     )
 
 
@@ -896,6 +945,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stable node name reported under GET /v1/nodes (default 'node')",
     )
+    _add_logging_options(serve)
+    _add_slow_request_option(serve)
     _add_executor_options(serve)
     serve.set_defaults(handler=_cmd_serve)
 
@@ -929,6 +980,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="per-proxied-request deadline in seconds (default 30)",
     )
+    _add_logging_options(router)
+    _add_slow_request_option(router)
     router.set_defaults(handler=_cmd_router)
 
     worker = commands.add_parser(
@@ -964,6 +1017,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=10.0,
         help="seconds to keep retrying the initial connection (default 10)",
     )
+    _add_logging_options(worker)
     worker.set_defaults(handler=_cmd_worker)
 
     bench = commands.add_parser(
@@ -1020,6 +1074,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="artifact directory for the NDJSON + summary (default: benchmarks/results)",
+    )
+    bench.add_argument(
+        "--history",
+        metavar="DIR",
+        default=None,
+        help=(
+            "print a trend report from the bench_matrix.ndjson files under "
+            "DIR (recursively); run nothing"
+        ),
     )
     bench.add_argument(
         "--repeats", type=int, default=None, help="override every cell's repeat count"

@@ -89,6 +89,10 @@ from repro.core.executors import (
     SeriesHandle,
     _as_series_1d,
 )
+from repro.obs.context import bind_request_id, get_request_id
+from repro.obs.logging import get_logger
+
+_log = get_logger("core.cluster")
 
 __all__ = [
     "ClusterError",
@@ -255,13 +259,32 @@ def _scan_digests(obj: Any, found: set[str]) -> None:
 class _Task:
     """One dispatched unit of work and its retry bookkeeping."""
 
-    __slots__ = ("task_id", "fn", "payload", "digests", "excluded", "attempts", "cancelled")
+    __slots__ = (
+        "task_id",
+        "fn",
+        "payload",
+        "digests",
+        "excluded",
+        "attempts",
+        "cancelled",
+        "request_id",
+    )
 
-    def __init__(self, task_id: int, fn: Callable, payload: Any, digests: frozenset[str]) -> None:
+    def __init__(
+        self,
+        task_id: int,
+        fn: Callable,
+        payload: Any,
+        digests: frozenset[str],
+        request_id: str | None = None,
+    ) -> None:
         self.task_id = task_id
         self.fn = fn
         self.payload = payload
         self.digests = digests
+        #: Correlation id of the serving request that caused this task
+        #: (rides the wire envelope so worker-side log lines name it).
+        self.request_id = request_id
         #: Worker ids this task must not be leased to again (lost mid-task).
         self.excluded: set[str] = set()
         #: Times this task has been leased (first lease counts as 1).
@@ -481,7 +504,9 @@ class _SchedulerState:
                     raise ClusterError(
                         f"payload references unpublished series blob {digest[:12]}…"
                     )
-            task = _Task(next(self._task_ids), fn, payload, frozenset(digests))
+            task = _Task(
+                next(self._task_ids), fn, payload, frozenset(digests), get_request_id()
+            )
             self._tasks[task.task_id] = task
             self._pending.append(task)
             self.tasks_submitted += 1
@@ -835,7 +860,7 @@ class ClusterExecutor(MemberExecutor):
                     # connection or killing the worker.
                     try:
                         body = pickle.dumps(
-                            (task.fn, task.payload, blobs, forget),
+                            (task.fn, task.payload, blobs, forget, task.request_id),
                             protocol=pickle.HIGHEST_PROTOCOL,
                         )
                     except Exception as error:
@@ -1095,7 +1120,7 @@ def run_worker(
                 continue
             _, task_id, body = message
             try:
-                fn, payload, blobs, forget = pickle.loads(body)
+                fn, payload, blobs, forget, request_id = pickle.loads(body)
             except Exception as error:
                 # An unimportable task function (e.g. defined in the
                 # client's __main__) fails its task, not this worker.
@@ -1114,10 +1139,20 @@ def run_worker(
             for digest in forget:
                 _WORKER_BLOBS.pop(digest, None)
             _WORKER_BLOBS.update(blobs)
-            try:
-                value, ok = fn(payload), True
-            except Exception as error:
-                value, ok = error, False
+            started = time.perf_counter()
+            with bind_request_id(request_id):
+                try:
+                    value, ok = fn(payload), True
+                except Exception as error:
+                    value, ok = error, False
+                _log.info(
+                    "task %d %s in %.1f ms (request %s)",
+                    task_id,
+                    "completed" if ok else "failed",
+                    (time.perf_counter() - started) * 1000.0,
+                    request_id or "-",
+                    extra={"task_id": task_id, "ok": ok},
+                )
             try:
                 _send(("result", task_id, ok, value))
             except (OSError, EOFError):

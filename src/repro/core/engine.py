@@ -67,6 +67,7 @@ from repro.core.multiresolution import MultiResolutionDiscretizer
 from repro.grammar import _kernel
 from repro.grammar.density import density_curve_from_token_spans, rule_density_curve
 from repro.grammar.sequitur import induce_grammar
+from repro.obs.stages import stage_timer
 from repro.sax.paa import sliding_paa_rows
 from repro.sax.znorm import DEFAULT_ZNORM_THRESHOLD
 from repro.utils.rng import spawn_rngs
@@ -517,18 +518,24 @@ def _member_curve(
     """
     kernel = _kernel.current_kernel()
     if kernel == "python" or discretizer.numerosity != "exact":
-        tokens = discretizer.tokens(paa_size, alphabet_size)
-        grammar = induce_grammar(tokens.words)
-        return rule_density_curve(grammar, tokens, series_length)
-    token_ids = discretizer.token_ids(paa_size, alphabet_size)
+        with stage_timer("discretize"):
+            tokens = discretizer.tokens(paa_size, alphabet_size)
+        with stage_timer("grammar"):
+            grammar = induce_grammar(tokens.words)
+        with stage_timer("density"):
+            return rule_density_curve(grammar, tokens, series_length)
+    with stage_timer("discretize"):
+        token_ids = discretizer.token_ids(paa_size, alphabet_size)
     if not len(token_ids):
         raise ValueError("cannot induce a grammar from an empty token sequence")
-    builder = _kernel.make_builder(kernel)
-    builder.feed_many(token_ids.ids)
-    firsts, lasts = builder.occurrence_spans()
-    return density_curve_from_token_spans(
-        token_ids.offsets, token_ids.window, firsts, lasts, series_length
-    )
+    with stage_timer("grammar"):
+        builder = _kernel.make_builder(kernel)
+        builder.feed_many(token_ids.ids)
+        firsts, lasts = builder.occurrence_spans()
+    with stage_timer("density"):
+        return density_curve_from_token_spans(
+            token_ids.offsets, token_ids.window, firsts, lasts, series_length
+        )
 
 
 def _member_curves_task(payload) -> list[tuple[int, np.ndarray]]:

@@ -28,6 +28,7 @@ from repro.core.combiners import COMBINERS, combine_curves
 from repro.core.engine import compute_member_curves, detect_batch, iter_detect_batch
 from repro.core.executors import ExecutorOwnerMixin, MemberExecutor
 from repro.core.selection import curve_std, normalize_curve, select_by_std
+from repro.obs.stages import stage_timer
 from repro.sax.znorm import DEFAULT_ZNORM_THRESHOLD
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import (
@@ -215,16 +216,17 @@ class EnsembleGrammarDetector(ExecutorOwnerMixin):
             n_jobs=self.n_jobs,
             executor=self.executor,
         )
-        stds = tuple(curve_std(curve) for curve in curves)
-        if self.select_members:
-            kept = tuple(select_by_std(curves, self.selectivity))
-        else:
-            kept = tuple(range(len(curves)))
-        if self.normalize_members:
-            survivors = [normalize_curve(curves[i]) for i in kept]
-        else:
-            survivors = [curves[i] for i in kept]
-        ensemble_curve = combine_curves(survivors, self.combiner)
+        with stage_timer("combine"):
+            stds = tuple(curve_std(curve) for curve in curves)
+            if self.select_members:
+                kept = tuple(select_by_std(curves, self.selectivity))
+            else:
+                kept = tuple(range(len(curves)))
+            if self.normalize_members:
+                survivors = [normalize_curve(curves[i]) for i in kept]
+            else:
+                survivors = [curves[i] for i in kept]
+            ensemble_curve = combine_curves(survivors, self.combiner)
         return EnsembleReport(
             curve=ensemble_curve,
             parameters=tuple(parameters),

@@ -65,6 +65,7 @@ from repro.core.selection import normalize_curve, select_by_std
 from repro.grammar import _kernel
 from repro.grammar.density import density_curve_from_token_spans, rule_density_curve
 from repro.grammar.sequitur import GenerationalSequitur, _SequiturBuilder, induce_grammar
+from repro.obs.stages import stage_timer
 from repro.sax.alphabet import WordInterner
 from repro.sax.breakpoints import MultiResolutionAlphabet, gaussian_breakpoints
 from repro.sax.numerosity import STRATEGIES, TokenSequence, kept_window_mask
@@ -324,11 +325,14 @@ class StreamingGrammarDetector:
         n_windows = self.state.n_windows(self.window)
         while self._consumed < n_windows:
             stop = min(self._consumed + _DRAIN_BLOCK, n_windows)
-            rows = self.state.paa_rows(
-                self._consumed, self.window, self.paa_size, self.znorm_threshold, stop=stop
-            )
-            symbols = np.searchsorted(self._breakpoints, rows, side="right")
-            self._ingest_symbols(symbols, self._consumed)
+            with stage_timer("paa"):
+                rows = self.state.paa_rows(
+                    self._consumed, self.window, self.paa_size, self.znorm_threshold, stop=stop
+                )
+            with stage_timer("discretize"):
+                symbols = np.searchsorted(self._breakpoints, rows, side="right")
+            with stage_timer("grammar"):
+                self._ingest_symbols(symbols, self._consumed)
 
     def _evict(self) -> None:
         """Advance the retention horizon and forget what slid out."""
@@ -590,7 +594,8 @@ class StreamingGrammarDetector:
         version = self.state.version
         if self._curve_cache is not None and self._curve_cache[0] == version:
             return self._curve_cache[1]
-        curve = self._compute_density_curve()
+        with stage_timer("density"):
+            curve = self._compute_density_curve()
         self._curve_cache = (version, curve)
         return curve
 
@@ -908,13 +913,18 @@ class StreamingEnsembleDetector(ExecutorOwnerMixin):
             first = members[0]._consumed
             while first < n_windows:
                 stop = min(first + _DRAIN_BLOCK, n_windows)
-                rows = self.state.paa_rows(
-                    first, self.window, paa_size, self.znorm_threshold, stop=stop
-                )
-                intervals = self._alphabet_table.interval_indices(rows)
-                for member in members:
-                    symbols = self._alphabet_table.symbols_for(intervals, member.alphabet_size)
-                    member._ingest_symbols(symbols, first)
+                with stage_timer("paa"):
+                    rows = self.state.paa_rows(
+                        first, self.window, paa_size, self.znorm_threshold, stop=stop
+                    )
+                with stage_timer("discretize"):
+                    intervals = self._alphabet_table.interval_indices(rows)
+                with stage_timer("grammar"):
+                    for member in members:
+                        symbols = self._alphabet_table.symbols_for(
+                            intervals, member.alphabet_size
+                        )
+                        member._ingest_symbols(symbols, first)
                 first = stop
         if self.state.capacity is not None:
             start = self.state.trim()
@@ -1106,9 +1116,10 @@ class StreamingEnsembleDetector(ExecutorOwnerMixin):
         if self._curve_cache is not None and self._curve_cache[0] == version:
             return self._curve_cache[1]
         curves = self._snapshot_curves()
-        kept = select_by_std(curves, self.selectivity)
-        survivors = [normalize_curve(curves[i]) for i in kept]
-        curve = combine_curves(survivors, self.combiner)
+        with stage_timer("combine"):
+            kept = select_by_std(curves, self.selectivity)
+            survivors = [normalize_curve(curves[i]) for i in kept]
+            curve = combine_curves(survivors, self.combiner)
         self._curve_cache = (version, curve)
         return curve
 

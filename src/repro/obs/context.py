@@ -1,0 +1,55 @@
+"""Request correlation ids, carried via :mod:`contextvars`.
+
+The id is minted at the HTTP edge (honoring an incoming ``X-Request-Id``),
+bound for the duration of the request, and read wherever a log line or a
+task envelope needs to name the request that caused it. ``contextvars``
+flow through ``asyncio`` task creation and ``asyncio.to_thread``, so the
+session append/poll path carries the id for free; the micro-batcher's
+drain task does *not* share the submitter's context, so
+:class:`~repro.service.core._DetectItem` carries the id explicitly and
+``_run_batch`` re-binds it (see :mod:`repro.service.core`).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import re
+import uuid
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["bind_request_id", "ensure_request_id", "get_request_id", "new_request_id"]
+
+_request_id: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_request_id", default=None
+)
+
+#: Accepted client-supplied ids: short, printable, header-safe.
+_VALID_ID = re.compile(r"[A-Za-z0-9._:,-]{1,128}\Z")
+
+
+def new_request_id() -> str:
+    """A fresh 16-hex-char id (collision-safe at serving scale)."""
+    return uuid.uuid4().hex[:16]
+
+
+def ensure_request_id(candidate: str | None = None) -> str:
+    """``candidate`` if it is a usable header value, else a fresh id."""
+    if candidate and _VALID_ID.match(candidate):
+        return candidate
+    return new_request_id()
+
+
+def get_request_id() -> str | None:
+    """The id bound in the current context, or ``None`` outside a request."""
+    return _request_id.get()
+
+
+@contextmanager
+def bind_request_id(request_id: str | None) -> Iterator[str | None]:
+    """Bind ``request_id`` for the ``with`` block (``None`` clears it)."""
+    token = _request_id.set(request_id)
+    try:
+        yield request_id
+    finally:
+        _request_id.reset(token)

@@ -1,0 +1,88 @@
+"""Prometheus text-format exposition (version 0.0.4) for the registry.
+
+Renders the ``# HELP``/``# TYPE`` header per family, then one line per
+sample; histogram children expand into cumulative ``_bucket{le=...}``
+series (ending at ``le="+Inf"``), plus ``_sum`` and ``_count``. Label
+values are escaped per the spec (backslash, double-quote, newline); help
+text escapes backslash and newline.
+
+The output of :func:`render` is what ``GET /v1/metrics`` returns on both
+the serve node and the router, with :data:`EXPOSITION_CONTENT_TYPE` as
+its ``Content-Type``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, _MetricFamily
+
+__all__ = ["EXPOSITION_CONTENT_TYPE", "render", "render_registry"]
+
+#: The Content-Type Prometheus scrapers expect for the text format.
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _render_family(family: _MetricFamily, lines: list[str]) -> None:
+    if family.help:
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+    lines.append(f"# TYPE {family.name} {family.kind}")
+    for labels, child in family.samples():
+        if isinstance(child, Histogram):
+            counts, total, count = child.snapshot()
+            cumulative = 0
+            for bound, bucket_count in zip(child.buckets, counts):
+                cumulative += bucket_count
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _format_value(float(bound))
+                lines.append(
+                    f"{family.name}_bucket{_labels_text(bucket_labels)} {cumulative}"
+                )
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = "+Inf"
+            lines.append(f"{family.name}_bucket{_labels_text(bucket_labels)} {count}")
+            lines.append(f"{family.name}_sum{_labels_text(labels)} {_format_value(total)}")
+            lines.append(f"{family.name}_count{_labels_text(labels)} {count}")
+        elif isinstance(child, (Counter, Gauge)):
+            lines.append(f"{family.name}{_labels_text(labels)} {_format_value(child.value)}")
+
+
+def render(families: Iterable[_MetricFamily]) -> str:
+    """The exposition text for an iterable of metric families."""
+    lines: list[str] = []
+    for family in families:
+        _render_family(family, lines)
+    return "\n".join(lines) + "\n"
+
+
+def render_registry(registry: MetricsRegistry, extra: Iterable[_MetricFamily] = ()) -> str:
+    """Registry families plus scrape-time extras (e.g. stats gauges)."""
+    return render(list(registry.collect()) + list(extra))

@@ -1,0 +1,109 @@
+"""Structured logging on stdlib ``logging``: JSON lines + request ids.
+
+:func:`setup_logging` configures the ``repro`` logger tree once per
+process (the CLI calls it from ``serve``/``router``/``worker`` with the
+``--log-format``/``--log-level`` flags). Both formats stamp every record
+with the bound request id:
+
+- ``text`` — classic one-line format with ``[request_id]``.
+- ``json`` — one JSON object per line with a fixed schema
+  (``ts``, ``level``, ``logger``, ``message``, ``request_id``) plus any
+  extras passed via ``logger.info(..., extra={...})`` and a ``traceback``
+  field when ``exc_info`` is set. Machines parse it; the CI smoke job
+  asserts the lines of one request share a ``request_id``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO
+
+from repro.obs.context import get_request_id
+
+__all__ = ["JsonFormatter", "RequestIdFilter", "get_logger", "setup_logging"]
+
+#: ``logging.LogRecord`` attributes that are plumbing, not payload.
+_RESERVED = frozenset(
+    (
+        "args", "asctime", "created", "exc_info", "exc_text", "filename",
+        "funcName", "levelname", "levelno", "lineno", "message", "module",
+        "msecs", "msg", "name", "pathname", "process", "processName",
+        "relativeCreated", "stack_info", "taskName", "thread", "threadName",
+        "request_id",
+    )
+)
+
+TEXT_FORMAT = "%(asctime)s %(levelname)s %(name)s [%(request_id)s] %(message)s"
+
+
+class RequestIdFilter(logging.Filter):
+    """Stamp every record with the context's request id (``-`` outside)."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not getattr(record, "request_id", None):
+            record.request_id = get_request_id() or "-"
+        return True
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; extras and tracebacks ride along."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        document: dict[str, object] = {
+            "ts": round(record.created, 6),
+            "iso": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(record.created))
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+            "request_id": getattr(record, "request_id", None) or get_request_id() or "-",
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key in document:
+                continue
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                document[key] = value
+            else:
+                document[key] = repr(value)
+        if record.exc_info:
+            document["traceback"] = self.formatException(record.exc_info)
+        return json.dumps(document, default=str)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child of the ``repro`` logger tree (``repro.<name>``)."""
+    return logging.getLogger(name if name.startswith("repro") else f"repro.{name}")
+
+
+def setup_logging(
+    log_format: str = "text",
+    level: str = "info",
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree; returns the root of the tree.
+
+    Idempotent: re-running replaces the handler, so tests can switch
+    format/level freely. Logs go to ``stream`` (default ``sys.stderr``)
+    and never propagate to the root logger.
+    """
+    if log_format not in ("text", "json"):
+        raise ValueError(f"--log-format must be 'text' or 'json', got {log_format!r}")
+    numeric = logging.getLevelName(level.upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.addFilter(RequestIdFilter())
+    if log_format == "json":
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(TEXT_FORMAT))
+    logger = logging.getLogger("repro")
+    for old in list(logger.handlers):
+        logger.removeHandler(old)
+    logger.addHandler(handler)
+    logger.setLevel(numeric)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,322 @@
+"""Thread-safe in-process metrics: counters, gauges, fixed-bucket histograms.
+
+One :class:`MetricsRegistry` per process (the module-level ``REGISTRY``)
+holds metric *families*; a family with label names hands out *children*
+(one per label-value tuple) via :meth:`~_MetricFamily.labels`. All updates
+take the family lock, so hammering one child from many threads loses no
+increments; ``Histogram.observe`` is O(1) via :func:`bisect.bisect_left`
+over the fixed bucket bounds.
+
+The registry is get-or-create: re-declaring a family with the same name,
+kind, and label names returns the existing object (so module import order
+does not matter), while a conflicting re-declaration raises.
+
+:func:`stats_families` adapts the serving layer's existing ``stats()``
+dicts into gauge families at scrape time — the dicts stay the single
+source of truth and nothing is counted twice.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from typing import Callable, Iterable, Mapping
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "STAGE_BUCKETS",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "stats_families",
+]
+
+#: Request-latency bounds in seconds (Prometheus' classic spread).
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Pipeline stages run in the tens of microseconds; finer low end.
+STAGE_BUCKETS = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0,
+)
+
+_METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+
+def _check_name(name: str) -> str:
+    if not _METRIC_NAME.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_labelnames(labelnames: Iterable[str]) -> tuple[str, ...]:
+    names = tuple(labelnames)
+    for label in names:
+        if not _LABEL_NAME.match(label) or label.startswith("__"):
+            raise ValueError(f"invalid label name {label!r}")
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate label names in {names!r}")
+    return names
+
+
+class _MetricFamily:
+    """Shared machinery: name/help/labels, the lock, the child map."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.labelnames = _check_labelnames(labelnames)
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], _MetricFamily] = {}
+        if not self.labelnames:
+            self._init_child()
+
+    def _init_child(self) -> None:
+        raise NotImplementedError
+
+    def _copy_config(self, child: "_MetricFamily") -> None:
+        """Copy subclass configuration (e.g. buckets) before ``_init_child``."""
+
+    def _new_child(self) -> "_MetricFamily":
+        child = type(self).__new__(type(self))
+        child.name = self.name
+        child.help = self.help
+        child.labelnames = ()
+        child._lock = self._lock
+        child._children = {}
+        self._copy_config(child)
+        child._init_child()
+        return child
+
+    def labels(self, *values: object) -> "_MetricFamily":
+        """The child for one label-value tuple (created on first use)."""
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes {len(self.labelnames)} label value(s), got {len(values)}"
+            )
+        key = tuple(str(value) for value in values)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._new_child()
+        return child
+
+    def _require_bare(self) -> None:
+        if self.labelnames:
+            raise ValueError(f"{self.name} has labels {self.labelnames}; call .labels() first")
+
+    def samples(self) -> list[tuple[dict[str, str], "_MetricFamily"]]:
+        """``(labels-dict, child)`` pairs in insertion order."""
+        if not self.labelnames:
+            return [({}, self)]
+        with self._lock:
+            items = list(self._children.items())
+        return [(dict(zip(self.labelnames, key)), child) for key, child in items]
+
+
+class Counter(_MetricFamily):
+    """A monotonically increasing count (requests, errors, tasks)."""
+
+    kind = "counter"
+
+    def _init_child(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        self._require_bare()
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        self._require_bare()
+        with self._lock:
+            return self._value
+
+
+class Gauge(_MetricFamily):
+    """A value that can go up and down (queue depth, live sessions)."""
+
+    kind = "gauge"
+
+    def _init_child(self) -> None:
+        self._value = 0.0
+        self._callback: Callable[[], float] | None = None
+
+    def set(self, value: float) -> None:
+        self._require_bare()
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._require_bare()
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_function(self, callback: Callable[[], float]) -> None:
+        """Read the gauge from ``callback`` at scrape time instead."""
+        self._require_bare()
+        with self._lock:
+            self._callback = callback
+
+    @property
+    def value(self) -> float:
+        self._require_bare()
+        with self._lock:
+            if self._callback is not None:
+                return float(self._callback())
+            return self._value
+
+
+class Histogram(_MetricFamily):
+    """Fixed-bucket distribution; ``observe()`` is one bisect + two adds."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram buckets must be sorted and distinct, got {bounds!r}")
+        self.buckets = bounds  # upper bounds, +Inf implicit
+        super().__init__(name, help, labelnames)
+
+    def _init_child(self) -> None:
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def _copy_config(self, child: "_MetricFamily") -> None:
+        child.buckets = self.buckets  # type: ignore[attr-defined]
+
+    def observe(self, value: float) -> None:
+        """Record one observation (bucket with ``le >= value`` gets it)."""
+        self._require_bare()
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> tuple[list[int], float, int]:
+        """``(per-bucket counts incl +Inf, sum, count)`` under the lock."""
+        self._require_bare()
+        with self._lock:
+            return list(self._counts), self._sum, self._count
+
+
+class MetricsRegistry:
+    """Named metric families, created once and shared process-wide."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _MetricFamily] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, labelnames, **kwargs) -> _MetricFamily:
+        labelnames = _check_labelnames(labelnames)
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind} "
+                        f"with labels {existing.labelnames!r}"
+                    )
+                return existing
+            family = cls(name, help, labelnames, **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> Counter:
+        """Get or create a :class:`Counter` family."""
+        return self._get_or_create(Counter, name, help, labelnames)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> Gauge:
+        """Get or create a :class:`Gauge` family."""
+        return self._get_or_create(Gauge, name, help, labelnames)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Get or create a :class:`Histogram` family with fixed buckets."""
+        return self._get_or_create(  # type: ignore[return-value]
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def collect(self) -> list[_MetricFamily]:
+        """All families, sorted by name (the exposition order)."""
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def reset(self) -> None:
+        """Drop every family (test isolation only)."""
+        with self._lock:
+            self._families.clear()
+
+
+#: The process-wide default registry (what ``/v1/metrics`` renders).
+REGISTRY = MetricsRegistry()
+
+
+def stats_families(prefix: str, stats: Mapping[str, object]) -> list[Gauge]:
+    """Flatten a ``stats()`` dict into unregistered gauge families.
+
+    Numbers and booleans become ``<prefix>_<path>`` gauges; nested dicts
+    extend the path; a dict whose keys are not metric-name-safe (e.g. the
+    router's ``nodes`` map keyed by ``host:port``) becomes one labeled
+    gauge with a ``key`` label instead. Strings, lists, and ``None`` are
+    skipped — they belong in ``stats()``, not in a numeric scrape.
+    """
+    families: list[Gauge] = []
+
+    def walk(path: str, mapping: Mapping[str, object]) -> None:
+        labeled: list[tuple[str, float]] = []
+        for key, value in mapping.items():
+            key_is_safe = bool(re.fullmatch(r"[a-zA-Z_][a-zA-Z0-9_]*", str(key)))
+            if isinstance(value, Mapping):
+                if key_is_safe:
+                    walk(f"{path}_{key}", value)
+                continue
+            if isinstance(value, bool):
+                number = 1.0 if value else 0.0
+            elif isinstance(value, (int, float)):
+                number = float(value)
+            else:
+                continue
+            if key_is_safe:
+                gauge = Gauge(f"{path}_{key}", f"{prefix} stats field {key}")
+                gauge.set(number)
+                families.append(gauge)
+            else:
+                labeled.append((str(key), number))
+        if labeled:
+            family = Gauge(path, f"{prefix} stats map", labelnames=("key",))
+            for key, number in labeled:
+                family.labels(key).set(number)
+            families.append(family)
+
+    walk(_check_name(prefix), stats)
+    return families

@@ -10,6 +10,12 @@ The client speaks only canonical ``/v1`` paths; it works identically
 against a single serve node and a router (which adds ``migrate`` and a
 fleet-wide ``nodes``).
 
+Every request carries an ``X-Request-Id`` header — pass ``request_id=`` to
+pin one (it tags the server's structured logs, so a client-side trace id
+lands in every log line the request touches); otherwise a fresh id is
+minted per request. Error responses echo the id back on
+:attr:`ServiceClientError.request_id`.
+
 JSON floats round-trip bitwise (``repr`` shortest-form), so a score read
 through this client compares equal to the directly computed one.
 """
@@ -19,6 +25,8 @@ from __future__ import annotations
 import json
 import urllib.error
 import urllib.request
+
+from repro.obs.context import new_request_id
 
 __all__ = ["ServiceClient", "ServiceClientError"]
 
@@ -35,24 +43,41 @@ class ServiceClientError(Exception):
         ``"session-gone"``), or ``"http"`` for non-envelope failures.
     retry_after:
         Seconds after which retrying may succeed, when the server sent one.
+    request_id:
+        The correlation id the server echoed back (``X-Request-Id``
+        response header), for looking the failure up in server logs.
     """
 
     def __init__(
-        self, status: int, code: str, message: str, retry_after: float | None = None
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: float | None = None,
+        request_id: str | None = None,
     ) -> None:
         super().__init__(f"[{status} {code}] {message}")
         self.status = status
         self.code = code
         self.message = message
         self.retry_after = retry_after
+        self.request_id = request_id
 
 
 class ServiceClient:
-    """One service (or router) endpoint, spoken to over ``/v1``."""
+    """One service (or router) endpoint, spoken to over ``/v1``.
 
-    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+    ``request_id`` pins the ``X-Request-Id`` sent with every call from this
+    client instance (useful for correlating a whole script run in server
+    logs); when ``None`` each call mints its own id.
+    """
+
+    def __init__(
+        self, base_url: str, *, timeout: float = 60.0, request_id: str | None = None
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        self.request_id = request_id
 
     # ------------------------------------------------------------------
     # Transport.
@@ -60,28 +85,34 @@ class ServiceClient:
 
     def _call(self, method: str, path: str, payload: dict | None = None) -> dict:
         data = None if payload is None else json.dumps(payload).encode("utf-8")
+        request_id = self.request_id or new_request_id()
         request = urllib.request.Request(
             f"{self.base_url}{path}",
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers={"Content-Type": "application/json", "X-Request-Id": request_id},
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return json.loads(response.read())
         except urllib.error.HTTPError as error:
             body = error.read()
+            echoed = error.headers.get("X-Request-Id") or request_id
             try:
                 envelope = json.loads(body)["error"]
             except (json.JSONDecodeError, KeyError, TypeError):
                 raise ServiceClientError(
-                    error.code, "http", body.decode("utf-8", "replace") or str(error)
+                    error.code,
+                    "http",
+                    body.decode("utf-8", "replace") or str(error),
+                    request_id=echoed,
                 ) from error
             raise ServiceClientError(
                 error.code,
                 envelope.get("code", "http"),
                 envelope.get("message", str(error)),
                 envelope.get("retry_after"),
+                request_id=echoed,
             ) from error
 
     # ------------------------------------------------------------------
@@ -96,6 +127,16 @@ class ServiceClient:
 
     def nodes(self) -> list[dict]:
         return self._call("GET", "/v1/nodes")["nodes"]
+
+    def metrics(self) -> str:
+        """The Prometheus text exposition from ``GET /v1/metrics``."""
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/metrics",
+            method="GET",
+            headers={"X-Request-Id": self.request_id or new_request_id()},
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return response.read().decode("utf-8")
 
     # ------------------------------------------------------------------
     # One-shot detection.

@@ -52,6 +52,9 @@ from repro.core.executors import (
     as_executor,
     validate_executor_spec,
 )
+from repro.obs import stages
+from repro.obs.context import bind_request_id, get_request_id
+from repro.obs.logging import get_logger
 from repro.service.batching import MicroBatcher
 from repro.service.cache import LRUCache, series_digest
 from repro.service.config import DETECT_FIELDS, DetectorConfig
@@ -64,23 +67,34 @@ __all__ = ["DetectResult", "DetectService"]
 
 _UNSET = object()
 
+_log = get_logger("service.core")
+
 
 @dataclass(frozen=True)
 class DetectResult:
-    """One served detection: the ranked candidates plus cache provenance."""
+    """One served detection: the ranked candidates plus cache provenance.
+
+    ``timings`` (present only when the request asked for it) holds the
+    per-stage durations of the micro-batch this request ran in — batch
+    level, not per item, because coalesced items share the stages.
+    """
 
     anomalies: tuple[Anomaly, ...]
     cached: bool
+    timings: dict | None = None
 
     def payload(self) -> dict:
         """JSON-shaped response body."""
-        return {
+        document = {
             "anomalies": [
                 {"rank": a.rank, "position": a.position, "length": a.length, "score": a.score}
                 for a in self.anomalies
             ],
             "cached": self.cached,
         }
+        if self.timings is not None:
+            document["timings"] = self.timings
+        return document
 
 
 class _DetectItem:
@@ -90,15 +104,22 @@ class _DetectItem:
     cheap references) rather than in a service-level registry, so serving
     a long tail of distinct configurations leaves no permanent per-config
     state behind.
+
+    ``request_id`` is captured at submit time because the batcher's drain
+    task runs in its own ``contextvars`` context — the id must ride on the
+    item to reach the batch runner (and, through it, cluster envelopes).
     """
 
-    __slots__ = ("series", "seed", "kwargs", "k")
+    __slots__ = ("series", "seed", "kwargs", "k", "request_id")
 
-    def __init__(self, series: np.ndarray, seed, kwargs: dict, k: int) -> None:
+    def __init__(
+        self, series: np.ndarray, seed, kwargs: dict, k: int, request_id: str | None = None
+    ) -> None:
         self.series = series
         self.seed = seed
         self.kwargs = kwargs
         self.k = k
+        self.request_id = request_id
 
 
 class DetectService:
@@ -226,6 +247,7 @@ class DetectService:
         seed=0,
         timeout=_UNSET,
         use_cache: bool = True,
+        timings: bool = False,
         **config: Any,
     ) -> DetectResult:
         """Detect anomalies in one series (micro-batched, cached, deadlined).
@@ -233,14 +255,33 @@ class DetectService:
         ``config`` holds the :class:`~repro.core.ensemble.EnsembleGrammarDetector`
         parameters (``window`` is required). Bitwise identical to
         ``EnsembleGrammarDetector(**config, seed=seed).detect(series, k)``.
+        ``timings=True`` attaches the micro-batch's per-stage durations to
+        the result (empty for cache hits or stages run in worker
+        processes); it never changes the detection itself.
         """
         kwargs, fingerprint = self._normalize_config(config)
         return await self._submit_detect(
-            series, kwargs, fingerprint, k=k, seed=seed, timeout=timeout, use_cache=use_cache
+            series,
+            kwargs,
+            fingerprint,
+            k=k,
+            seed=seed,
+            timeout=timeout,
+            use_cache=use_cache,
+            want_timings=timings,
         )
 
     async def _submit_detect(
-        self, series, kwargs: dict, fingerprint: tuple, *, k, seed, timeout, use_cache
+        self,
+        series,
+        kwargs: dict,
+        fingerprint: tuple,
+        *,
+        k,
+        seed,
+        timeout,
+        use_cache,
+        want_timings: bool = False,
     ) -> DetectResult:
         """The post-config-normalization half of :meth:`detect`.
 
@@ -260,15 +301,19 @@ class DetectService:
             cache_key = ("detect", series_digest(series), fingerprint, k, seed)
             hit, value = self.cache.get(cache_key)
             if hit:
-                return DetectResult(anomalies=value, cached=True)
+                return DetectResult(
+                    anomalies=value, cached=True, timings={} if want_timings else None
+                )
         group = (fingerprint, k)
-        anomalies = await self.batcher.submit(
-            group, _DetectItem(series, seed, kwargs, k), timeout=timeout
+        anomalies, batch_timings = await self.batcher.submit(
+            group, _DetectItem(series, seed, kwargs, k, get_request_id()), timeout=timeout
         )
         anomalies = tuple(anomalies)
         if cache_key is not None:
             self.cache.put(cache_key, anomalies)
-        return DetectResult(anomalies=anomalies, cached=False)
+        return DetectResult(
+            anomalies=anomalies, cached=False, timings=batch_timings if want_timings else None
+        )
 
     async def detect_many(
         self,
@@ -346,20 +391,36 @@ class DetectService:
         back as that slot's :class:`~repro.core.executors.BatchItemError`.
         All items share the group's config by construction, so the first
         item's spec speaks for the batch.
+
+        Telemetry rides along without touching results: the coalesced
+        items' request ids are re-bound here (the drain task has its own
+        context) so engine/cluster log lines and task envelopes name the
+        originating requests, and the stage durations of the batch are
+        captured and returned with each successful slot.
         """
         kwargs, k = items[0].kwargs, items[0].k
+        request_ids = sorted({item.request_id for item in items if item.request_id})
         template = EnsembleGrammarDetector(**kwargs, seed=0)
-        results = detect_batch(
-            template,
-            [item.series for item in items],
-            k,
-            n_jobs=self.n_jobs,
-            executor=self._executor,
-            seeds=[item.seed for item in items],
-            return_exceptions=True,
-            chunksize=self._batch_chunksize(len(items)),
-        )
-        return list(enumerate(results))
+        with bind_request_id(",".join(request_ids) or None), stages.capture() as timings:
+            results = detect_batch(
+                template,
+                [item.series for item in items],
+                k,
+                n_jobs=self.n_jobs,
+                executor=self._executor,
+                seeds=[item.seed for item in items],
+                return_exceptions=True,
+                chunksize=self._batch_chunksize(len(items)),
+            )
+            _log.debug(
+                "micro-batch of %d item(s) ran",
+                len(items),
+                extra={"batch_size": len(items), "k": k},
+            )
+        return [
+            (index, result if isinstance(result, BaseException) else (result, dict(timings)))
+            for index, result in enumerate(results)
+        ]
 
     # ------------------------------------------------------------------
     # Streaming sessions (delegation).

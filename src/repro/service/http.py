@@ -16,6 +16,8 @@ Method      Path                                Meaning
 ==========  ==================================  ===================================
 GET         ``/v1/healthz``                     liveness probe
 GET         ``/v1/stats``                       batcher/cache/session/executor counters
+GET         ``/v1/metrics``                     Prometheus text exposition (registry +
+                                                ``stats()`` re-exported as gauges)
 GET         ``/v1/nodes``                       this node's identity (router: all nodes)
 POST        ``/v1/detect``                      one series; micro-batched + cached
 POST        ``/v1/detect_batch``                many series; partial results on failure
@@ -48,15 +50,55 @@ import asyncio
 import contextlib
 import json
 import math
+import os
 import signal
+import time
 from typing import Any, Callable
 from urllib.parse import parse_qs, urlsplit
 
 from repro.core.executors import BatchItemError
+from repro.obs.context import bind_request_id, ensure_request_id
+from repro.obs.expfmt import EXPOSITION_CONTENT_TYPE, render_registry
+from repro.obs.logging import get_logger
+from repro.obs.metrics import REGISTRY, stats_families
 from repro.service.core import DetectService
 from repro.service.errors import BadRequest, ServiceError, error_payload
 
 __all__ = ["BaseHTTPServer", "ServiceHTTPServer", "serve"]
+
+_log = get_logger("service.http")
+
+#: Requests slower than this (seconds) get a WARNING log line; the CLI
+#: ``--slow-request-ms`` flag and ``REPRO_SLOW_REQUEST_MS`` override it.
+DEFAULT_SLOW_REQUEST_SECONDS = 1.0
+
+_REQUESTS = REGISTRY.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by role/method/normalized path/status",
+    labelnames=("role", "method", "path", "status"),
+)
+_LATENCY = REGISTRY.histogram(
+    "repro_http_request_seconds",
+    "HTTP request latency in seconds, by role/method/normalized path",
+    labelnames=("role", "method", "path"),
+)
+
+#: First path segments with bounded cardinality; anything else (scanner
+#: noise, typos) is folded into ``other`` so the label set stays small.
+_KNOWN_SEGMENTS = frozenset(
+    ("healthz", "stats", "nodes", "metrics", "detect", "detect_batch", "sessions")
+)
+
+
+def _metric_path(path: str) -> str:
+    """Normalize a request path for metric labels (bounded cardinality)."""
+    sub = path[len("/v1") :] or "/" if path == "/v1" or path.startswith("/v1/") else path
+    segments = [segment for segment in sub.split("/") if segment]
+    if not segments or segments[0] not in _KNOWN_SEGMENTS:
+        return "other"
+    if segments[0] == "sessions" and len(segments) >= 2:
+        segments[1] = "{name}"
+    return "/" + "/".join(segments[:3])
 
 #: Largest accepted request body (a 64 MiB JSON series is ~4M points).
 MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -124,9 +166,23 @@ class BaseHTTPServer:
     The router front end (:mod:`repro.service.router`) reuses all of it.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8765) -> None:
+    #: Metric label distinguishing the front ends sharing one registry.
+    metrics_role = "serve"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        *,
+        slow_request_ms: float | None = None,
+    ) -> None:
         self.host = host
         self.port = port
+        if slow_request_ms is None:
+            slow_request_ms = float(
+                os.environ.get("REPRO_SLOW_REQUEST_MS", DEFAULT_SLOW_REQUEST_SECONDS * 1000.0)
+            )
+        self.slow_request_seconds = slow_request_ms / 1000.0
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.Task] = set()
 
@@ -191,8 +247,32 @@ class BaseHTTPServer:
                     return
                 if request is None:
                     return
-                method, path, query, payload, keep_alive = request
-                status, body, headers = await self._dispatch(method, path, query, payload)
+                method, path, query, payload, keep_alive, req_headers = request
+                request_id = ensure_request_id(req_headers.get("x-request-id"))
+                started = time.perf_counter()
+                with bind_request_id(request_id):
+                    status, body, headers = await self._dispatch(method, path, query, payload)
+                    elapsed = time.perf_counter() - started
+                    headers.setdefault("X-Request-Id", request_id)
+                    label_path = _metric_path(path)
+                    _REQUESTS.labels(self.metrics_role, method, label_path, status).inc()
+                    _LATENCY.labels(self.metrics_role, method, label_path).observe(elapsed)
+                    log = _log.warning if elapsed >= self.slow_request_seconds else _log.info
+                    log(
+                        "%s %s -> %d in %.1f ms%s",
+                        method,
+                        path,
+                        status,
+                        elapsed * 1000.0,
+                        " (slow)" if elapsed >= self.slow_request_seconds else "",
+                        extra={
+                            "role": self.metrics_role,
+                            "method": method,
+                            "path": path,
+                            "status": status,
+                            "duration_ms": round(elapsed * 1000.0, 3),
+                        },
+                    )
                 await self._respond(writer, status, body, keep_alive=keep_alive, headers=headers)
                 if not keep_alive:
                     return
@@ -241,7 +321,7 @@ class BaseHTTPServer:
         parts = urlsplit(target)
         query = {key: values[-1] for key, values in parse_qs(parts.query).items()}
         keep_alive = headers.get("connection", "keep-alive").lower() != "close"
-        return method.upper(), parts.path, query, payload, keep_alive
+        return method.upper(), parts.path, query, payload, keep_alive, headers
 
     # ------------------------------------------------------------------
     # Routing.
@@ -269,8 +349,24 @@ class BaseHTTPServer:
             return 400, error_payload(BadRequest(str(error))), headers
         except asyncio.CancelledError:
             raise
-        except Exception as error:  # pragma: no cover — last-resort guard
-            return 500, error_payload(error), headers
+        except Exception as error:
+            # Last-resort guard: even a handler bug answers with the
+            # uniform envelope, and the traceback lands in the log with
+            # the request id so it can be correlated with the response.
+            _log.exception(
+                "unhandled error in %s %s handler: %s",
+                method,
+                path,
+                error,
+                extra={"method": method, "path": path},
+            )
+            body = {
+                "error": {
+                    "code": "internal",
+                    "message": f"{type(error).__name__}: {error}",
+                }
+            }
+            return 500, body, headers
 
     def _route(self, method: str, path: str) -> tuple[Callable, tuple, bool]:
         raise NotImplementedError  # pragma: no cover — subclasses route
@@ -300,16 +396,23 @@ class BaseHTTPServer:
     async def _respond(
         writer: asyncio.StreamWriter,
         status: int,
-        body: dict,
+        body: dict | str,
         *,
         keep_alive: bool,
         headers: dict[str, str] | None = None,
     ) -> None:
-        data = json.dumps(body).encode("utf-8")
-        extra = "".join(f"{name}: {value}\r\n" for name, value in (headers or {}).items())
+        headers = dict(headers or {})
+        if isinstance(body, str):
+            # Non-JSON payload: only the /metrics exposition text today.
+            data = body.encode("utf-8")
+            content_type = headers.pop("Content-Type", EXPOSITION_CONTENT_TYPE)
+        else:
+            data = json.dumps(body).encode("utf-8")
+            content_type = "application/json"
+        extra = "".join(f"{name}: {value}\r\n" for name, value in headers.items())
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"{extra}"
@@ -322,8 +425,15 @@ class BaseHTTPServer:
 class ServiceHTTPServer(BaseHTTPServer):
     """One bound HTTP server over a :class:`DetectService`."""
 
-    def __init__(self, service: DetectService, host: str = "127.0.0.1", port: int = 8765) -> None:
-        super().__init__(host, port)
+    def __init__(
+        self,
+        service: DetectService,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        *,
+        slow_request_ms: float | None = None,
+    ) -> None:
+        super().__init__(host, port, slow_request_ms=slow_request_ms)
         self.service = service
 
     def _route(self, method: str, path: str) -> tuple[Callable, tuple, bool]:
@@ -338,6 +448,8 @@ class ServiceHTTPServer(BaseHTTPServer):
             return self._handle_healthz, (), deprecated
         if path == "/stats" and method == "GET":
             return self._handle_stats, (), deprecated
+        if path == "/metrics" and method == "GET":
+            return self._handle_metrics, (), deprecated
         if path == "/nodes" and method == "GET":
             return self._handle_nodes, (), deprecated
         if path == "/detect" and method == "POST":
@@ -378,6 +490,11 @@ class ServiceHTTPServer(BaseHTTPServer):
     async def _handle_stats(self, payload, query) -> tuple[int, dict]:
         return 200, self.service.stats()
 
+    async def _handle_metrics(self, payload, query) -> tuple[int, str]:
+        """Prometheus text exposition: registry + stats() gauges."""
+        extra = stats_families("repro_service", self.service.stats())
+        return 200, render_registry(REGISTRY, extra)
+
     async def _handle_nodes(self, payload, query) -> tuple[int, dict]:
 
         """This node's identity document (a router answers with its fleet)."""
@@ -396,7 +513,9 @@ class ServiceHTTPServer(BaseHTTPServer):
         payload = self._require_object(payload)
         if "series" not in payload:
             raise BadRequest("missing required field 'series'")
-        config = _split_config(payload, CONFIG_KEYS, ("series", "k", "seed", "timeout"))
+        config = _split_config(
+            payload, CONFIG_KEYS, ("series", "k", "seed", "timeout", "timings")
+        )
         if "window" not in config:
             raise BadRequest("missing required field 'window'")
         kwargs: dict = {}
@@ -406,6 +525,7 @@ class ServiceHTTPServer(BaseHTTPServer):
             payload["series"],
             k=payload.get("k", 3),
             seed=payload.get("seed", 0),
+            timings=bool(payload.get("timings", False)),
             **kwargs,
             **config,
         )
@@ -507,6 +627,7 @@ async def serve(
     port: int = 8765,
     *,
     ready: Callable[["ServiceHTTPServer"], None] | None = None,
+    slow_request_ms: float | None = None,
 ) -> None:
     """Run the HTTP front end until SIGTERM/SIGINT, then shut down gracefully.
 
@@ -516,7 +637,7 @@ async def serve(
     processes), and only then return. ``ready`` is called once the socket
     is bound — the CLI uses it to print the resolved address.
     """
-    server = ServiceHTTPServer(service, host, port)
+    server = ServiceHTTPServer(service, host, port, slow_request_ms=slow_request_ms)
     await server.start()
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()

@@ -44,6 +44,10 @@ import json
 import signal
 from typing import Callable
 
+from repro.obs.context import get_request_id
+from repro.obs.expfmt import render_registry
+from repro.obs.logging import get_logger
+from repro.obs.metrics import REGISTRY, stats_families
 from repro.service.errors import (
     BadRequest,
     NodeUnavailable,
@@ -51,6 +55,8 @@ from repro.service.errors import (
     TenantQuotaExceeded,
 )
 from repro.service.http import BaseHTTPServer, _MethodNotAllowed, _NotFound
+
+_log = get_logger("service.router")
 
 __all__ = ["HashRing", "RouterHTTPServer", "SessionRouter", "serve_router", "tenant_of"]
 
@@ -125,7 +131,13 @@ class _NodeDown(Exception):
 
 
 async def _http_request(
-    addr: str, method: str, path: str, payload=None, *, timeout: float = 30.0
+    addr: str,
+    method: str,
+    path: str,
+    payload=None,
+    *,
+    timeout: float = 30.0,
+    headers: dict[str, str] | None = None,
 ):
     """One stdlib-asyncio HTTP/1.1 request to ``host:port``; JSON in/out.
 
@@ -144,12 +156,14 @@ async def _http_request(
         raise _NodeDown(addr, error) from error
     try:
         body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        extra = "".join(f"{name}: {value}\r\n" for name, value in (headers or {}).items())
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {addr}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
             "Connection: close\r\n"
+            f"{extra}"
             "\r\n"
         )
         writer.write(head.encode("latin-1") + body)
@@ -206,9 +220,11 @@ class SessionRouter:
         self._placements: dict[str, str] = {}
         #: session -> original create config (recreate-without-snapshot path).
         self._configs: dict[str, dict] = {}
-        #: session -> [(absolute start offset, values)] past the last
-        #: checkpoint the owning node reported.
-        self._tails: dict[str, list[tuple[int, list]]] = {}
+        #: session -> [(absolute start offset, values, request_id)] past
+        #: the last checkpoint the owning node reported; the id names the
+        #: append that delivered the chunk, so a recovery replay is
+        #: traceable back to the original client request.
+        self._tails: dict[str, list[tuple[int, list, str]]] = {}
         self._locks: dict[str, asyncio.Lock] = {}
         self._rr = itertools.count()
         self.proxied = 0
@@ -225,10 +241,28 @@ class SessionRouter:
             lock = self._locks[name] = asyncio.Lock()
         return lock
 
-    async def _call(self, addr: str, method: str, path: str, payload=None, *, timeout=None):
+    async def _call(
+        self,
+        addr: str,
+        method: str,
+        path: str,
+        payload=None,
+        *,
+        timeout=None,
+        request_id: str | None = None,
+    ):
+        """Proxy one request to a node, forwarding the correlation id.
+
+        The forwarded ``X-Request-Id`` defaults to the id bound in this
+        context (the client's request); recovery passes ``request_id=``
+        explicitly so a replayed append carries the id of the request
+        that *originally* delivered those points.
+        """
         self.proxied += 1
+        request_id = request_id or get_request_id()
+        headers = {"X-Request-Id": request_id} if request_id else None
         return await _http_request(
-            addr, method, path, payload, timeout=timeout or self.request_timeout
+            addr, method, path, payload, timeout=timeout or self.request_timeout, headers=headers
         )
 
     def _forget(self, name: str) -> None:
@@ -249,7 +283,7 @@ class SessionRouter:
 
     def tail_points(self, name: str) -> int:
         """Buffered points awaiting a covering checkpoint (tests/stats)."""
-        return sum(len(values) for _start, values in self._tails.get(name, []))
+        return sum(len(values) for _start, values, _rid in self._tails.get(name, []))
 
     # ------------------------------------------------------------------
     # Session control plane.
@@ -341,7 +375,9 @@ class SessionRouter:
                 # checkpoint covers it; these are the points recovery
                 # replays on a surviving node.
                 start = int(body["length"]) - int(body["appended"])
-                self._tails.setdefault(name, []).append((start, list(values)))
+                self._tails.setdefault(name, []).append(
+                    (start, list(values), get_request_id() or "")
+                )
                 self._prune_tail(name, body.get("snapshotted_length"))
             return status, body
 
@@ -371,6 +407,13 @@ class SessionRouter:
         """Restore ``name`` on the best surviving node and replay its tail."""
         self.recoveries += 1
         dead_home = self._placements.get(name)
+        _log.warning(
+            "recovering session %s: node %s unreachable (recovery #%d)",
+            name,
+            dead_home,
+            self.recoveries,
+            extra={"session": name, "dead_node": dead_home},
+        )
         for addr in self.ring.preference(name):
             if addr == dead_home or not self.alive.get(addr, False):
                 continue
@@ -383,6 +426,13 @@ class SessionRouter:
                 continue
             self._placements[name] = addr
             await self._replay_tail(name, addr, restored)
+            _log.info(
+                "session %s recovered on %s (restored length %d)",
+                name,
+                addr,
+                restored,
+                extra={"session": name, "node": addr, "restored_length": restored},
+            )
             return
         raise NodeUnavailable(f"no surviving node can host session {name!r}")
 
@@ -408,13 +458,39 @@ class SessionRouter:
         return None
 
     async def _replay_tail(self, name: str, addr: str, restored_length: int) -> None:
-        """Re-append every buffered point past the restored length."""
-        for start, values in sorted(self._tails.get(name, [])):
+        """Re-append every buffered point past the restored length.
+
+        Each replayed append is sent (and logged) under the request id of
+        the append that originally delivered the chunk, so the recovery
+        trail in the node's logs correlates back to the client requests.
+        """
+        for start, values, origin_id in sorted(
+            self._tails.get(name, []), key=lambda chunk: chunk[0]
+        ):
             if start + len(values) <= restored_length:
                 continue
             chunk = values[max(0, restored_length - start) :]
+            _log.info(
+                "replaying session %s chunk on %s: %d point(s) from offset %d "
+                "(originating request %s)",
+                name,
+                addr,
+                len(chunk),
+                max(start, restored_length),
+                origin_id or "-",
+                extra={
+                    "session": name,
+                    "node": addr,
+                    "points": len(chunk),
+                    "origin_request_id": origin_id or "-",
+                },
+            )
             status, body = await self._call(
-                addr, "POST", f"/v1/sessions/{name}/append", {"values": chunk}
+                addr,
+                "POST",
+                f"/v1/sessions/{name}/append",
+                {"values": chunk},
+                request_id=origin_id or None,
             )
             if status != 200:
                 raise NodeUnavailable(
@@ -457,6 +533,13 @@ class SessionRouter:
             self._placements[name] = target
             await self._replay_tail(name, target, restored)
             self.migrations += 1
+            _log.info(
+                "session %s migrated %s -> %s",
+                name,
+                source,
+                target,
+                extra={"session": name, "source": source, "target": target},
+            )
             return 200, {"name": name, "node": target, "migrated": True}
 
     # ------------------------------------------------------------------
@@ -519,10 +602,17 @@ class SessionRouter:
 class RouterHTTPServer(BaseHTTPServer):
     """HTTP front end exposing the ``/v1`` surface backed by a router."""
 
+    metrics_role = "router"
+
     def __init__(
-        self, router: SessionRouter, host: str = "127.0.0.1", port: int = 8766
+        self,
+        router: SessionRouter,
+        host: str = "127.0.0.1",
+        port: int = 8766,
+        *,
+        slow_request_ms: float | None = None,
     ) -> None:
-        super().__init__(host, port)
+        super().__init__(host, port, slow_request_ms=slow_request_ms)
         self.router = router
 
     def _route(self, method: str, path: str) -> tuple[Callable, tuple, bool]:
@@ -532,6 +622,8 @@ class RouterHTTPServer(BaseHTTPServer):
             return self._handle_healthz, (), deprecated
         if path == "/stats" and method == "GET":
             return self._handle_stats, (), deprecated
+        if path == "/metrics" and method == "GET":
+            return self._handle_metrics, (), deprecated
         if path == "/nodes" and method == "GET":
             return self._handle_nodes, (), deprecated
         if path in ("/detect", "/detect_batch") and method == "POST":
@@ -574,6 +666,11 @@ class RouterHTTPServer(BaseHTTPServer):
 
     async def _handle_stats(self, payload, query) -> tuple[int, dict]:
         return 200, self.router.stats()
+
+    async def _handle_metrics(self, payload, query) -> tuple[int, str]:
+        """Prometheus text exposition: registry + router stats() gauges."""
+        extra = stats_families("repro_router", self.router.stats())
+        return 200, render_registry(REGISTRY, extra)
 
     async def _handle_nodes(self, payload, query) -> tuple[int, dict]:
         return 200, await self.router.nodes_info()
@@ -619,9 +716,10 @@ async def serve_router(
     port: int = 8766,
     *,
     ready: Callable[[RouterHTTPServer], None] | None = None,
+    slow_request_ms: float | None = None,
 ) -> None:
     """Run the router front end until SIGTERM/SIGINT, then shut down."""
-    server = RouterHTTPServer(router, host, port)
+    server = RouterHTTPServer(router, host, port, slow_request_ms=slow_request_ms)
     await server.start()
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()

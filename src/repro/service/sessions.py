@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.core.executors import MemberExecutor
 from repro.core.streaming import SnapshotVersionError, StreamingEnsembleDetector
+from repro.obs.logging import get_logger
 from repro.service.cache import LRUCache
 from repro.service.config import DetectorConfig
 from repro.service.errors import (
@@ -65,6 +66,8 @@ __all__ = ["StreamSessionManager"]
 
 #: Session names must be URL-path-safe (they appear in endpoint paths).
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+_log = get_logger("service.sessions")
 
 #: How many departed names keep a tombstone (FIFO-capped so a churny
 #: tenant cannot grow the map without bound; the oldest fall back to 404).
@@ -299,6 +302,7 @@ class StreamSessionManager:
         self._sessions[name] = session
         self._tombstones.pop(name, None)
         self._ensure_reaper()
+        _log.info("session %s created", name, extra={"session": name})
         return session.info()
 
     def _drop_locked(
@@ -312,6 +316,13 @@ class StreamSessionManager:
         if drop_snapshots and self._snapshot_store is not None:
             self._snapshot_store.delete(name)
         info["closed"] = reason
+        _log.info(
+            "session %s dropped (%s) at length %d",
+            name,
+            reason,
+            info.get("length", 0),
+            extra={"session": name, "reason": reason},
+        )
         return info
 
     async def close(self, name: str, *, drop_snapshots: bool = True, reason: str = "closed") -> dict:
@@ -386,6 +397,14 @@ class StreamSessionManager:
         session.snapshotted_length = len(session.detector)
         session.snapshots += 1
         self.snapshots_written += 1
+        _log.info(
+            "session %s checkpointed: seq %d, %d bytes at length %d",
+            session.name,
+            seq,
+            size,
+            session.snapshotted_length,
+            extra={"session": session.name, "snapshot_seq": seq, "snapshot_bytes": size},
+        )
         return {
             "name": session.name,
             "snapshot_seq": seq,
@@ -448,6 +467,13 @@ class StreamSessionManager:
         self._ensure_reaper()
         info = session.info()
         info["restored_from"] = seq
+        _log.info(
+            "session %s restored from snapshot seq %d at length %d",
+            name,
+            seq,
+            len(detector),
+            extra={"session": name, "snapshot_seq": seq},
+        )
         return info
 
     # ------------------------------------------------------------------

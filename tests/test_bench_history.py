@@ -1,0 +1,98 @@
+"""``repro bench --history``: the trend report over archived NDJSON runs.
+
+Builds two synthetic "runs" (distinct ``created`` stamps, drifting
+medians) in nested directories the way downloaded CI artifacts land, and
+checks grouping, ordering by ``created``, the drift column, and the CLI
+early-return path.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.cli import find_benchmarks_dir, main
+
+BENCH_DIR = find_benchmarks_dir()
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+from runner.history import history_report, history_rows, load_history  # noqa: E402
+from runner.schema import BenchRecord, write_ndjson  # noqa: E402
+
+
+def _record(metric: str, value: float, created: str) -> BenchRecord:
+    return BenchRecord(
+        metric=metric,
+        workload=metric.split(".")[0],
+        unit="us",
+        value=value,
+        iqr=0.1,
+        best=value,
+        mean=value,
+        repeats=3,
+        warmup=1,
+        samples=(value, value, value),
+        created=created,
+    )
+
+
+@pytest.fixture()
+def history_dir(tmp_path):
+    """Two archived runs in nested dirs (artifact-download layout)."""
+    write_ndjson(
+        tmp_path / "run-1" / "bench_matrix.ndjson",
+        [
+            _record("stream.us_per_point", 2.0, "2026-08-01T00:00:00Z"),
+            _record("grammar.us_per_token", 5.0, "2026-08-01T00:00:00Z"),
+        ],
+    )
+    write_ndjson(
+        tmp_path / "run-2" / "bench_matrix.ndjson",
+        [
+            _record("stream.us_per_point", 3.0, "2026-08-02T00:00:00Z"),
+            _record("grammar.us_per_token", 4.0, "2026-08-02T00:00:00Z"),
+        ],
+    )
+    return tmp_path
+
+
+def test_load_history_groups_and_orders_by_created(history_dir):
+    by_metric = load_history(history_dir)
+    assert set(by_metric) == {"stream.us_per_point", "grammar.us_per_token"}
+    assert [record.value for record in by_metric["stream.us_per_point"]] == [2.0, 3.0]
+    assert [record.value for record in by_metric["grammar.us_per_token"]] == [5.0, 4.0]
+
+
+def test_history_rows_report_drift(history_dir):
+    rows = history_rows(load_history(history_dir))
+    by_metric = {row[0]: row for row in rows}
+    stream = by_metric["stream.us_per_point"]
+    assert stream[2] == "2"  # two runs
+    assert stream[3] == "2" and stream[4] == "3"
+    assert stream[5] == "+50.0%"
+    assert by_metric["grammar.us_per_token"][5] == "-20.0%"
+
+
+def test_history_report_renders_table(history_dir):
+    report = history_report(history_dir)
+    assert "bench history: 2 metric(s)" in report
+    assert "stream.us_per_point" in report
+    assert "+50.0%" in report
+
+
+def test_load_history_rejects_missing_or_empty(tmp_path):
+    with pytest.raises(ValueError, match="not a directory"):
+        load_history(tmp_path / "nope")
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(ValueError, match="no bench records"):
+        load_history(empty)
+
+
+def test_cli_history_flag_prints_report_and_runs_nothing(history_dir, capsys):
+    assert main(["bench", "--history", str(history_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "bench history" in out
+    assert "stream.us_per_point" in out

@@ -1,0 +1,168 @@
+"""Structured logging: JSON schema, request-id stamping, correlation ids.
+
+Covers :mod:`repro.obs.logging` (both formats, extras, tracebacks,
+idempotent setup) and :mod:`repro.obs.context` (id minting, validation of
+caller-supplied ids, context binding and reset).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.context import (
+    bind_request_id,
+    ensure_request_id,
+    get_request_id,
+    new_request_id,
+)
+from repro.obs.logging import get_logger, setup_logging
+
+
+@pytest.fixture()
+def captured():
+    """A ``repro`` tree configured to write into a StringIO we can read."""
+    stream = io.StringIO()
+
+    def configure(log_format: str = "json", level: str = "debug") -> io.StringIO:
+        setup_logging(log_format=log_format, level=level, stream=stream)
+        return stream
+
+    yield configure
+    # Restore the unconfigured default (propagating, no handlers) so other
+    # test modules' caplog assertions keep seeing repro.* records.
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    logger.propagate = True
+    logger.setLevel(logging.NOTSET)
+
+
+def _lines(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines() if line]
+
+
+# ----------------------------------------------------------------------
+# Request-id context.
+# ----------------------------------------------------------------------
+
+
+def test_new_request_ids_are_unique_and_valid():
+    first, second = new_request_id(), new_request_id()
+    assert first != second
+    assert ensure_request_id(first) == first
+
+
+def test_ensure_request_id_rejects_junk():
+    assert ensure_request_id(None) != ""
+    assert ensure_request_id("") != ""
+    # Header-injection characters are replaced by a fresh id.
+    assert ensure_request_id("bad\nid") not in ("bad\nid", "")
+    assert ensure_request_id("x" * 500) != "x" * 500
+    # Joined batch ids (comma-separated) survive the round trip.
+    assert ensure_request_id("a1,b2") == "a1,b2"
+
+
+def test_bind_request_id_sets_and_resets():
+    assert get_request_id() is None
+    with bind_request_id("abc123"):
+        assert get_request_id() == "abc123"
+        with bind_request_id("nested"):
+            assert get_request_id() == "nested"
+        assert get_request_id() == "abc123"
+    assert get_request_id() is None
+
+
+# ----------------------------------------------------------------------
+# JSON format.
+# ----------------------------------------------------------------------
+
+
+def test_json_lines_have_the_fixed_schema(captured):
+    stream = captured()
+    get_logger("unit").info("hello %s", "world")
+    (line,) = _lines(stream)
+    assert line["message"] == "hello world"
+    assert line["level"] == "info"
+    assert line["logger"] == "repro.unit"
+    assert line["request_id"] == "-"
+    assert isinstance(line["ts"], float)
+    assert line["iso"].endswith("Z")
+
+
+def test_json_lines_carry_the_bound_request_id(captured):
+    stream = captured()
+    with bind_request_id("req-42"):
+        get_logger("unit").info("first")
+        get_logger("other").warning("second")
+    get_logger("unit").info("outside")
+    lines = _lines(stream)
+    assert [line["request_id"] for line in lines] == ["req-42", "req-42", "-"]
+
+
+def test_json_extras_ride_along_and_plumbing_is_excluded(captured):
+    stream = captured()
+    get_logger("unit").info(
+        "with extras", extra={"duration_ms": 12.5, "path": "/v1/detect", "blob": [1, 2]}
+    )
+    (line,) = _lines(stream)
+    assert line["duration_ms"] == 12.5
+    assert line["path"] == "/v1/detect"
+    assert line["blob"] == "[1, 2]"  # non-scalar extras are repr()'d
+    assert "levelno" not in line and "msecs" not in line
+
+
+def test_json_traceback_on_exception(captured):
+    stream = captured()
+    try:
+        raise RuntimeError("boom")
+    except RuntimeError:
+        get_logger("unit").exception("task failed")
+    (line,) = _lines(stream)
+    assert line["level"] == "error"
+    assert "RuntimeError: boom" in line["traceback"]
+
+
+# ----------------------------------------------------------------------
+# Text format and setup semantics.
+# ----------------------------------------------------------------------
+
+
+def test_text_format_includes_request_id(captured):
+    stream = captured(log_format="text")
+    with bind_request_id("trace-7"):
+        get_logger("unit").info("plain line")
+    text = stream.getvalue()
+    assert "[trace-7]" in text
+    assert "plain line" in text
+
+
+def test_setup_is_idempotent_no_duplicate_lines(captured):
+    stream = captured()
+    setup_logging(log_format="json", level="debug", stream=stream)
+    setup_logging(log_format="json", level="debug", stream=stream)
+    get_logger("unit").info("once")
+    assert len(_lines(stream)) == 1
+
+
+def test_level_filters_below_threshold(captured):
+    stream = captured(level="warning")
+    get_logger("unit").info("dropped")
+    get_logger("unit").warning("kept")
+    lines = _lines(stream)
+    assert [line["message"] for line in lines] == ["kept"]
+
+
+def test_setup_rejects_unknown_format_and_level():
+    with pytest.raises(ValueError, match="log-format"):
+        setup_logging(log_format="yaml")
+    with pytest.raises(ValueError, match="unknown log level"):
+        setup_logging(level="chatty")
+
+
+def test_get_logger_namespaces_under_repro():
+    assert get_logger("service.http").name == "repro.service.http"
+    assert get_logger("repro.core").name == "repro.core"

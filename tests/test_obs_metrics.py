@@ -1,0 +1,248 @@
+"""The metrics core: counters/gauges/histograms, exposition, stats adapter.
+
+Golden-output tests pin the Prometheus text format (``# HELP``/``# TYPE``
+headers, label escaping, cumulative histogram buckets ending at
+``+Inf``), a threaded hammer proves updates take the family lock, and
+:func:`repro.obs.metrics.stats_families` is checked against the shapes
+the serving layer's ``stats()`` dicts actually produce (nested dicts,
+booleans, maps keyed by ``host:port``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.expfmt import EXPOSITION_CONTENT_TYPE, render, render_registry
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    stats_families,
+)
+
+# ----------------------------------------------------------------------
+# Families and children.
+# ----------------------------------------------------------------------
+
+
+def test_counter_increments_and_rejects_decrease():
+    counter = Counter("c_total", "help")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError, match="only increase"):
+        counter.inc(-1)
+
+
+def test_labeled_family_hands_out_one_child_per_tuple():
+    counter = Counter("requests_total", labelnames=("method", "path"))
+    counter.labels("GET", "/a").inc()
+    counter.labels("GET", "/a").inc()
+    counter.labels("POST", "/a").inc()
+    assert counter.labels("GET", "/a").value == 2
+    assert counter.labels("POST", "/a").value == 1
+    with pytest.raises(ValueError, match="2 label"):
+        counter.labels("GET")
+    # The bare family cannot be updated directly.
+    with pytest.raises(ValueError, match="call .labels"):
+        counter.inc()
+
+
+def test_gauge_set_inc_dec_and_callback():
+    gauge = Gauge("g")
+    gauge.set(5)
+    gauge.inc()
+    gauge.dec(2)
+    assert gauge.value == 4
+    gauge.set_function(lambda: 17.5)
+    assert gauge.value == 17.5
+
+
+def test_histogram_bucket_assignment_le_semantics():
+    histogram = Histogram("h", buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.1, 0.5, 1.0, 5.0, 100.0):
+        histogram.observe(value)
+    counts, total, count = histogram.snapshot()
+    # le semantics: a value equal to a bound lands in that bound's bucket.
+    assert counts == [2, 2, 1, 1]
+    assert count == 6
+    assert total == pytest.approx(106.65)
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ValueError, match="sorted and distinct"):
+        Histogram("h", buckets=(1.0, 0.5))
+    with pytest.raises(ValueError, match="sorted and distinct"):
+        Histogram("h", buckets=(1.0, 1.0))
+
+
+def test_labeled_histogram_children_share_buckets():
+    histogram = Histogram("h", labelnames=("stage",), buckets=(0.5, 1.0))
+    histogram.labels("a").observe(0.7)
+    counts, _, count = histogram.labels("a").snapshot()
+    assert counts == [0, 1, 0]
+    assert count == 1
+
+
+def test_invalid_names_rejected():
+    with pytest.raises(ValueError, match="invalid metric name"):
+        Counter("2bad")
+    with pytest.raises(ValueError, match="invalid label name"):
+        Counter("ok", labelnames=("le gal",))
+    with pytest.raises(ValueError, match="duplicate label"):
+        Counter("ok", labelnames=("a", "a"))
+
+
+# ----------------------------------------------------------------------
+# Registry.
+# ----------------------------------------------------------------------
+
+
+def test_registry_get_or_create_returns_same_family():
+    registry = MetricsRegistry()
+    first = registry.counter("c_total", "help")
+    second = registry.counter("c_total", "other help ignored")
+    assert first is second
+
+
+def test_registry_conflicting_redeclaration_raises():
+    registry = MetricsRegistry()
+    registry.counter("m")
+    with pytest.raises(ValueError, match="already registered"):
+        registry.gauge("m")
+    registry.gauge("g", labelnames=("a",))
+    with pytest.raises(ValueError, match="already registered"):
+        registry.gauge("g", labelnames=("b",))
+
+
+def test_registry_collect_sorted_by_name():
+    registry = MetricsRegistry()
+    registry.counter("zeta")
+    registry.counter("alpha")
+    assert [family.name for family in registry.collect()] == ["alpha", "zeta"]
+
+
+def test_counter_thread_hammer_loses_no_increments():
+    counter = Counter("hammer_total", labelnames=("worker",))
+    child = counter.labels("shared")
+
+    def hit() -> None:
+        for _ in range(10_000):
+            child.inc()
+
+    threads = [threading.Thread(target=hit) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert child.value == 80_000
+
+
+# ----------------------------------------------------------------------
+# Exposition.
+# ----------------------------------------------------------------------
+
+
+def test_render_golden_counter_and_gauge():
+    counter = Counter("requests_total", "Requests served.", labelnames=("path",))
+    counter.labels("/v1/detect").inc(3)
+    gauge = Gauge("live_sessions", "Live sessions.")
+    gauge.set(2)
+    assert render([counter, gauge]) == (
+        "# HELP requests_total Requests served.\n"
+        "# TYPE requests_total counter\n"
+        'requests_total{path="/v1/detect"} 3\n'
+        "# HELP live_sessions Live sessions.\n"
+        "# TYPE live_sessions gauge\n"
+        "live_sessions 2\n"
+    )
+
+
+def test_render_histogram_cumulative_buckets_and_inf():
+    histogram = Histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 0.5, 5.0):
+        histogram.observe(value)
+    assert render([histogram]) == (
+        "# HELP lat_seconds Latency.\n"
+        "# TYPE lat_seconds histogram\n"
+        'lat_seconds_bucket{le="0.1"} 1\n'
+        'lat_seconds_bucket{le="1"} 3\n'
+        'lat_seconds_bucket{le="+Inf"} 4\n'
+        "lat_seconds_sum 6.05\n"
+        "lat_seconds_count 4\n"
+    )
+
+
+def test_render_escapes_label_values_and_help():
+    counter = Counter("c_total", 'tricky \\ help\nsecond line', labelnames=("who",))
+    counter.labels('a"b\\c\nd').inc()
+    text = render([counter])
+    assert '# HELP c_total tricky \\\\ help\\nsecond line' in text
+    assert 'c_total{who="a\\"b\\\\c\\nd"} 1' in text
+
+
+def test_render_skips_help_when_empty():
+    counter = Counter("c_total")
+    counter.inc()
+    assert render([counter]) == "# TYPE c_total counter\nc_total 1\n"
+
+
+def test_render_registry_appends_extras():
+    registry = MetricsRegistry()
+    registry.counter("a_total").inc()
+    extra = Gauge("z_extra")
+    extra.set(1)
+    text = render_registry(registry, [extra])
+    assert "a_total 1" in text
+    assert "z_extra 1" in text
+
+
+def test_exposition_content_type_is_prometheus_text():
+    assert EXPOSITION_CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+def test_default_latency_buckets_are_sorted():
+    assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+# ----------------------------------------------------------------------
+# The stats() adapter.
+# ----------------------------------------------------------------------
+
+
+def test_stats_families_flattens_nested_numbers_and_bools():
+    stats = {
+        "batcher": {"dispatched": 7, "mean_batch_size": 2.5},
+        "cache": {"hits": 3, "enabled": True},
+        "node_id": "node",  # strings are skipped
+        "idle": None,  # None is skipped
+    }
+    families = stats_families("repro_service", stats)
+    values = {family.name: family.value for family in families if not family.labelnames}
+    assert values == {
+        "repro_service_batcher_dispatched": 7.0,
+        "repro_service_batcher_mean_batch_size": 2.5,
+        "repro_service_cache_hits": 3.0,
+        "repro_service_cache_enabled": 1.0,
+    }
+
+
+def test_stats_families_unsafe_keys_become_labeled_gauge():
+    families = stats_families(
+        "repro_router", {"nodes": {"127.0.0.1:8001": 2, "127.0.0.1:8002": 0}}
+    )
+    (family,) = families
+    assert family.name == "repro_router_nodes"
+    assert family.labelnames == ("key",)
+    text = render(families)
+    assert 'repro_router_nodes{key="127.0.0.1:8001"} 2' in text
+    assert 'repro_router_nodes{key="127.0.0.1:8002"} 0' in text
+
+
+def test_stats_families_rejects_bad_prefix():
+    with pytest.raises(ValueError, match="invalid metric name"):
+        stats_families("1bad", {})

@@ -1,0 +1,147 @@
+"""Stage timing: capture semantics, runtime toggle, and bitwise parity.
+
+The load-bearing contract is the last section: running the batch and
+streaming detectors with stage timing on versus off produces bitwise
+identical results — the timers wrap computations, they never alter one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import EnsembleGrammarDetector
+from repro.core.streaming import StreamingEnsembleDetector, StreamingGrammarDetector
+from repro.obs import stages
+from repro.obs.stages import STAGES, capture, set_stage_timing, stage_timer, stage_timing_enabled
+
+CONFIG = dict(window=50, ensemble_size=5, max_paa_size=5, max_alphabet_size=5)
+
+
+@pytest.fixture()
+def timing_on():
+    previous = set_stage_timing(True)
+    yield
+    set_stage_timing(previous)
+
+
+def make_series(seed: int = 0, n: int = 600) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    series = np.sin(np.linspace(0.0, 12.0 * np.pi, n)) + 0.05 * rng.standard_normal(n)
+    series[n // 2 : n // 2 + 40] *= 0.2
+    return series
+
+
+# ----------------------------------------------------------------------
+# Timer and capture mechanics.
+# ----------------------------------------------------------------------
+
+
+def test_capture_accumulates_per_stage(timing_on):
+    with capture() as timings:
+        with stage_timer("grammar"):
+            pass
+        with stage_timer("grammar"):
+            pass
+        with stage_timer("density"):
+            pass
+    assert set(timings) == {"grammar", "density"}
+    assert timings["grammar"] >= 0.0
+
+
+def test_nested_captures_both_see_observations(timing_on):
+    with capture() as outer:
+        with stage_timer("paa"):
+            pass
+        with capture() as inner:
+            with stage_timer("combine"):
+                pass
+    assert set(outer) == {"paa", "combine"}
+    assert set(inner) == {"combine"}
+
+
+def test_disabled_timers_record_nothing():
+    previous = set_stage_timing(False)
+    try:
+        assert not stage_timing_enabled()
+        with capture() as timings:
+            with stage_timer("grammar"):
+                pass
+        assert timings == {}
+    finally:
+        set_stage_timing(previous)
+
+
+def test_set_stage_timing_returns_previous():
+    first = set_stage_timing(False)
+    try:
+        assert set_stage_timing(True) is False
+        assert set_stage_timing(first) is True
+    finally:
+        set_stage_timing(first)
+
+
+def test_detect_fills_all_five_stages(timing_on):
+    series = make_series()
+    with capture() as timings:
+        EnsembleGrammarDetector(**CONFIG, seed=1).detect(series, 2)
+    assert set(timings) == set(STAGES) - {"paa"}  # batch path: PAA inside discretize
+    with capture() as timings:
+        detector = StreamingEnsembleDetector(**CONFIG, seed=1)
+        detector.extend(series)
+        detector.detect(2)
+    assert set(timings) == set(STAGES)
+
+
+def test_observations_land_in_the_shared_histogram(timing_on):
+    child = stages._children["density"]
+    _, _, before = child.snapshot()
+    with stage_timer("density"):
+        pass
+    _, _, after = child.snapshot()
+    assert after == before + 1
+
+
+# ----------------------------------------------------------------------
+# Bitwise parity: telemetry must never change a result.
+# ----------------------------------------------------------------------
+
+
+def _run_batch(series: np.ndarray):
+    detector = EnsembleGrammarDetector(**CONFIG, seed=3)
+    return detector.detect(series, 3), detector.density_curve(series)
+
+
+def _run_streaming(series: np.ndarray):
+    detector = StreamingEnsembleDetector(**CONFIG, seed=3)
+    for offset in range(0, len(series), 150):
+        detector.extend(series[offset : offset + 150])
+    return detector.detect(3), detector.density_curve()
+
+
+def _run_streaming_member(series: np.ndarray):
+    detector = StreamingGrammarDetector(window=50, paa_size=4, alphabet_size=4)
+    detector.extend(series)
+    return detector.density_curve()
+
+
+@pytest.mark.parametrize(
+    "run", [_run_batch, _run_streaming, _run_streaming_member],
+    ids=["batch", "streaming-ensemble", "streaming-member"],
+)
+def test_timing_on_off_bitwise_parity(run):
+    series = make_series(seed=7)
+    previous = set_stage_timing(True)
+    try:
+        with_timing = run(series)
+        set_stage_timing(False)
+        without_timing = run(series)
+    finally:
+        set_stage_timing(previous)
+    flat_on = with_timing if isinstance(with_timing, tuple) else (with_timing,)
+    flat_off = without_timing if isinstance(without_timing, tuple) else (without_timing,)
+    for on, off in zip(flat_on, flat_off):
+        if isinstance(on, np.ndarray):
+            assert np.array_equal(on, off)
+        else:
+            assert on == off
