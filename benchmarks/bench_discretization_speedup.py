@@ -4,8 +4,10 @@ The paper accelerates ensemble discretization two ways: prefix-sum FastPAA
 (Algorithm 2) and the merged-breakpoint symbol matrix that yields all
 alphabet resolutions from one binary search. This bench measures the end
 effect: producing the numerosity-reduced token sequences for the full
-(w, a) grid via the shared MultiResolutionDiscretizer versus discretizing
-from scratch per combination.
+(w, a) grid via the shared MultiResolutionDiscretizer — whose PAA and
+interval matrices come from one :class:`repro.sax.plan.DiscretizationPlan`
+sweep through the ``REPRO_KERNEL`` seam — versus discretizing from scratch
+per combination.
 
 Shape check: the shared path is substantially faster than the naive path
 (the asymptotic claim is O(w_max^2 log a_max) vs O(n w_max a_max + ...)).

@@ -208,6 +208,96 @@ def _sliding_poll(
 
 
 # ----------------------------------------------------------------------
+# Shared multi-window discretization front end (the plan sweep).
+# ----------------------------------------------------------------------
+
+
+def paa_multiwindow_once(
+    kernel: str,
+    points: int,
+    window: int = 100,
+    paa_sizes: tuple = (3, 4, 5, 6, 7, 8),
+    seed: int = 0,
+) -> tuple[float, object]:
+    """One shared sweep emitting every PAA + interval matrix; returns the sweep.
+
+    Measures the :class:`~repro.sax.plan.DiscretizationSweep` front half —
+    shared window statistics, one PAA matrix and one merged-table search per
+    distinct PAA size — under the selected ``REPRO_KERNEL``. Prefix sums are
+    built outside the timed region (they are series-level setup shared with
+    every other stage).
+    """
+    from repro.sax.paa import CumulativeStats
+    from repro.sax.plan import DiscretizationPlan
+
+    series = cached_series(points, seed)
+    stats = CumulativeStats(series)
+    plan = DiscretizationPlan(
+        window,
+        [(int(w), 10) for w in paa_sizes],
+        max_alphabet_size=10,
+    )
+    with _kernel.use_kernel(kernel):
+        with Timer() as timer:
+            sweep = plan.sweep_series(stats)
+            for paa_size in paa_sizes:
+                sweep.interval_rows(int(paa_size))
+    return timer.elapsed, sweep
+
+
+@register("paa_multiwindow")
+def _paa_multiwindow(
+    *, kernel: str, points: int, window: int = 100, seed: int = 0
+):
+    paa_sizes = (3, 4, 5, 6, 7, 8)
+    elapsed, sweep = paa_multiwindow_once(kernel, points, window, paa_sizes, seed)
+    rows = len(sweep) * len(paa_sizes)
+    return {"us_per_row": elapsed / rows * 1e6}
+
+
+def discretize_once(
+    kernel: str,
+    points: int,
+    members: int,
+    window: int = 100,
+    seed: int = 0,
+) -> tuple[float, list]:
+    """One full ensemble discretization front end: symbols for every member.
+
+    Samples the same distinct ``(w, a)`` bag an ensemble would (via the
+    ensemble's own RNG protocol) and emits every member's symbol matrix from
+    one shared sweep — the complete tokenize stage minus grammar feeding.
+    Returns the per-member symbol matrices so narrative benches can
+    parity-check them against the naive per-member path.
+    """
+    from repro.sax.paa import CumulativeStats
+    from repro.sax.plan import DiscretizationPlan
+    from repro.utils.rng import ensure_rng
+
+    series = cached_series(points, seed)
+    rng = ensure_rng(seed)
+    pool = [(w, a) for w in range(2, 11) for a in range(2, 11)]
+    chosen = rng.choice(len(pool), size=min(members, len(pool)), replace=False)
+    configs = [pool[int(i)] for i in chosen]
+    stats = CumulativeStats(series)
+    plan = DiscretizationPlan(window, configs, max_alphabet_size=10)
+    with _kernel.use_kernel(kernel):
+        with Timer() as timer:
+            sweep = plan.sweep_series(stats)
+            matrices = [sweep.symbol_rows(w, a) for w, a in configs]
+    return timer.elapsed, matrices
+
+
+@register("discretize")
+def _discretize(
+    *, kernel: str, points: int, members: int, window: int = 100, seed: int = 0
+):
+    elapsed, matrices = discretize_once(kernel, points, members, window, seed)
+    windows = sum(len(matrix) for matrix in matrices)
+    return {"us_per_member_window": elapsed / windows * 1e6}
+
+
+# ----------------------------------------------------------------------
 # Ensemble streaming ingest (the engine's vectorized shared-state path).
 # ----------------------------------------------------------------------
 

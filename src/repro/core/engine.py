@@ -493,6 +493,43 @@ class SharedStreamState:
             origin=base,
         )
 
+    def sweep(self, plan, first_start: int, *, stop: int | None = None):
+        """Open a shared discretization sweep over completed windows.
+
+        The multi-member sibling of :meth:`paa_rows`: same global-coordinate
+        semantics and eviction-horizon validation, but instead of one PAA
+        matrix it returns a :class:`~repro.sax.plan.DiscretizationSweep`
+        over ``[first_start, stop)`` that lazily shares window statistics,
+        PAA matrices and interval matrices across every member of ``plan``.
+        The sweep reads the live buffers with their ring-buffer ``origin``
+        offset, so — exactly as for :meth:`paa_rows` — rows for live
+        windows are bitwise identical to the unbounded state's.
+        """
+        window = validate_window(plan.window, self.live_length)
+        completed = self.n_windows(window)
+        stop = completed if stop is None else min(int(stop), completed)
+        first_start = int(first_start)
+        if first_start < self._start:
+            raise ValueError(
+                f"first_start={first_start} precedes the eviction horizon "
+                f"{self._start}; those windows have been retired"
+            )
+        if not first_start <= stop:
+            raise ValueError(
+                f"first_start={first_start} outside the completed-window range "
+                f"[{self._start}, {stop}]"
+            )
+        base = self._base
+        used = self._n - base
+        return plan.sweep(
+            self._prefix[: used + 1],
+            self._prefix_sq[: used + 1],
+            self._values[:used],
+            first_start,
+            stop,
+            origin=base,
+        )
+
 
 # ----------------------------------------------------------------------
 # Parallel member execution (EnsembleGrammarDetector's member fan-out).
@@ -518,14 +555,14 @@ def _member_curve(
     """
     kernel = _kernel.current_kernel()
     if kernel == "python" or discretizer.numerosity != "exact":
-        with stage_timer("discretize"):
-            tokens = discretizer.tokens(paa_size, alphabet_size)
+        # The discretizer fires the paa/discretize stage timers itself (the
+        # shared sweep times matrix formation and breakpoint search).
+        tokens = discretizer.tokens(paa_size, alphabet_size)
         with stage_timer("grammar"):
             grammar = induce_grammar(tokens.words)
         with stage_timer("density"):
             return rule_density_curve(grammar, tokens, series_length)
-    with stage_timer("discretize"):
-        token_ids = discretizer.token_ids(paa_size, alphabet_size)
+    token_ids = discretizer.token_ids(paa_size, alphabet_size)
     if not len(token_ids):
         raise ValueError("cannot induce a grammar from an empty token sequence")
     with stage_timer("grammar"):

@@ -5,8 +5,11 @@ Instead of committing to one ``(w, a)``, the ensemble:
 1. samples ``N`` distinct ``(w, a)`` combinations uniformly from
    ``[2, wmax] x [2, amax]`` ("any w, a combination is used only once");
 2. computes one rule density curve per member — via the shared
-   :class:`repro.core.multiresolution.MultiResolutionDiscretizer`, so the
-   expensive PAA/binary-search work is done once per distinct ``w``;
+   :class:`repro.core.multiresolution.MultiResolutionDiscretizer`, which is
+   backed by a :class:`repro.sax.plan.DiscretizationPlan`: prefix statistics
+   are built once per series and the expensive PAA/binary-search work runs
+   once per distinct ``w`` through the ``REPRO_KERNEL`` seam
+   (:mod:`repro.sax._kernel`);
 3. discards low-quality members: curves are ranked by standard deviation and
    only the top ``tau`` fraction kept (Section 6.1.1);
 4. normalizes each survivor by its maximum — *not* min–max, so zero density

@@ -22,8 +22,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sax.alphabet import WordInterner, index_matrix_to_words
-from repro.sax.breakpoints import MultiResolutionAlphabet
+from repro.obs.stages import stage_timer
+from repro.sax.alphabet import WordInterner, index_matrix_to_words, pack_symbol_rows
 from repro.sax.numerosity import (
     TokenIdSequence,
     TokenSequence,
@@ -31,6 +31,7 @@ from repro.sax.numerosity import (
     numerosity_reduction,
 )
 from repro.sax.paa import CumulativeStats
+from repro.sax.plan import DiscretizationPlan
 from repro.sax.znorm import DEFAULT_ZNORM_THRESHOLD
 from repro.utils.validation import (
     ensure_time_series,
@@ -75,9 +76,16 @@ class MultiResolutionDiscretizer:
         self.znorm_threshold = float(znorm_threshold)
         self.numerosity = numerosity
         self.stats = CumulativeStats(self.series)
-        self.alphabet_table = MultiResolutionAlphabet(self.max_alphabet_size)
-        #: Cache: paa_size -> interval-index matrix (n_windows, paa_size).
-        self._interval_cache: dict[int, np.ndarray] = {}
+        #: Open discretization plan (any paa_size up to ``window``); the
+        #: sweep below carries the per-``w`` PAA/interval matrix caches.
+        self._plan = DiscretizationPlan(
+            self.window,
+            None,
+            znorm_threshold=self.znorm_threshold,
+            max_alphabet_size=self.max_alphabet_size,
+        )
+        self.alphabet_table = self._plan.alphabet_table
+        self._sweep = self._plan.sweep_series(self.stats)
         #: Cache: (paa_size, alphabet_size) -> TokenSequence.
         self._token_cache: dict[tuple[int, int], TokenSequence] = {}
         #: Shared word interner + cache: (paa_size, alphabet_size) -> ids.
@@ -94,22 +102,17 @@ class MultiResolutionDiscretizer:
     def interval_matrix(self, paa_size: int) -> np.ndarray:
         """Merged-table interval indices of every window's PAA coefficients.
 
-        Computed once per distinct ``paa_size`` and cached; this is the
-        expensive half of discretization (PAA + binary search).
+        Computed once per distinct ``paa_size`` and cached (in the shared
+        :class:`~repro.sax.plan.DiscretizationSweep`); this is the expensive
+        half of discretization (PAA + binary search), dispatched through the
+        ``REPRO_KERNEL`` seam.
         """
         paa_size = validate_paa_size(paa_size, self.window)
         if paa_size > self.max_paa_size:
             raise ValueError(
                 f"paa_size={paa_size} exceeds the declared max_paa_size={self.max_paa_size}"
             )
-        cached = self._interval_cache.get(paa_size)
-        if cached is None:
-            coefficients = self.stats.sliding_paa_matrix(
-                self.window, paa_size, self.znorm_threshold
-            )
-            cached = self.alphabet_table.interval_indices(coefficients)
-            self._interval_cache[paa_size] = cached
-        return cached
+        return self._sweep.interval_rows(paa_size)
 
     def words(self, paa_size: int, alphabet_size: int) -> list[str]:
         """SAX words of every window under ``(paa_size, alphabet_size)``."""
@@ -134,17 +137,20 @@ class MultiResolutionDiscretizer:
         cached = self._token_cache.get(key)
         if cached is not None:
             return cached
+        intervals = self.interval_matrix(paa_size)
         if self.numerosity == "exact":
-            intervals = self.interval_matrix(paa_size)
-            symbols = self.alphabet_table.symbols_for(intervals, alphabet_size)
-            kept_offsets = np.flatnonzero(kept_window_mask(symbols)).astype(np.int64)
-            words = index_matrix_to_words(symbols[kept_offsets])
-            cached = TokenSequence(
-                tuple(words), kept_offsets, len(symbols), self.window
-            )
+            with stage_timer("discretize"):
+                symbols = self.alphabet_table.symbols_for(intervals, alphabet_size)
+                kept_offsets = np.flatnonzero(kept_window_mask(symbols)).astype(np.int64)
+                words = index_matrix_to_words(symbols[kept_offsets])
+                cached = TokenSequence(
+                    tuple(words), kept_offsets, len(symbols), self.window
+                )
         else:
-            words = self.words(*key)
-            cached = numerosity_reduction(words, self.window, self.numerosity)
+            with stage_timer("discretize"):
+                symbols = self.alphabet_table.symbols_for(intervals, alphabet_size)
+                words = index_matrix_to_words(symbols)
+                cached = numerosity_reduction(words, self.window, self.numerosity)
         self._token_cache[key] = cached
         return cached
 
@@ -168,9 +174,19 @@ class MultiResolutionDiscretizer:
         if cached is not None:
             return cached
         intervals = self.interval_matrix(paa_size)
-        symbols = self.alphabet_table.symbols_for(intervals, alphabet_size)
-        kept_offsets = np.flatnonzero(kept_window_mask(symbols)).astype(np.int64)
-        ids = self._interner.intern_matrix(symbols[kept_offsets])
+        with stage_timer("discretize"):
+            symbols = self.alphabet_table.symbols_for(intervals, alphabet_size)
+            codes = pack_symbol_rows(symbols)
+            if codes is None:
+                kept_offsets = np.flatnonzero(kept_window_mask(symbols)).astype(np.int64)
+                ids = self._interner.intern_matrix(symbols[kept_offsets])
+            else:
+                # Packing is injective, so run boundaries on the scalar codes
+                # are exactly the row-inequality mask of kept_window_mask.
+                keep = np.ones(len(codes), dtype=bool)
+                keep[1:] = codes[1:] != codes[:-1]
+                kept_offsets = np.flatnonzero(keep).astype(np.int64)
+                ids = self._interner.intern_packed(codes[kept_offsets], symbols.shape[1])
         cached = TokenIdSequence(
             ids, kept_offsets, len(symbols), self.window, self._interner.vocabulary
         )

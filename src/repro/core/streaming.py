@@ -66,9 +66,9 @@ from repro.grammar import _kernel
 from repro.grammar.density import density_curve_from_token_spans, rule_density_curve
 from repro.grammar.sequitur import GenerationalSequitur, _SequiturBuilder, induce_grammar
 from repro.obs.stages import stage_timer
-from repro.sax.alphabet import WordInterner
-from repro.sax.breakpoints import MultiResolutionAlphabet, gaussian_breakpoints
+from repro.sax.alphabet import WordInterner, pack_symbol_rows
 from repro.sax.numerosity import STRATEGIES, TokenSequence, kept_window_mask
+from repro.sax.plan import DiscretizationPlan
 from repro.sax.znorm import DEFAULT_ZNORM_THRESHOLD
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import (
@@ -195,7 +195,16 @@ class StreamingGrammarDetector:
                 f"window ({self.window})"
             )
         self.state = state
-        self._breakpoints = gaussian_breakpoints(self.alphabet_size)
+        #: Single-member discretization plan: with ``amin == amax == a`` the
+        #: merged table *is* ``gaussian_breakpoints(a)`` and ``symbols_for``
+        #: is the identity column, so the shared sweep is bitwise equal to
+        #: the historical direct ``searchsorted`` against the member table.
+        self._plan = DiscretizationPlan(
+            self.window,
+            [(self.paa_size, self.alphabet_size)],
+            znorm_threshold=self.znorm_threshold,
+            min_alphabet_size=self.alphabet_size,
+        )
         #: Grammar kernel pinned at construction (see
         #: :mod:`repro.grammar._kernel`): a mid-stream ``REPRO_KERNEL``
         #: change must not mix kernels within one member's life.
@@ -221,6 +230,12 @@ class StreamingGrammarDetector:
         #: snapshot-induction cache (sliding), or generation-segmented
         #: builders dropped wholesale as the horizon passes them (decay).
         self._builder = None
+        #: How many of :attr:`_kept_ids` the unbounded builder has consumed.
+        #: Feeding is deferred to poll time (:meth:`_catch_up_builder`): the
+        #: grammar is a deterministic function of the kept-id sequence, so
+        #: catching up at the next snapshot is bitwise equal to eager
+        #: feeding — and ingest-only workloads never pay for it.
+        self._builder_fed = 0
         self._generations: GenerationalSequitur | None = None
         self._snapshot_cache: tuple[tuple[int, int], "object"] | None = None
         #: Sliding fast path: the kernel builder over the live ids, tagged
@@ -325,12 +340,9 @@ class StreamingGrammarDetector:
         n_windows = self.state.n_windows(self.window)
         while self._consumed < n_windows:
             stop = min(self._consumed + _DRAIN_BLOCK, n_windows)
-            with stage_timer("paa"):
-                rows = self.state.paa_rows(
-                    self._consumed, self.window, self.paa_size, self.znorm_threshold, stop=stop
-                )
-            with stage_timer("discretize"):
-                symbols = np.searchsorted(self._breakpoints, rows, side="right")
+            # The sweep fires the paa/discretize stage timers internally.
+            sweep = self.state.sweep(self._plan, self._consumed, stop=stop)
+            symbols = sweep.symbol_rows(self.paa_size, self.alphabet_size)
             with stage_timer("grammar"):
                 self._ingest_symbols(symbols, self._consumed)
 
@@ -381,32 +393,70 @@ class StreamingGrammarDetector:
         count = len(symbols)
         if count == 0:
             return
+        codes = pack_symbol_rows(symbols)
         if self.numerosity == "exact":
-            keep = kept_window_mask(symbols)
-            if self._last_symbols is not None:
-                keep[0] = bool(np.any(symbols[0] != self._last_symbols))
+            if codes is None:
+                keep = kept_window_mask(symbols)
+                if self._last_symbols is not None:
+                    keep[0] = bool(np.any(symbols[0] != self._last_symbols))
+            else:
+                # Packing is injective, so run boundaries on the scalar
+                # codes are exactly kept_window_mask's row comparisons —
+                # including the chunk-boundary carry against the last row
+                # of the previous block.
+                keep = np.ones(count, dtype=bool)
+                keep[1:] = codes[1:] != codes[:-1]
+                if self._last_symbols is not None:
+                    keep[0] = codes[0] != pack_symbol_rows(self._last_symbols[None, :])[0]
             kept_idx = np.flatnonzero(keep)
             self._last_symbols = np.array(symbols[-1], dtype=np.int64)
         else:
             kept_idx = np.arange(count)
-        ids = self._interner.intern_matrix(symbols[kept_idx]).tolist()
+        if codes is None:
+            ids = self._interner.intern_matrix(symbols[kept_idx]).tolist()
+        else:
+            ids = self._interner.intern_packed(
+                codes[kept_idx], symbols.shape[1]
+            ).tolist()
         offsets = (kept_idx + first_start).tolist()
         self._kept_ids.extend(ids)
         self._kept_offsets.extend(offsets)
         self._total_kept += len(ids)
-        if self._builder is not None:
-            if self._kernel == "python":
-                vocabulary = self._interner.vocabulary
-                feed = self._builder.feed
-                for token_id in ids:
-                    feed(vocabulary[token_id])
-            else:
-                self._builder.feed_many(ids)
-        elif self._generations is not None:
+        # Unbounded builders catch up lazily at the next poll
+        # (_catch_up_builder); only the decay generations must observe
+        # every token eagerly (generation boundaries are offset-driven).
+        if self._generations is not None:
+            # Generation routing can seal (and freeze) mid-ingest, and the
+            # oracle kernel feeds word strings — both index the vocabulary
+            # list the router captured at construction, so any words the
+            # packed intern path deferred must be materialized first.
+            _ = self._interner.vocabulary
             feed_id = self._generations.feed_id
             for token_id, offset in zip(ids, offsets):
                 feed_id(token_id, offset)
         self._consumed = first_start + count
+
+    def _catch_up_builder(self) -> None:
+        """Feed the unbounded builder every kept id it has not yet seen.
+
+        Grammar induction is a deterministic function of the fed token
+        sequence and unbounded members never prune, so deferring the feed
+        from ingest to the first poll that needs the grammar produces a
+        bitwise-identical builder — while extend-only ingestion (the
+        serving hot path) skips grammar work entirely.
+        """
+        if self._builder_fed >= len(self._kept_ids):
+            return
+        pending = self._kept_ids[self._builder_fed :]
+        with stage_timer("grammar"):
+            if self._kernel == "python":
+                vocabulary = self._interner.vocabulary
+                feed = self._builder.feed
+                for token_id in pending:
+                    feed(vocabulary[token_id])
+            else:
+                self._builder.feed_many(pending)
+        self._builder_fed = len(self._kept_ids)
 
     # ------------------------------------------------------------------
     # Snapshot / restore (serialization).
@@ -478,15 +528,15 @@ class StreamingGrammarDetector:
         self._span_builder = None
         self._curve_cache = None
         if self._builder is not None:
+            # Replay is deferred: a fresh builder plus _builder_fed = 0
+            # makes the next poll's _catch_up_builder feed the complete
+            # kept sequence — identical to an eager replay here, but
+            # restore itself stays O(tokens-copied).
             if self._kernel == "python":
                 self._builder = _SequiturBuilder()
-                vocabulary = self._interner.vocabulary
-                feed = self._builder.feed
-                for token_id in ids:
-                    feed(vocabulary[token_id])
             else:
                 self._builder = _kernel.make_builder(self._kernel)
-                self._builder.feed_many(ids)
+            self._builder_fed = 0
         elif self._generations is not None:
             self._generations = GenerationalSequitur.replay(
                 zip(ids, offsets),
@@ -510,6 +560,7 @@ class StreamingGrammarDetector:
 
     def _frozen_grammar(self):
         """Freeze the unbounded live builder (kernel-appropriate call)."""
+        self._catch_up_builder()
         if self._kernel == "python":
             return self._builder.freeze()
         return self._builder.freeze(self._interner.vocabulary)
@@ -611,6 +662,7 @@ class StreamingGrammarDetector:
         the same interval multiset, so they are bitwise identical.
         """
         if self._builder is not None:
+            self._catch_up_builder()
             if self._kernel == "python":
                 return rule_density_curve(
                     self._frozen_grammar(), self.tokens(), len(self.state)
@@ -855,7 +907,16 @@ class StreamingEnsembleDetector(ExecutorOwnerMixin):
         self.ensemble_size = len(self.parameters)
         #: The single stream buffer every member references.
         self.state = _make_state(capacity, policy, segments, window)
-        self._alphabet_table = MultiResolutionAlphabet(max_alphabet_size)
+        #: Shared multi-window discretization plan: one sweep per drained
+        #: block serves every member (PAA per distinct paa_size, one merged
+        #: binary search, per-member symbol lookup).
+        self._plan = DiscretizationPlan(
+            window,
+            self.parameters,
+            znorm_threshold=self.znorm_threshold,
+            max_alphabet_size=max_alphabet_size,
+        )
+        self._alphabet_table = self._plan.alphabet_table
         self.members = [
             StreamingGrammarDetector(
                 window,
@@ -909,23 +970,23 @@ class StreamingEnsembleDetector(ExecutorOwnerMixin):
         retention horizon advances and members forget what slid out.
         """
         n_windows = self.state.n_windows(self.window)
-        for paa_size, members in self._by_paa_size.items():
-            first = members[0]._consumed
-            while first < n_windows:
-                stop = min(first + _DRAIN_BLOCK, n_windows)
-                with stage_timer("paa"):
-                    rows = self.state.paa_rows(
-                        first, self.window, paa_size, self.znorm_threshold, stop=stop
-                    )
-                with stage_timer("discretize"):
-                    intervals = self._alphabet_table.interval_indices(rows)
+        # Every member is drained in lock-step by this loop (members never
+        # ingest on their own when attached), so one cursor serves all.
+        first = self.members[0]._consumed
+        while first < n_windows:
+            stop = min(first + _DRAIN_BLOCK, n_windows)
+            # One shared sweep per block; the sweep fires the paa and
+            # discretize stage timers internally, once per distinct size.
+            sweep = self.state.sweep(self._plan, first, stop=stop)
+            for paa_size, members in self._by_paa_size.items():
+                intervals = sweep.interval_rows(paa_size)
                 with stage_timer("grammar"):
                     for member in members:
                         symbols = self._alphabet_table.symbols_for(
                             intervals, member.alphabet_size
                         )
                         member._ingest_symbols(symbols, first)
-                first = stop
+            first = stop
         if self.state.capacity is not None:
             start = self.state.trim()
             if start:
@@ -1079,7 +1140,13 @@ class StreamingEnsembleDetector(ExecutorOwnerMixin):
         instance.parameters = parameters
         instance.ensemble_size = len(parameters)
         instance.state = SharedStreamState.from_state(snapshot["stream"])
-        instance._alphabet_table = MultiResolutionAlphabet(instance.max_alphabet_size)
+        instance._plan = DiscretizationPlan(
+            instance.window,
+            parameters,
+            znorm_threshold=instance.znorm_threshold,
+            max_alphabet_size=instance.max_alphabet_size,
+        )
+        instance._alphabet_table = instance._plan.alphabet_table
         instance.members = []
         for (w, a), data in zip(parameters, member_states):
             member = StreamingGrammarDetector(

@@ -11,18 +11,24 @@ sequence that grammar induction consumes:
 - :mod:`repro.sax.sax` — SAX words, vectorized sliding-window discretization,
   and the MINDIST lower bound.
 - :mod:`repro.sax.numerosity` — numerosity reduction with recorded offsets.
+- :mod:`repro.sax.plan` — the shared multi-window discretization plan: one
+  pass emits every ensemble member's PAA/symbol matrices, with the hot
+  loops behind the ``REPRO_KERNEL`` seam (:mod:`repro.sax._kernel`).
 """
 
 from repro.sax.alphabet import ALPHABET, indices_to_word, word_to_indices
 from repro.sax.breakpoints import MultiResolutionAlphabet, gaussian_breakpoints
 from repro.sax.numerosity import TokenSequence, expand_tokens, numerosity_reduction
 from repro.sax.paa import CumulativeStats, paa, paa_naive
+from repro.sax.plan import DiscretizationPlan, DiscretizationSweep
 from repro.sax.sax import discretize, mindist, sax_word
 from repro.sax.znorm import znorm
 
 __all__ = [
     "ALPHABET",
     "CumulativeStats",
+    "DiscretizationPlan",
+    "DiscretizationSweep",
     "MultiResolutionAlphabet",
     "TokenSequence",
     "discretize",

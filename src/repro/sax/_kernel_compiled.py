@@ -1,0 +1,116 @@
+"""Numba-jitted discretization kernels (``REPRO_KERNEL=compiled``).
+
+Import-guarded: importing this module requires numba. The seam
+(:mod:`repro.sax._kernel`) catches the ImportError and re-raises with an
+install hint, the same pattern as :mod:`repro.grammar._kernel_compiled`;
+the sax property and differential suites skip their compiled cases when
+numba is missing and run them through the exact same oracle comparisons
+when it is present.
+
+Bitwise contract: :func:`paa_rows` is a scalar transliteration of the
+*reference* float operations of :func:`repro.sax.paa.sliding_paa_rows` —
+including the ``prefix[k] + frac * values[k]`` fractional-boundary
+interpolation with its zero-weighted value lookup — evaluated in the same
+order per element, so its output matches the numpy reference bit for bit
+(unlike the ``fast`` kernel's integer-stride shortcut, which is only
+``==``-equal; see the seam module docstring). :func:`interval_rows_from`
+is ``bisect_right``, the loop form of ``np.searchsorted(..., side="right")``:
+a value equal to a breakpoint lands in the region to its right, the
+closed-on-the-left convention pinned by the breakpoint-tie golden vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+
+@njit(cache=True)
+def _paa_rows_kernel(  # pragma: no cover - requires numba
+    prefix_sum, values, start, stop, window, paa_size, means, safe_stds, constant, origin, out
+):
+    n_values = values.shape[0]
+    last = n_values - 1
+    step = window / paa_size
+    for i in range(stop - start):
+        if constant[i]:
+            for j in range(paa_size):
+                out[i, j] = 0.0
+            continue
+        gstart = float(start + i)
+        # F(k + f) = prefix[k] + f * values[k], evaluated at the paa_size + 1
+        # segment boundaries; boundary j sits at gstart + j * step, exactly
+        # the positions the numpy reference forms by broadcasting.
+        pos = gstart + 0.0 * step
+        floor = np.floor(pos)
+        k = np.int64(floor) - origin
+        frac = pos - floor
+        vi = k if k < last else last
+        prev = prefix_sum[k] + frac * values[vi]
+        mean = means[i]
+        std = safe_stds[i]
+        for j in range(paa_size):
+            pos = gstart + (j + 1) * step
+            floor = np.floor(pos)
+            k = np.int64(floor) - origin
+            frac = pos - floor
+            vi = k if k < last else last
+            cur = prefix_sum[k] + frac * values[vi]
+            coefficient = (cur - prev) / step
+            out[i, j] = (coefficient - mean) / std
+            prev = cur
+
+
+@njit(cache=True)
+def _bisect_rows_kernel(breakpoints, rows, out):  # pragma: no cover - requires numba
+    m = breakpoints.shape[0]
+    for i in range(rows.shape[0]):
+        for j in range(rows.shape[1]):
+            value = rows[i, j]
+            lo = 0
+            hi = m
+            while lo < hi:
+                mid = (lo + hi) >> 1
+                if value < breakpoints[mid]:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            out[i, j] = lo
+
+
+def paa_rows(
+    prefix_sum: np.ndarray,
+    values: np.ndarray,
+    start: int,
+    stop: int,
+    window: int,
+    paa_size: int,
+    means: np.ndarray,
+    safe_stds: np.ndarray,
+    constant: np.ndarray,
+    origin: int,
+) -> np.ndarray:
+    """Z-normalized PAA rows, jitted; signature mirrors the ``fast`` block."""
+    out = np.empty((int(stop) - int(start), int(paa_size)), dtype=np.float64)
+    _paa_rows_kernel(
+        np.ascontiguousarray(prefix_sum),
+        np.ascontiguousarray(values),
+        int(start),
+        int(stop),
+        int(window),
+        int(paa_size),
+        np.ascontiguousarray(means),
+        np.ascontiguousarray(safe_stds),
+        np.ascontiguousarray(constant),
+        int(origin),
+        out,
+    )
+    return out
+
+
+def interval_rows_from(rows: np.ndarray, merged_breakpoints: np.ndarray) -> np.ndarray:
+    """Merged-table interval of each coefficient (jitted ``bisect_right``)."""
+    rows = np.ascontiguousarray(rows, dtype=np.float64)
+    out = np.empty(rows.shape, dtype=np.int64)
+    _bisect_rows_kernel(np.ascontiguousarray(merged_breakpoints), rows, out)
+    return out

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.sax import _kernel
 from repro.sax.alphabet import index_matrix_to_words, indices_to_word, word_to_indices
 from repro.sax.breakpoints import gaussian_breakpoints, symbol_indices
 from repro.sax.paa import CumulativeStats, paa
@@ -107,9 +108,16 @@ def discretize_symbols(
     alphabet_size = validate_alphabet_size(alphabet_size)
     if stats is None:
         stats = CumulativeStats(series)
-    paa_matrix = stats.sliding_paa_matrix(window, paa_size, znorm_threshold)
-    breakpoints = gaussian_breakpoints(alphabet_size)
-    return np.searchsorted(breakpoints, paa_matrix, side="right")
+    # Kernel-dispatched (REPRO_KERNEL): the python oracle reproduces the
+    # historical sliding_paa_matrix + searchsorted path verbatim; fast and
+    # compiled run the seam's shared-statistics backends, pinned bitwise
+    # identical downstream by the property suite.
+    n_windows = len(stats.series) - window + 1
+    paa_matrix = _kernel.paa_rows_block(
+        stats.prefix_sum, stats.prefix_sq, stats.series,
+        0, n_windows, window, paa_size, znorm_threshold,
+    )
+    return _kernel.interval_rows_from(paa_matrix, gaussian_breakpoints(alphabet_size))
 
 
 def mindist(

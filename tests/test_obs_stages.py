@@ -85,7 +85,7 @@ def test_detect_fills_all_five_stages(timing_on):
     series = make_series()
     with capture() as timings:
         EnsembleGrammarDetector(**CONFIG, seed=1).detect(series, 2)
-    assert set(timings) == set(STAGES) - {"paa"}  # batch path: PAA inside discretize
+    assert set(timings) == set(STAGES)  # shared sweep times paa + discretize
     with capture() as timings:
         detector = StreamingEnsembleDetector(**CONFIG, seed=1)
         detector.extend(series)
